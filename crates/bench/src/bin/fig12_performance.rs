@@ -1,0 +1,73 @@
+//! Fig. 12 — execution time of the proposed designs, normalised to the
+//! MRF@STV baseline under the *same* scheduler.
+//!
+//! Paper: the partitioned RF (hybrid profiling, adaptive FRF) loses less
+//! than 2% performance under GTO; running the whole MRF at NTV loses
+//! 7.1%; hybrid profiling beats compiler-only profiling by ~2%.
+
+use prf_bench::report::CsvTable;
+use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_core::{PartitionedRfConfig, ProfilingStrategy, RfKind};
+use prf_sim::SchedulerPolicy;
+
+fn main() {
+    header(
+        "Figure 12: normalised execution time (lower is better)",
+        "partitioned <2% overhead (GTO); MRF@NTV 7.1%; hybrid ~2% better than compiler",
+    );
+    let tl = SchedulerPolicy::TwoLevel { active_per_scheduler: 8 };
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "part/GTO", "part/TL", "compiler", "MRF@NTV"
+    );
+    let (mut gto_n, mut tl_n, mut comp_n, mut ntv_n) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut csv = CsvTable::new(["workload", "part_gto", "part_tl", "compiler", "mrf_ntv"]);
+    for w in prf_workloads::suite() {
+        let gpu_gto = experiment_gpu(SchedulerPolicy::Gto);
+        let gpu_tl = experiment_gpu(tl);
+
+        const SEEDS: u64 = 5;
+        let base_gto = run_workload_averaged(&w, &gpu_gto, &RfKind::MrfStv, SEEDS);
+        let base_tl = run_workload_averaged(&w, &gpu_tl, &RfKind::MrfStv, SEEDS);
+
+        let hybrid = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu_gto.num_rf_banks));
+        let compiler = RfKind::Partitioned(PartitionedRfConfig {
+            strategy: ProfilingStrategy::Compiler,
+            ..PartitionedRfConfig::paper_default(gpu_gto.num_rf_banks)
+        });
+
+        let p_gto = run_workload_averaged(&w, &gpu_gto, &hybrid, SEEDS).normalized_time(&base_gto);
+        let p_tl = run_workload_averaged(&w, &gpu_tl, &hybrid, SEEDS).normalized_time(&base_tl);
+        let p_comp =
+            run_workload_averaged(&w, &gpu_gto, &compiler, SEEDS).normalized_time(&base_gto);
+        let p_ntv = run_workload_averaged(&w, &gpu_gto, &RfKind::MrfNtv { latency: 3 }, SEEDS)
+            .normalized_time(&base_gto);
+
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            w.name, p_gto, p_tl, p_comp, p_ntv
+        );
+        csv.row([
+            w.name.to_string(),
+            format!("{p_gto:.4}"),
+            format!("{p_tl:.4}"),
+            format!("{p_comp:.4}"),
+            format!("{p_ntv:.4}"),
+        ]);
+        gto_n.push(p_gto);
+        tl_n.push(p_tl);
+        comp_n.push(p_comp);
+        ntv_n.push(p_ntv);
+    }
+    csv.write_if_configured("fig12_performance");
+    println!("{:-<56}", "");
+    println!(
+        "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}   (paper: <1.02, ~1.02, +2% vs hybrid, 1.071)",
+        "GEOMEAN",
+        geomean(&gto_n),
+        geomean(&tl_n),
+        geomean(&comp_n),
+        geomean(&ntv_n)
+    );
+}

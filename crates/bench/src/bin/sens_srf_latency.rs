@@ -1,0 +1,50 @@
+//! §V-C sensitivity — impact of a slower SRF on overall performance.
+//!
+//! Paper: "Our results show only 0.5% and 2.4% degradation in performance
+//! when the access delay to the SRF is 4 cycles and 5 cycles,
+//! respectively" (relative to the 3-cycle design).
+
+use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_core::{PartitionedRfConfig, RfKind};
+use prf_sim::SchedulerPolicy;
+
+fn main() {
+    header(
+        "Sensitivity: SRF access latency (3 -> 4 -> 5 cycles)",
+        "+0.5% at 4 cycles, +2.4% at 5 cycles vs the 3-cycle partitioned design",
+    );
+    let gpu = experiment_gpu(SchedulerPolicy::Gto);
+    const SEEDS: u64 = 5;
+    println!("{:<12} {:>10} {:>10} {:>10}", "workload", "srf=3", "srf=4", "srf=5");
+    let mut norms: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for w in prf_workloads::suite() {
+        let runs: Vec<f64> = [3u32, 4, 5]
+            .iter()
+            .map(|&lat| {
+                let cfg = PartitionedRfConfig {
+                    srf_latency: lat,
+                    ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
+                };
+                run_workload_averaged(&w, &gpu, &RfKind::Partitioned(cfg), SEEDS).cycles as f64
+            })
+            .collect();
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3}",
+            w.name,
+            1.0,
+            runs[1] / runs[0],
+            runs[2] / runs[0]
+        );
+        for (i, r) in runs.iter().enumerate() {
+            norms[i].push(r / runs[0]);
+        }
+    }
+    println!("{:-<46}", "");
+    println!(
+        "{:<12} {:>10.3} {:>10.3} {:>10.3}   (paper: 1.000, 1.005, 1.024)",
+        "GEOMEAN",
+        geomean(&norms[0]),
+        geomean(&norms[1]),
+        geomean(&norms[2])
+    );
+}

@@ -1,0 +1,43 @@
+//! §III-B sensitivity — conservative swap-table pipelining.
+//!
+//! Paper: the CAM search (55–105 ps) fits inside the register-access
+//! cycle; "But if we conservatively assumed that the swapping table access
+//! adds one cycle to the register access pipeline then the overall
+//! performance overhead is still less than 1%."
+
+use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_core::{PartitionedRfConfig, RfKind};
+use prf_sim::SchedulerPolicy;
+
+fn main() {
+    header(
+        "Sensitivity: swap-table lookup folded into the access vs +1 pipeline cycle",
+        "conservative +1 cycle costs <1% extra overall (§III-B)",
+    );
+    let gpu = experiment_gpu(SchedulerPolicy::Gto);
+    const SEEDS: u64 = 3;
+    let mut cycles = [Vec::new(), Vec::new()];
+    println!("{:<12} {:>12} {:>12}", "workload", "integrated", "+1 cycle");
+    for w in prf_workloads::suite() {
+        let mut row = [0.0f64; 2];
+        for (i, extra) in [false, true].into_iter().enumerate() {
+            let cfg = PartitionedRfConfig {
+                swap_table_extra_cycle: extra,
+                ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
+            };
+            let r = run_workload_averaged(&w, &gpu, &RfKind::Partitioned(cfg), SEEDS);
+            row[i] = r.cycles as f64;
+            cycles[i].push(r.cycles as f64);
+        }
+        println!("{:<12} {:>12.3} {:>12.3}", w.name, 1.0, row[1] / row[0]);
+    }
+    let g0 = geomean(&cycles[0]);
+    let g1 = geomean(&cycles[1]);
+    println!("{:-<38}", "");
+    println!(
+        "{:<12} {:>12.3} {:>12.3}   (paper: +1 cycle costs <1%)",
+        "GEOMEAN",
+        1.0,
+        g1 / g0
+    );
+}

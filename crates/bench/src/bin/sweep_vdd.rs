@@ -1,0 +1,53 @@
+//! Voltage design-space sweep — the continuous version of the paper's
+//! STV/NTV design points.
+//!
+//! The paper operates the SRF at 0.3 V (NTV) and the FRF at 0.45 V (STV),
+//! with Vth = 0.23 V. This sweep shows why: the access-energy × delay
+//! product of an RF array bottoms out in the near-threshold region —
+//! below it delay explodes, above it energy does.
+
+use prf_bench::header;
+use prf_finfet::{sweep_voltage, NTV, STV, VTH};
+
+fn main() {
+    header(
+        "Voltage sweep: 224 KB SRF-class array, 0.20-0.60 V",
+        "SRF at 0.3 V (NTV) sits near the total-energy-per-operation sweet spot",
+    );
+    let pts = sweep_voltage(224.0, 0.20, 0.60, 41);
+    let best = pts
+        .iter()
+        .min_by(|a, b| a.energy_per_op().total_cmp(&b.energy_per_op()))
+        .unwrap();
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>12}",
+        "Vdd", "E/acc (pJ)", "leak (mW)", "t_acc (ns)", "E/op (pJ)"
+    );
+    for p in &pts {
+        let marker = if (p.vdd - best.vdd).abs() < 1e-9 {
+            "  <-- E/op minimum"
+        } else if (p.vdd - NTV).abs() < 0.005 {
+            "  <-- NTV (SRF)"
+        } else if (p.vdd - STV).abs() < 0.005 {
+            "  <-- STV (FRF/MRF)"
+        } else if (p.vdd - VTH).abs() < 0.005 {
+            "  <-- Vth"
+        } else {
+            ""
+        };
+        println!(
+            "{:>7.2} {:>12.2} {:>10.2} {:>12.3} {:>12.2}{marker}",
+            p.vdd,
+            p.access_energy_pj,
+            p.leakage_mw,
+            p.access_time_ns,
+            p.energy_per_op()
+        );
+    }
+    println!();
+    println!(
+        "total energy/op minimum at {:.2} V — the near-threshold region the paper \
+         puts the SRF in (NTV = {NTV} V).",
+        best.vdd
+    );
+}

@@ -1,0 +1,55 @@
+//! Table III — characteristics of the 8T SRAM cells built in 7 nm FinFET:
+//! operating voltage, ON current, and static noise margin for NTV,
+//! STV with back gate at Vdd, and STV with back gate grounded.
+
+use prf_bench::header;
+use prf_finfet::{BackGate, FinFet, SramCell, NTV, STV};
+
+fn main() {
+    header(
+        "Table III: 8T SRAM cell characteristics (7nm FinFET)",
+        "NTV: 7.505e-4 A/um, SNM 0.092V | STV BG=Vdd: 2.372e-3, 0.144V | STV BG=0: 2.427e-4, 0.096V",
+    );
+    let rows = [
+        ("NTV", NTV, BackGate::Vdd, 7.505e-4, 0.092),
+        ("STV, BG=Vdd", STV, BackGate::Vdd, 2.372e-3, 0.144),
+        ("STV, BG=0", STV, BackGate::Grounded, 2.427e-4, 0.096),
+    ];
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>10} {:>10}",
+        "design", "V", "Ion meas", "Ion paper", "SNM meas", "SNM paper"
+    );
+    for (name, vdd, bg, ion_paper, snm_paper) in rows {
+        let dev = FinFet { back_gate: bg };
+        let ion = dev.ion(vdd);
+        let snm = SramCell::T8.snm(vdd, bg);
+        println!(
+            "{:<14} {:>8.2} {:>13.4e} {:>13.4e} {:>9.3}V {:>9.3}V",
+            name, vdd, ion, ion_paper, snm, snm_paper
+        );
+    }
+    println!();
+    let ratio = FinFet::dual_gate().ion(STV) / FinFet::front_gate_only().ion(STV);
+    println!(
+        "dual-gate vs front-gate-only drive at STV: {ratio:.1}x  \
+         (paper: \"the current is 9 times larger\")"
+    );
+    println!();
+    println!("All SRAM cells, nominal SNM (V):");
+    println!("{:<6} {:>10} {:>10} {:>12}", "cell", "STV", "NTV", "area (rel)");
+    for cell in SramCell::ALL {
+        println!(
+            "{:<6} {:>10.3} {:>10.3} {:>12.2}",
+            cell.to_string(),
+            cell.snm(STV, BackGate::Vdd),
+            cell.snm(NTV, BackGate::Vdd),
+            cell.area_rel()
+        );
+    }
+    println!();
+    println!(
+        "8T chosen: NTV-stable (SNM 0.092V) at near-minimal area; \
+         6T is larger yet has only {:.3}V at STV (paper §IV-A).",
+        SramCell::T6.snm(STV, BackGate::Vdd)
+    );
+}

@@ -1,0 +1,63 @@
+//! Methodology validation — single-SM vs full-chip simulation.
+//!
+//! The experiments in this repository (like most RF studies) simulate one
+//! SM with its share of CTAs because register-file behaviour is per-SM.
+//! This binary validates that choice: it runs a subset of workloads on the
+//! full 15-SM GTX-780-like configuration and compares the RF-level
+//! statistics against the single-SM runs. It also contextualises the RF
+//! saving at chip level using the paper's GPUWattch shares (§I: "the RF
+//! consumes 13.4% and 17.2% of the GTX-480 and Quadro FX5600 chips
+//! power").
+
+use prf_bench::{header, run_workload};
+use prf_core::{ChipProfile, PartitionedRfConfig, RfKind};
+use prf_sim::{GpuConfig, RfPartition, SchedulerPolicy};
+
+fn main() {
+    header(
+        "Validation: single-SM methodology vs full 15-SM chip",
+        "per-SM RF statistics should match; chip-level saving = RF share x RF saving",
+    );
+    let names = ["backprop", "srad", "kmeans", "LIB"];
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "1-SM FRF%", "15-SM FRF%", "1-SM save", "15-SM save"
+    );
+    let mut savings = Vec::new();
+    for name in names {
+        let w = prf_workloads::by_name(name).expect("known workload");
+        let mut row = Vec::new();
+        for sms in [1usize, 15] {
+            let gpu = GpuConfig {
+                num_sms: sms,
+                scheduler: SchedulerPolicy::Gto,
+                ..GpuConfig::kepler_gtx780()
+            };
+            let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
+            let r = run_workload(&w, &gpu, &rf);
+            let pa = &r.stats.partition_accesses;
+            let frf = pa.fraction(RfPartition::FrfHigh) + pa.fraction(RfPartition::FrfLow);
+            row.push((frf, r.dynamic_saving()));
+        }
+        println!(
+            "{:<12} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            name,
+            100.0 * row[0].0,
+            100.0 * row[1].0,
+            100.0 * row[0].1,
+            100.0 * row[1].1,
+        );
+        savings.push(row[0].1);
+    }
+    let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;
+    println!();
+    println!("chip-level context (paper §I, GPUWattch):");
+    for chip in [ChipProfile::gtx480(), ChipProfile::quadro_fx5600()] {
+        println!(
+            "  {:<14} RF = {:>4.1}% of chip power -> partitioned RF saves {:>4.1}% of chip power",
+            chip.name,
+            100.0 * chip.rf_power_share,
+            100.0 * chip.chip_saving(mean_saving.clamp(0.0, 1.0))
+        );
+    }
+}

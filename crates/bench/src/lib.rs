@@ -1,0 +1,112 @@
+//! # prf-bench — the experiment harness
+//!
+//! Shared plumbing for the per-figure/table binaries that regenerate the
+//! paper's evaluation. Each binary prints the paper's reported numbers
+//! next to the measured ones; `EXPERIMENTS.md` records a snapshot.
+//!
+//! Binaries (run with `cargo run --release -p prf-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig01_fo4_delay` | Fig. 1 — FO4 chain delay vs Vdd |
+//! | `fig02_access_skew` | Fig. 2 — top-3/4/5 register access share |
+//! | `table1_benchmarks` | Table I — benchmark shapes + pilot % |
+//! | `fig04_profiling` | Fig. 4 — compiler/pilot/hybrid/optimal coverage |
+//! | `table3_sram_cells` | Table III — 8T SRAM cell characteristics |
+//! | `table4_rf_energy` | Table IV — RF energy/leakage/area + CAM |
+//! | `fig10_access_distribution` | Fig. 10 — FRF/SRF access split |
+//! | `fig11_energy_savings` | Fig. 11 — dynamic + leakage energy savings |
+//! | `fig12_performance` | Fig. 12 — execution-time overheads |
+//! | `fig13_rfc_scaling` | Fig. 13 — RFC vs partitioned RF scaling |
+//! | `sens_srf_latency` | §V-C — SRF 3/4/5-cycle sensitivity |
+//! | `sens_epoch` | §V-C — epoch-length sensitivity |
+//! | `yield_mc` | §IV-A — SRAM Monte Carlo yield study |
+
+pub mod report;
+
+use prf_core::{run_experiment, ExperimentResult, RfKind};
+use prf_sim::{GpuConfig, SchedulerPolicy};
+use prf_workloads::Workload;
+
+/// The single-SM Kepler configuration used by the workload experiments
+/// (register-file behaviour is per-SM; see DESIGN.md).
+pub fn experiment_gpu(scheduler: SchedulerPolicy) -> GpuConfig {
+    GpuConfig { scheduler, ..GpuConfig::kepler_single_sm() }
+}
+
+/// Runs one workload (all its launches) under an RF organisation.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds the cycle safety limit — workloads in
+/// this repository are sized to terminate quickly.
+pub fn run_workload(w: &Workload, gpu: &GpuConfig, rf: &RfKind) -> ExperimentResult {
+    run_experiment(gpu, rf, &w.launches, &w.mem_init)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+/// Runs one workload under an RF organisation with several jitter seeds
+/// and returns the mean cycle count — the simulation analogue of
+/// averaging repeated hardware runs, washing out timing-resonance noise.
+/// Other statistics (access counts, energy) are seed-independent up to
+/// noise; the first seed's result is returned with its cycle count
+/// replaced by the mean.
+pub fn run_workload_averaged(
+    w: &Workload,
+    gpu: &GpuConfig,
+    rf: &RfKind,
+    seeds: u64,
+) -> ExperimentResult {
+    assert!(seeds >= 1);
+    let mut first: Option<ExperimentResult> = None;
+    let mut total_cycles = 0u64;
+    for seed in 0..seeds {
+        let cfg = GpuConfig { jitter_seed: seed, ..gpu.clone() };
+        let r = run_workload(w, &cfg, rf);
+        total_cycles += r.cycles;
+        if first.is_none() {
+            first = Some(r);
+        }
+    }
+    let mut r = first.expect("at least one seed");
+    r.cycles = total_cycles / seeds;
+    r
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean of a non-empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, paper_claim: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("paper: {paper_claim}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_rejects_empty() {
+        geomean(&[]);
+    }
+}

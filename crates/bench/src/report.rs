@@ -1,0 +1,155 @@
+//! CSV export for experiment results.
+//!
+//! Every figure binary prints a human-readable table; when the
+//! `PRF_CSV_DIR` environment variable is set, it additionally writes the
+//! same series as CSV into that directory, ready for plotting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple CSV table builder (no external dependency; values are
+/// escaped per RFC 4180 when needed).
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        CsvTable {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row<S: Into<String>>(&mut self, values: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = values.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn escape(field: &str) -> String {
+        if field.contains([',', '"', '\n']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+
+    /// Renders the table as a CSV string.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = self.columns.iter().map(|c| Self::escape(c)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let fields: Vec<String> = row.iter().map(|f| Self::escape(f)).collect();
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table to `$PRF_CSV_DIR/<name>.csv` when the environment
+    /// variable is set; otherwise does nothing. Returns the path written.
+    pub fn write_if_configured(&self, name: &str) -> Option<PathBuf> {
+        let dir = std::env::var_os("PRF_CSV_DIR")?;
+        let dir = PathBuf::from(dir);
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("PRF_CSV_DIR: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match fs::File::create(&path).and_then(|mut f| f.write_all(self.to_csv().as_bytes())) {
+            Ok(()) => {
+                eprintln!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("PRF_CSV_DIR: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Formats a fraction as a percentage string with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_csv() {
+        let mut t = CsvTable::new(["workload", "top3"]);
+        t.row(["BFS", "62.1"]);
+        t.row(["btree", "59.0"]);
+        assert_eq!(t.to_csv(), "workload,top3\nBFS,62.1\nbtree,59.0\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut t = CsvTable::new(["a"]);
+        t.row(["x,y"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.629), "62.9");
+    }
+
+    #[test]
+    fn write_respects_env() {
+        let dir = std::env::temp_dir().join("prf_csv_test");
+        std::env::set_var("PRF_CSV_DIR", &dir);
+        let mut t = CsvTable::new(["k", "v"]);
+        t.row(["a", "1"]);
+        let path = t.write_if_configured("unit_test").expect("written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("k,v"));
+        std::env::remove_var("PRF_CSV_DIR");
+        assert!(t.write_if_configured("unit_test").is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,287 @@
+//! Drowsy-register baseline, after the "Warped Register File" approach
+//! the paper cites as related work (ref. \[4\], HPCA 2013: "Others explored the
+//! option of power gating and drowsing unused registers").
+//!
+//! Registers that have not been accessed for a configurable number of
+//! cycles drop into a *drowsy* state: the cell keeps its data at the
+//! minimum retention voltage (leakage strongly reduced) but must be woken
+//! — one extra cycle — before it can be accessed. This gives the
+//! reproduction a third energy-saving design point to compare against the
+//! paper's partitioned RF:
+//!
+//! * drowsy attacks **leakage** (proportional to the fraction of
+//!   register-cycles spent drowsy) but not per-access dynamic energy;
+//! * the partitioned RF attacks **both**, which is the paper's argument
+//!   for partitioning over drowsing.
+
+use prf_isa::{Kernel, Reg, MAX_ARCH_REGS};
+use prf_sim::rf::{
+    default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle,
+};
+use prf_sim::RfPartition;
+
+use crate::telemetry::SharedTelemetry;
+
+/// Drowsy register-file configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrowsyConfig {
+    /// Idle cycles after which a register goes drowsy (the HPCA'13 paper
+    /// uses short windows; 100 cycles is a representative setting).
+    pub drowsy_after: u64,
+    /// Extra cycles to wake a drowsy register before access.
+    pub wake_latency: u32,
+    /// Base (awake) access latency.
+    pub base_latency: u32,
+    /// Register-file banks.
+    pub num_banks: usize,
+    /// Hardware warp slots.
+    pub max_warps: usize,
+    /// Leakage power of a drowsy cell relative to an awake cell
+    /// (retention voltage scaling; ~0.25 is typical for drowsy caches).
+    pub drowsy_leak_ratio: f64,
+}
+
+impl DrowsyConfig {
+    /// Representative defaults over the STV MRF.
+    pub fn paper_adjacent(num_banks: usize, max_warps: usize) -> Self {
+        DrowsyConfig {
+            drowsy_after: 100,
+            wake_latency: 1,
+            base_latency: 1,
+            num_banks,
+            max_warps,
+            drowsy_leak_ratio: 0.25,
+        }
+    }
+}
+
+/// Telemetry specific to the drowsy model, reported through
+/// [`DrowsyRf::summary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DrowsySummary {
+    /// Accesses that hit an awake register.
+    pub awake_accesses: u64,
+    /// Accesses that had to wake a drowsy register first.
+    pub wake_accesses: u64,
+    /// Estimated fraction of register-cycles spent drowsy.
+    pub drowsy_fraction: f64,
+}
+
+/// The per-SM drowsy register file model.
+#[derive(Debug)]
+pub struct DrowsyRf {
+    config: DrowsyConfig,
+    /// Last access cycle per (warp, register); `None` = never accessed
+    /// (drowsy from allocation).
+    last_access: Vec<[Option<u64>; MAX_ARCH_REGS]>,
+    awake_accesses: u64,
+    wake_accesses: u64,
+    /// Integrals for the drowsy-time estimate.
+    drowsy_reg_cycles: f64,
+    total_reg_cycles: f64,
+    last_tick: u64,
+    live_regs: usize,
+    regs_per_thread: usize,
+    #[allow(dead_code)]
+    telemetry: SharedTelemetry,
+}
+
+impl DrowsyRf {
+    /// Creates the model for one SM.
+    pub fn new(config: DrowsyConfig, telemetry: SharedTelemetry) -> Self {
+        DrowsyRf {
+            last_access: vec![[None; MAX_ARCH_REGS]; config.max_warps],
+            config,
+            awake_accesses: 0,
+            wake_accesses: 0,
+            drowsy_reg_cycles: 0.0,
+            total_reg_cycles: 0.0,
+            last_tick: 0,
+            live_regs: 0,
+            regs_per_thread: MAX_ARCH_REGS,
+            telemetry,
+        }
+    }
+
+    fn is_drowsy(&self, warp_slot: usize, reg: Reg, cycle: u64) -> bool {
+        match self.last_access[warp_slot][reg.index()] {
+            None => true,
+            Some(last) => cycle.saturating_sub(last) > self.config.drowsy_after,
+        }
+    }
+
+    /// Run summary for energy accounting.
+    pub fn summary(&self) -> DrowsySummary {
+        DrowsySummary {
+            awake_accesses: self.awake_accesses,
+            wake_accesses: self.wake_accesses,
+            drowsy_fraction: if self.total_reg_cycles > 0.0 {
+                self.drowsy_reg_cycles / self.total_reg_cycles
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Effective leakage power (mW) given the awake leakage of the full
+    /// array: drowsy fraction leaks at the retention ratio.
+    pub fn effective_leakage_mw(&self, awake_leak_mw: f64) -> f64 {
+        let d = self.summary().drowsy_fraction;
+        awake_leak_mw * ((1.0 - d) + d * self.config.drowsy_leak_ratio)
+    }
+}
+
+impl RegisterFileModel for DrowsyRf {
+    fn resolve(
+        &mut self,
+        warp_slot: usize,
+        reg: Reg,
+        _kind: AccessKind,
+        cycle: u64,
+    ) -> ResolvedAccess {
+        let drowsy = self.is_drowsy(warp_slot, reg, cycle);
+        self.last_access[warp_slot][reg.index()] = Some(cycle);
+        let latency = if drowsy {
+            self.wake_accesses += 1;
+            self.config.base_latency + self.config.wake_latency
+        } else {
+            self.awake_accesses += 1;
+            self.config.base_latency
+        };
+        ResolvedAccess {
+            bank: default_bank(warp_slot, reg.index(), self.config.num_banks),
+            latency,
+            // Dynamic energy of a drowsy MRF access ≈ the STV MRF's (the
+            // array still operates at full voltage when accessed).
+            partition: RfPartition::MrfStv,
+        }
+    }
+
+    fn observe_access(&mut self, _warp_slot: usize, _reg: Reg, _kind: AccessKind, _cycle: u64) {}
+
+    fn tick(&mut self, cycle: u64, _issued: u32) {
+        // Sampled integration of the drowsy fraction (every 16 cycles to
+        // keep the scan cheap).
+        if !cycle.is_multiple_of(16) || cycle == self.last_tick {
+            return;
+        }
+        self.last_tick = cycle;
+        if self.live_regs == 0 {
+            return;
+        }
+        let mut drowsy = 0usize;
+        let mut total = 0usize;
+        for (slot, regs) in self.last_access.iter().enumerate() {
+            // Only scan warps that ever touched a register.
+            if regs.iter().all(|r| r.is_none()) {
+                continue;
+            }
+            for reg_last in regs.iter().take(self.regs_per_thread) {
+                total += 1;
+                let d = match reg_last {
+                    None => true,
+                    Some(last) => cycle.saturating_sub(*last) > self.config.drowsy_after,
+                };
+                if d {
+                    drowsy += 1;
+                }
+            }
+            let _ = slot;
+        }
+        self.drowsy_reg_cycles += drowsy as f64 * 16.0;
+        self.total_reg_cycles += total as f64 * 16.0;
+    }
+
+    fn on_kernel_launch(&mut self, kernel: &Kernel, _cycle: u64) {
+        self.regs_per_thread = kernel.regs_per_thread().max(1) as usize;
+        for regs in &mut self.last_access {
+            *regs = [None; MAX_ARCH_REGS];
+        }
+        self.live_regs = 0;
+    }
+
+    fn on_warp_start(&mut self, warp: WarpLifecycle, _cycle: u64) {
+        self.last_access[warp.slot] = [None; MAX_ARCH_REGS];
+        self.live_regs += self.regs_per_thread;
+    }
+
+    fn on_warp_finish(&mut self, warp: WarpLifecycle, _cycle: u64) {
+        self.last_access[warp.slot] = [None; MAX_ARCH_REGS];
+        self.live_regs = self.live_regs.saturating_sub(self.regs_per_thread);
+    }
+
+    fn name(&self) -> &str {
+        "drowsy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::shared_telemetry;
+
+    fn model() -> DrowsyRf {
+        DrowsyRf::new(DrowsyConfig::paper_adjacent(24, 64), shared_telemetry())
+    }
+
+    #[test]
+    fn first_access_wakes() {
+        let mut m = model();
+        let a = m.resolve(0, Reg(3), AccessKind::Read, 10);
+        assert_eq!(a.latency, 2, "base 1 + wake 1");
+        assert_eq!(m.summary().wake_accesses, 1);
+    }
+
+    #[test]
+    fn recent_register_stays_awake() {
+        let mut m = model();
+        m.resolve(0, Reg(3), AccessKind::Write, 10);
+        let a = m.resolve(0, Reg(3), AccessKind::Read, 50);
+        assert_eq!(a.latency, 1);
+        assert_eq!(m.summary().awake_accesses, 1);
+    }
+
+    #[test]
+    fn idle_register_goes_drowsy_again() {
+        let mut m = model();
+        m.resolve(0, Reg(3), AccessKind::Write, 10);
+        let a = m.resolve(0, Reg(3), AccessKind::Read, 10 + 101);
+        assert_eq!(a.latency, 2, "beyond drowsy_after -> wake again");
+    }
+
+    #[test]
+    fn drowsiness_is_per_warp() {
+        let mut m = model();
+        m.resolve(0, Reg(3), AccessKind::Write, 10);
+        let other = m.resolve(1, Reg(3), AccessKind::Read, 11);
+        assert_eq!(other.latency, 2, "warp 1's R3 was never touched");
+    }
+
+    #[test]
+    fn drowsy_fraction_rises_when_idle() {
+        let mut m = model();
+        let mut kb = prf_isa::KernelBuilder::new("k");
+        kb.mov_imm(Reg(7), 0);
+        kb.exit();
+        m.on_kernel_launch(&kb.build().unwrap(), 0);
+        m.on_warp_start(WarpLifecycle { slot: 0, cta: 0, warp_in_cta: 0 }, 0);
+        m.resolve(0, Reg(0), AccessKind::Write, 0);
+        // Tick far past the drowsy window without further accesses.
+        for c in 1..=512u64 {
+            m.tick(c, 0);
+        }
+        let s = m.summary();
+        assert!(s.drowsy_fraction > 0.5, "fraction {}", s.drowsy_fraction);
+    }
+
+    #[test]
+    fn effective_leakage_interpolates() {
+        let mut m = model();
+        // Force a known drowsy fraction.
+        m.drowsy_reg_cycles = 50.0;
+        m.total_reg_cycles = 100.0;
+        // half awake (1.0) + half at 0.25 => 0.625 of awake leakage.
+        let l = m.effective_leakage_mw(33.8);
+        assert!((l - 33.8 * 0.625).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! The indexed (RAM-based) swapping-table variant.
+//!
+//! §III-B: "We explored both the indexed and the CAM based designs for the
+//! swapping table but given its small size and access energy compared to
+//! the RF the differences between the two options are negligible. …
+//! Even if the indexed design is used the results are unchanged."
+//!
+//! Where the CAM design stores only the 2n remapped entries and searches
+//! them associatively, the indexed design is a direct-mapped 63-entry RAM
+//! holding the physical register id for *every* architected register.
+//! Functionally the two are the same permutation; they differ in storage
+//! (63 × 6 bits vs 2n × 13 bits) and in access mechanics (indexed read vs
+//! match-line search). This module provides the indexed variant plus an
+//! equivalence check used by the tests, reproducing the paper's
+//! "results are unchanged" claim by construction.
+
+use prf_isa::{Reg, MAX_ARCH_REGS};
+
+use crate::swap_table::SwappingTable;
+
+/// Bits per indexed-table entry: one 6-bit physical register id.
+pub const INDEXED_ENTRY_BITS: usize = 6;
+
+/// Direct-mapped swapping table: `table[arch] = phys` for all 63
+/// architected registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexedSwapTable {
+    n: usize,
+    table: [u8; MAX_ARCH_REGS],
+}
+
+impl IndexedSwapTable {
+    /// Creates an identity table with an `n`-register FRF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or larger than the architected register count.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= MAX_ARCH_REGS, "FRF size out of range");
+        let mut table = [0u8; MAX_ARCH_REGS];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = i as u8;
+        }
+        IndexedSwapTable { n, table }
+    }
+
+    /// Builds the indexed table from a CAM-style [`SwappingTable`] — the
+    /// two designs hold the same permutation.
+    pub fn from_cam(cam: &SwappingTable) -> Self {
+        let mut t = IndexedSwapTable::new(cam.frf_size());
+        for a in 0..MAX_ARCH_REGS as u8 {
+            t.table[a as usize] = cam.lookup(Reg(a)).0;
+        }
+        t
+    }
+
+    /// FRF capacity (registers per thread).
+    pub fn frf_size(&self) -> usize {
+        self.n
+    }
+
+    /// Installs a hot-register set (reset-then-apply, identical semantics
+    /// to the CAM design).
+    pub fn apply_hot_registers(&mut self, hot: &[Reg]) {
+        let mut cam = SwappingTable::new(self.n);
+        cam.apply_hot_registers(hot);
+        *self = Self::from_cam(&cam);
+    }
+
+    /// Physical register for an architected register — a direct RAM read,
+    /// no search.
+    pub fn lookup(&self, arch: Reg) -> Reg {
+        Reg(self.table[arch.index()])
+    }
+
+    /// True when the register lives in the FRF.
+    pub fn is_frf(&self, arch: Reg) -> bool {
+        (self.table[arch.index()] as usize) < self.n
+    }
+
+    /// Total storage bits: 63 entries × 6 bits = 378 bits, vs the CAM's
+    /// 104 bits for n = 4 — the indexed design trades storage for search
+    /// logic.
+    pub fn storage_bits(&self) -> usize {
+        MAX_ARCH_REGS * INDEXED_ENTRY_BITS
+    }
+
+    /// Checks functional equivalence with a CAM table (the paper's
+    /// "results are unchanged").
+    pub fn equivalent_to_cam(&self, cam: &SwappingTable) -> bool {
+        (0..MAX_ARCH_REGS as u8).all(|a| self.lookup(Reg(a)) == cam.lookup(Reg(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        let t = IndexedSwapTable::new(4);
+        for a in 0..MAX_ARCH_REGS as u8 {
+            assert_eq!(t.lookup(Reg(a)), Reg(a));
+        }
+        assert!(t.is_frf(Reg(0)));
+        assert!(!t.is_frf(Reg(4)));
+    }
+
+    #[test]
+    fn equivalent_to_cam_for_paper_example() {
+        let mut cam = SwappingTable::new(4);
+        cam.apply_hot_registers(&[Reg(8), Reg(9), Reg(10), Reg(11)]);
+        let idx = IndexedSwapTable::from_cam(&cam);
+        assert!(idx.equivalent_to_cam(&cam));
+        assert_eq!(idx.lookup(Reg(8)), Reg(0));
+        assert_eq!(idx.lookup(Reg(0)), Reg(8));
+        assert!(idx.is_frf(Reg(11)));
+    }
+
+    #[test]
+    fn apply_matches_cam_semantics() {
+        let hot = [Reg(2), Reg(0), Reg(20), Reg(33)];
+        let mut cam = SwappingTable::new(4);
+        cam.apply_hot_registers(&hot);
+        let mut idx = IndexedSwapTable::new(4);
+        idx.apply_hot_registers(&hot);
+        assert!(idx.equivalent_to_cam(&cam));
+    }
+
+    #[test]
+    fn storage_tradeoff() {
+        // Indexed: 63 x 6 = 378 bits for any n; CAM: 2n x 13.
+        let idx = IndexedSwapTable::new(4);
+        let cam = SwappingTable::new(4);
+        assert_eq!(idx.storage_bits(), 378);
+        assert_eq!(cam.storage_bits(), 104);
+        assert!(idx.storage_bits() > cam.storage_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "FRF size out of range")]
+    fn zero_frf_rejected() {
+        IndexedSwapTable::new(0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Hot-register profiling: compiler-based, pilot-warp, and hybrid
+//! (§III-A), plus the architectural support of §III-B.
+
+use prf_isa::{Kernel, Reg, StaticRegisterProfile, MAX_ARCH_REGS};
+
+/// Which profiling technique drives the FRF allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfilingStrategy {
+    /// No profiling: the first `n` architected registers stay in the FRF
+    /// (the naive static allocation the paper rejects in §III — only 25%
+    /// of sgemm's accesses would hit the FRF).
+    StaticFirstN,
+    /// Compiler-based: static occurrence counts from the kernel binary.
+    Compiler,
+    /// Pilot-warp only: identity mapping until the pilot warp completes,
+    /// then its dynamic counts pick the hot set.
+    PilotOnly,
+    /// Hybrid: compiler counts seed the mapping at launch; the pilot
+    /// warp's dynamic counts replace them when it finishes — the paper's
+    /// preferred design.
+    Hybrid,
+    /// Oracle: an externally supplied hot set (the "optimal" bar of
+    /// Fig. 4, computed from a completed run's histogram).
+    Oracle(Vec<Reg>),
+}
+
+impl ProfilingStrategy {
+    /// Whether this strategy runs the pilot-warp machinery.
+    pub fn uses_pilot(&self) -> bool {
+        matches!(self, ProfilingStrategy::PilotOnly | ProfilingStrategy::Hybrid)
+    }
+
+    /// Whether this strategy seeds the mapping from the compiler profile
+    /// at kernel launch.
+    pub fn uses_compiler(&self) -> bool {
+        matches!(self, ProfilingStrategy::Compiler | ProfilingStrategy::Hybrid)
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProfilingStrategy::StaticFirstN => "static",
+            ProfilingStrategy::Compiler => "compiler",
+            ProfilingStrategy::PilotOnly => "pilot",
+            ProfilingStrategy::Hybrid => "hybrid",
+            ProfilingStrategy::Oracle(_) => "optimal",
+        }
+    }
+}
+
+/// Compiler-based profiling (§III-A1): the `n` registers that appear most
+/// often in the kernel binary.
+pub fn compiler_hot_registers(kernel: &Kernel, n: usize) -> Vec<Reg> {
+    StaticRegisterProfile::analyze(kernel).top_n(n)
+}
+
+/// The per-SM pilot-warp profiling hardware (§III-B): 63 two-byte
+/// saturating access counters, a one-byte pilot-warp-id register, and the
+/// profile mask bit.
+#[derive(Debug, Clone)]
+pub struct PilotProfiler {
+    /// The 63 × 2-byte counters.
+    counters: [u16; MAX_ARCH_REGS],
+    /// The pilot-warp-id register (hardware warp slot); `None` until a
+    /// pilot is selected.
+    pilot_slot: Option<usize>,
+    /// The profile mask bit: set while the pilot is collecting counts.
+    mask: bool,
+}
+
+impl PilotProfiler {
+    /// Creates an idle profiler (mask clear — set on kernel launch).
+    pub fn new() -> Self {
+        PilotProfiler { counters: [0; MAX_ARCH_REGS], pilot_slot: None, mask: false }
+    }
+
+    /// Kernel launch: clear the counters, set the mask bit, forget the
+    /// previous pilot.
+    pub fn on_kernel_launch(&mut self) {
+        self.counters = [0; MAX_ARCH_REGS];
+        self.pilot_slot = None;
+        self.mask = true;
+    }
+
+    /// A warp became resident. The first warp to start while the mask is
+    /// set becomes the pilot ("one of the first running warps", §III-A2).
+    pub fn on_warp_start(&mut self, slot: usize) {
+        if self.mask && self.pilot_slot.is_none() {
+            self.pilot_slot = Some(slot);
+        }
+    }
+
+    /// A register access was scheduled by warp `slot`: count it if the
+    /// mask is set and the slot matches the pilot-warp-id register.
+    pub fn observe(&mut self, slot: usize, reg: Reg) {
+        if self.mask && self.pilot_slot == Some(slot) {
+            let c = &mut self.counters[reg.index()];
+            *c = c.saturating_add(1);
+        }
+    }
+
+    /// A warp finished. If it was the pilot: reset the mask bit and return
+    /// the sorted hot-register list (most accessed first); otherwise
+    /// `None`.
+    pub fn on_warp_finish(&mut self, slot: usize, n: usize) -> Option<Vec<Reg>> {
+        if !(self.mask && self.pilot_slot == Some(slot)) {
+            return None;
+        }
+        self.mask = false;
+        Some(self.top_n(n))
+    }
+
+    /// True while the pilot is still profiling.
+    pub fn profiling(&self) -> bool {
+        self.mask
+    }
+
+    /// The current pilot warp slot, if selected.
+    pub fn pilot_slot(&self) -> Option<usize> {
+        self.pilot_slot
+    }
+
+    /// The `n` most-counted registers (ties toward lower index; zero
+    /// counts excluded). The paper sorts with the Kepler `SHFL`-based GPU
+    /// sort; functionally identical.
+    pub fn top_n(&self, n: usize) -> Vec<Reg> {
+        let mut v: Vec<(u16, usize)> = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (c, i))
+            .collect();
+        v.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        v.into_iter().take(n).map(|(_, i)| Reg(i as u8)).collect()
+    }
+
+    /// Raw counter values.
+    pub fn counters(&self) -> &[u16; MAX_ARCH_REGS] {
+        &self.counters
+    }
+}
+
+impl Default for PilotProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_isa::KernelBuilder;
+
+    #[test]
+    fn strategy_flags() {
+        assert!(ProfilingStrategy::Hybrid.uses_pilot());
+        assert!(ProfilingStrategy::Hybrid.uses_compiler());
+        assert!(ProfilingStrategy::PilotOnly.uses_pilot());
+        assert!(!ProfilingStrategy::PilotOnly.uses_compiler());
+        assert!(!ProfilingStrategy::Compiler.uses_pilot());
+        assert!(!ProfilingStrategy::StaticFirstN.uses_compiler());
+        assert_eq!(ProfilingStrategy::Oracle(vec![]).name(), "optimal");
+    }
+
+    #[test]
+    fn compiler_hot_registers_from_binary() {
+        let mut kb = KernelBuilder::new("k");
+        kb.mov_imm(Reg(7), 1);
+        kb.iadd(Reg(7), Reg(7), Reg(2));
+        kb.mov_imm(Reg(2), 0);
+        kb.exit();
+        assert_eq!(compiler_hot_registers(&kb.build().unwrap(), 2), vec![Reg(7), Reg(2)]);
+    }
+
+    #[test]
+    fn first_starting_warp_becomes_pilot() {
+        let mut p = PilotProfiler::new();
+        p.on_kernel_launch();
+        p.on_warp_start(5);
+        p.on_warp_start(6);
+        assert_eq!(p.pilot_slot(), Some(5));
+        assert!(p.profiling());
+    }
+
+    #[test]
+    fn only_pilot_accesses_are_counted() {
+        let mut p = PilotProfiler::new();
+        p.on_kernel_launch();
+        p.on_warp_start(3);
+        p.observe(3, Reg(10));
+        p.observe(3, Reg(10));
+        p.observe(7, Reg(10)); // not the pilot
+        p.observe(7, Reg(11));
+        assert_eq!(p.counters()[10], 2);
+        assert_eq!(p.counters()[11], 0);
+    }
+
+    #[test]
+    fn pilot_finish_resets_mask_and_reports_top_n() {
+        let mut p = PilotProfiler::new();
+        p.on_kernel_launch();
+        p.on_warp_start(0);
+        for _ in 0..5 {
+            p.observe(0, Reg(9));
+        }
+        for _ in 0..3 {
+            p.observe(0, Reg(4));
+        }
+        p.observe(0, Reg(1));
+        assert_eq!(p.on_warp_finish(2, 2), None, "non-pilot finish is ignored");
+        let hot = p.on_warp_finish(0, 2).unwrap();
+        assert_eq!(hot, vec![Reg(9), Reg(4)]);
+        assert!(!p.profiling(), "mask bit cleared");
+        // Post-pilot accesses are not counted.
+        p.observe(0, Reg(9));
+        assert_eq!(p.counters()[9], 5);
+    }
+
+    #[test]
+    fn counters_saturate_at_u16() {
+        let mut p = PilotProfiler::new();
+        p.on_kernel_launch();
+        p.on_warp_start(0);
+        for _ in 0..70_000 {
+            p.observe(0, Reg(0));
+        }
+        assert_eq!(p.counters()[0], u16::MAX);
+    }
+
+    #[test]
+    fn relaunch_selects_new_pilot() {
+        let mut p = PilotProfiler::new();
+        p.on_kernel_launch();
+        p.on_warp_start(0);
+        p.observe(0, Reg(5));
+        p.on_warp_finish(0, 4);
+        // Second kernel of the workload (e.g. backprop's second kernel).
+        p.on_kernel_launch();
+        assert!(p.profiling());
+        assert_eq!(p.pilot_slot(), None);
+        p.on_warp_start(9);
+        assert_eq!(p.pilot_slot(), Some(9));
+        assert_eq!(p.counters()[5], 0, "counters cleared at launch");
+    }
+
+    #[test]
+    fn top_n_excludes_untouched_registers() {
+        let mut p = PilotProfiler::new();
+        p.on_kernel_launch();
+        p.on_warp_start(0);
+        p.observe(0, Reg(2));
+        assert_eq!(p.top_n(4), vec![Reg(2)]);
+    }
+}

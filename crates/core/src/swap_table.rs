@@ -1,0 +1,252 @@
+//! The register swapping table (§III-B).
+//!
+//! The paper allocates the highly-accessed registers into the FRF with a
+//! *swapping* scheme: if `R_{n+2}` (physically in the SRF) is hot and `R_0`
+//! (physically in the FRF) is not, the two swap physical locations. The
+//! mapping is held in a small CAM — 2n entries of 13 bits (6-bit original
+//! id, 6-bit mapped id, valid bit), 104 bits for n = 4 — replicated per
+//! scheduler and rewritten once per kernel when the pilot warp completes.
+//!
+//! This module models the table *functionally*: an architected→physical
+//! permutation that differs from identity in at most 2n places. The timing
+//! and energy of the CAM itself are modelled in
+//! `prf_finfet::cam`.
+
+use prf_isa::{Reg, MAX_ARCH_REGS};
+
+/// Bits per CAM entry (6 + 6 + 1), as in §III-B.
+pub const ENTRY_BITS: usize = 13;
+
+/// The architected→physical register mapping.
+///
+/// Invariants (property-tested): the mapping is always a permutation of
+/// `0..MAX_ARCH_REGS`, and at most `2n` entries differ from identity.
+///
+/// # Example
+///
+/// ```rust
+/// use prf_core::SwappingTable;
+/// use prf_isa::Reg;
+///
+/// let mut t = SwappingTable::new(4);
+/// t.apply_hot_registers(&[Reg(8), Reg(9), Reg(10), Reg(11)]);
+/// // R8 now lives in the FRF (physical slot 0), R0 took R8's old home.
+/// assert_eq!(t.lookup(Reg(8)).index(), 0);
+/// assert_eq!(t.lookup(Reg(0)).index(), 8);
+/// assert!(t.is_frf(Reg(8)));
+/// assert!(!t.is_frf(Reg(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwappingTable {
+    /// FRF capacity in registers per thread (the paper's `n`, default 4).
+    n: usize,
+    /// `map[arch] = phys`.
+    map: [u8; MAX_ARCH_REGS],
+}
+
+impl SwappingTable {
+    /// Creates an identity table with an `n`-register FRF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or larger than the architected register count.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= MAX_ARCH_REGS, "FRF size out of range");
+        let mut map = [0u8; MAX_ARCH_REGS];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as u8;
+        }
+        SwappingTable { n, map }
+    }
+
+    /// FRF capacity (registers per thread).
+    pub fn frf_size(&self) -> usize {
+        self.n
+    }
+
+    /// Resets the mapping to identity — the paper does this before applying
+    /// the pilot warp's result "to simplify the design of the swapping
+    /// table" (§III-B).
+    pub fn reset(&mut self) {
+        for (i, m) in self.map.iter_mut().enumerate() {
+            *m = i as u8;
+        }
+    }
+
+    /// Maps the given hot registers into the FRF: the i-th hot register
+    /// swaps physical locations with whatever architected register
+    /// currently occupies FRF slot `i`. Resets to identity first
+    /// (reset-then-apply, as in Fig. 6/7).
+    ///
+    /// Duplicates are ignored (each register occupies one FRF slot at
+    /// most); at most the first `n` distinct hot registers are honoured.
+    pub fn apply_hot_registers(&mut self, hot: &[Reg]) {
+        self.reset();
+        let mut seen: Vec<Reg> = Vec::with_capacity(self.n);
+        for &h in hot {
+            if !seen.contains(&h) {
+                seen.push(h);
+            }
+            if seen.len() == self.n {
+                break;
+            }
+        }
+        for (slot, &h) in seen.iter().enumerate() {
+            let h = h.index();
+            // Find the architected register currently mapped to FRF slot
+            // `slot` and swap it with `h`.
+            let occupant = self
+                .map
+                .iter()
+                .position(|&p| p as usize == slot)
+                .expect("permutation always covers every physical slot");
+            self.map.swap(h, occupant);
+        }
+    }
+
+    /// Physical register for an architected register.
+    pub fn lookup(&self, arch: Reg) -> Reg {
+        Reg(self.map[arch.index()])
+    }
+
+    /// True when the architected register currently lives in the FRF
+    /// partition (physical slot `< n`).
+    pub fn is_frf(&self, arch: Reg) -> bool {
+        (self.map[arch.index()] as usize) < self.n
+    }
+
+    /// The non-identity mappings, as (architected, physical) pairs sorted
+    /// by architected index — the CAM's live entries (Fig. 7).
+    pub fn entries(&self) -> Vec<(Reg, Reg)> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(a, &p)| a != p as usize)
+            .map(|(a, &p)| (Reg(a as u8), Reg(p)))
+            .collect()
+    }
+
+    /// Total storage bits of the CAM: 2n entries × 13 bits (104 bits for
+    /// n = 4, §III-B).
+    pub fn storage_bits(&self) -> usize {
+        2 * self.n * ENTRY_BITS
+    }
+
+    /// Verifies the permutation invariant (used by tests).
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = [false; MAX_ARCH_REGS];
+        for &p in &self.map {
+            let p = p as usize;
+            if p >= MAX_ARCH_REGS || seen[p] {
+                return false;
+            }
+            seen[p] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        let t = SwappingTable::new(4);
+        for i in 0..MAX_ARCH_REGS as u8 {
+            assert_eq!(t.lookup(Reg(i)), Reg(i));
+        }
+        assert!(t.entries().is_empty());
+        assert!(t.is_permutation());
+        assert!(t.is_frf(Reg(0)));
+        assert!(t.is_frf(Reg(3)));
+        assert!(!t.is_frf(Reg(4)));
+    }
+
+    #[test]
+    fn paper_example_fig7() {
+        // Pilot identifies R8, R9, R10, R11: each swaps with R0..R3.
+        let mut t = SwappingTable::new(4);
+        t.apply_hot_registers(&[Reg(8), Reg(9), Reg(10), Reg(11)]);
+        assert_eq!(t.lookup(Reg(8)), Reg(0));
+        assert_eq!(t.lookup(Reg(0)), Reg(8));
+        assert_eq!(t.lookup(Reg(9)), Reg(1));
+        assert_eq!(t.lookup(Reg(1)), Reg(9));
+        assert_eq!(t.lookup(Reg(11)), Reg(3));
+        assert_eq!(t.lookup(Reg(3)), Reg(11));
+        // Exactly 2n = 8 CAM entries.
+        assert_eq!(t.entries().len(), 8);
+        assert!(t.is_permutation());
+    }
+
+    #[test]
+    fn hot_register_already_in_frf_stays() {
+        // hot = [R2, R0, R8, R9]: R2 takes slot 0, R0 slot 1, etc.
+        let mut t = SwappingTable::new(4);
+        t.apply_hot_registers(&[Reg(2), Reg(0), Reg(8), Reg(9)]);
+        assert_eq!(t.lookup(Reg(2)), Reg(0));
+        assert_eq!(t.lookup(Reg(0)), Reg(1));
+        assert_eq!(t.lookup(Reg(8)), Reg(2));
+        assert_eq!(t.lookup(Reg(9)), Reg(3));
+        assert!(t.is_frf(Reg(2)) && t.is_frf(Reg(0)) && t.is_frf(Reg(8)) && t.is_frf(Reg(9)));
+        // R1 was displaced out of the FRF.
+        assert!(!t.is_frf(Reg(1)));
+        assert!(t.is_permutation());
+    }
+
+    #[test]
+    fn fewer_hot_regs_than_frf_slots() {
+        let mut t = SwappingTable::new(4);
+        t.apply_hot_registers(&[Reg(10)]);
+        assert_eq!(t.lookup(Reg(10)), Reg(0));
+        assert_eq!(t.lookup(Reg(0)), Reg(10));
+        // Slots 1..3 keep identity.
+        assert_eq!(t.lookup(Reg(1)), Reg(1));
+        assert!(t.is_frf(Reg(3)));
+    }
+
+    #[test]
+    fn more_hot_regs_than_slots_truncates() {
+        let mut t = SwappingTable::new(2);
+        t.apply_hot_registers(&[Reg(5), Reg(6), Reg(7)]);
+        assert!(t.is_frf(Reg(5)));
+        assert!(t.is_frf(Reg(6)));
+        assert!(!t.is_frf(Reg(7)), "third hot register does not fit");
+    }
+
+    #[test]
+    fn reapply_resets_first() {
+        let mut t = SwappingTable::new(4);
+        t.apply_hot_registers(&[Reg(8), Reg(9), Reg(10), Reg(11)]);
+        // New kernel phase: different hot set.
+        t.apply_hot_registers(&[Reg(20), Reg(21), Reg(22), Reg(23)]);
+        assert_eq!(t.lookup(Reg(8)), Reg(8), "old mapping cleared");
+        assert_eq!(t.lookup(Reg(20)), Reg(0));
+        assert!(t.is_permutation());
+        assert_eq!(t.entries().len(), 8);
+    }
+
+    #[test]
+    fn storage_is_104_bits_for_n4() {
+        assert_eq!(SwappingTable::new(4).storage_bits(), 104);
+        assert_eq!(SwappingTable::new(6).storage_bits(), 156);
+    }
+
+    #[test]
+    #[should_panic(expected = "FRF size out of range")]
+    fn zero_frf_rejected() {
+        SwappingTable::new(0);
+    }
+
+    #[test]
+    fn duplicate_hot_registers_are_deduplicated() {
+        // A degenerate profiler output must not corrupt the table or
+        // waste FRF slots.
+        let mut t = SwappingTable::new(4);
+        t.apply_hot_registers(&[Reg(8), Reg(8), Reg(9), Reg(9), Reg(10)]);
+        assert!(t.is_permutation());
+        assert!(t.is_frf(Reg(8)));
+        assert!(t.is_frf(Reg(9)));
+        assert!(t.is_frf(Reg(10)), "duplicates must not consume FRF slots");
+    }
+}

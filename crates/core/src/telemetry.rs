@@ -1,0 +1,107 @@
+//! Shared telemetry sink for register-file models.
+//!
+//! The simulator owns the per-SM model instances and drops them when a run
+//! finishes, so models report their internal statistics into a shared
+//! [`RfTelemetry`] cell that the experiment driver keeps.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prf_isa::Reg;
+
+/// Aggregated model-internal statistics across all SMs of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RfTelemetry {
+    /// RFC accesses served by the cache (reads + writes; writes always
+    /// allocate and therefore always "hit").
+    pub rfc_hits: u64,
+    /// RFC *read* hits only — the quantity the paper quotes as "the RFC
+    /// hit rate" in §V-D.
+    pub rfc_read_hits: u64,
+    /// RFC read misses (served by the backing MRF).
+    pub rfc_misses: u64,
+    /// Dirty RFC entries written back to the MRF (evictions + flushes).
+    pub rfc_writebacks: u64,
+    /// Epochs the adaptive FRF spent in high-power mode (all SMs).
+    pub frf_high_epochs: u64,
+    /// Epochs the adaptive FRF spent in low-power mode (all SMs).
+    pub frf_low_epochs: u64,
+    /// Hot registers last installed from the *compiler* profile (SM 0).
+    pub compiler_hot_regs: Vec<Reg>,
+    /// Hot registers last installed from the *pilot* profile (SM 0).
+    pub pilot_hot_regs: Vec<Reg>,
+    /// Cycle at which SM 0's pilot warp finished profiling, if it did.
+    pub pilot_done_cycle: Option<u64>,
+}
+
+impl RfTelemetry {
+    /// RFC hit rate over reads+writes that consulted the cache.
+    pub fn rfc_hit_rate(&self) -> f64 {
+        let total = self.rfc_hits + self.rfc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.rfc_hits as f64 / total as f64
+        }
+    }
+
+    /// RFC *read* hit rate — the §V-D metric (writes always allocate, so
+    /// including them flatters the cache).
+    pub fn rfc_read_hit_rate(&self) -> f64 {
+        let total = self.rfc_read_hits + self.rfc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.rfc_read_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of adaptive-FRF epochs spent in low-power mode.
+    pub fn frf_low_fraction(&self) -> f64 {
+        let total = self.frf_high_epochs + self.frf_low_epochs;
+        if total == 0 {
+            0.0
+        } else {
+            self.frf_low_epochs as f64 / total as f64
+        }
+    }
+}
+
+/// Shared handle to a telemetry sink.
+pub type SharedTelemetry = Rc<RefCell<RfTelemetry>>;
+
+/// Creates a fresh shared telemetry sink.
+pub fn shared_telemetry() -> SharedTelemetry {
+    Rc::new(RefCell::new(RfTelemetry::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let mut t = RfTelemetry::default();
+        assert_eq!(t.rfc_hit_rate(), 0.0);
+        t.rfc_hits = 3;
+        t.rfc_misses = 1;
+        assert!((t.rfc_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_fraction_math() {
+        let mut t = RfTelemetry::default();
+        assert_eq!(t.frf_low_fraction(), 0.0);
+        t.frf_high_epochs = 8;
+        t.frf_low_epochs = 2;
+        assert!((t.frf_low_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cell_is_shared() {
+        let t = shared_telemetry();
+        let t2 = Rc::clone(&t);
+        t.borrow_mut().rfc_hits = 7;
+        assert_eq!(t2.borrow().rfc_hits, 7);
+    }
+}

@@ -1,0 +1,157 @@
+//! The swapping-table CAM model.
+//!
+//! The paper's swapping table is a small CAM holding the register
+//! remapping: 2n entries of 13 bits each (6-bit original id, 6-bit swapped
+//! id, valid bit) — 104 bits for n = 4. §III-B reports detailed RTL
+//! evaluation: search delay of 105 ps in 22 nm CMOS, 95 ps in 16 nm CMOS,
+//! and 55 ps in 7 nm FinFET — "less than 10% of a typical GPU clock cycle
+//! (900 MHz)".
+
+/// Technology node for the CAM evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// 22 nm planar CMOS.
+    Cmos22,
+    /// 16 nm planar CMOS.
+    Cmos16,
+    /// 7 nm FinFET.
+    FinFet7,
+}
+
+impl TechNode {
+    /// All evaluated nodes.
+    pub const ALL: [TechNode; 3] = [TechNode::Cmos22, TechNode::Cmos16, TechNode::FinFet7];
+
+    /// Search delay of the 8-entry reference design at this node (ps) —
+    /// the paper's RTL anchor values.
+    fn base_delay_ps(self) -> f64 {
+        match self {
+            TechNode::Cmos22 => 105.0,
+            TechNode::Cmos16 => 95.0,
+            TechNode::FinFet7 => 55.0,
+        }
+    }
+
+    /// Match-line + search energy per searched bit (fJ), representative
+    /// figures per node.
+    fn energy_per_bit_fj(self) -> f64 {
+        match self {
+            TechNode::Cmos22 => 0.55,
+            TechNode::Cmos16 => 0.38,
+            TechNode::FinFet7 => 0.12,
+        }
+    }
+}
+
+impl std::fmt::Display for TechNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TechNode::Cmos22 => "22nm CMOS",
+            TechNode::Cmos16 => "16nm CMOS",
+            TechNode::FinFet7 => "7nm FinFET",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bits per swapping-table entry: 6-bit original register id + 6-bit
+/// swapped id + valid bit.
+pub const ENTRY_BITS: u32 = 13;
+
+/// Reference entry count (n = 4 hot registers → 2n = 8 entries).
+pub const REFERENCE_ENTRIES: u32 = 8;
+
+/// GPU clock period the paper compares against (900 MHz → ~1111 ps).
+pub const GPU_CLOCK_PS: f64 = 1.0e6 / 900.0e3 * 1000.0;
+
+/// Physical model of the swapping-table CAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapTableCam {
+    /// Number of entries (2n).
+    pub entries: u32,
+    /// Technology node.
+    pub node: TechNode,
+}
+
+impl SwapTableCam {
+    /// The paper's reference design: 8 entries at the given node.
+    pub fn reference(node: TechNode) -> Self {
+        SwapTableCam { entries: REFERENCE_ENTRIES, node }
+    }
+
+    /// Total storage bits.
+    pub fn total_bits(&self) -> u32 {
+        self.entries * ENTRY_BITS
+    }
+
+    /// Search delay in picoseconds. The match line lengthens with entry
+    /// count (log-ish growth for the small sizes of interest).
+    pub fn search_delay_ps(&self) -> f64 {
+        let scale = 1.0 + 0.12 * (f64::from(self.entries) / f64::from(REFERENCE_ENTRIES)).log2();
+        self.node.base_delay_ps() * scale
+    }
+
+    /// Energy of one CAM search (fJ): all entries' match lines toggle.
+    pub fn search_energy_fj(&self) -> f64 {
+        f64::from(self.total_bits()) * self.node.energy_per_bit_fj()
+    }
+
+    /// Whether the search fits in `fraction` of the 900 MHz GPU cycle —
+    /// the paper's "less than 10% of a typical GPU clock cycle" claim.
+    pub fn fits_in_cycle_fraction(&self, fraction: f64) -> bool {
+        self.search_delay_ps() <= fraction * GPU_CLOCK_PS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_delays_match_paper_rtl() {
+        assert_eq!(SwapTableCam::reference(TechNode::Cmos22).search_delay_ps(), 105.0);
+        assert_eq!(SwapTableCam::reference(TechNode::Cmos16).search_delay_ps(), 95.0);
+        assert_eq!(SwapTableCam::reference(TechNode::FinFet7).search_delay_ps(), 55.0);
+    }
+
+    #[test]
+    fn reference_is_104_bits() {
+        // §III-B: "8 entries and each entry has 13 bits ... for a total
+        // size of 104 bits".
+        assert_eq!(SwapTableCam::reference(TechNode::FinFet7).total_bits(), 104);
+    }
+
+    #[test]
+    fn all_nodes_fit_in_ten_percent_of_cycle() {
+        for node in TechNode::ALL {
+            let cam = SwapTableCam::reference(node);
+            assert!(
+                cam.fits_in_cycle_fraction(0.10),
+                "{node}: {} ps vs 10% of {} ps",
+                cam.search_delay_ps(),
+                GPU_CLOCK_PS
+            );
+        }
+    }
+
+    #[test]
+    fn delay_grows_slowly_with_entries() {
+        let small = SwapTableCam { entries: 8, node: TechNode::FinFet7 };
+        let big = SwapTableCam { entries: 16, node: TechNode::FinFet7 };
+        assert!(big.search_delay_ps() > small.search_delay_ps());
+        assert!(big.search_delay_ps() < 1.5 * small.search_delay_ps());
+    }
+
+    #[test]
+    fn finfet_search_energy_is_tiny() {
+        // Orders of magnitude below a single RF access (7-15 pJ): the
+        // paper's justification for ignoring the table in the energy math.
+        let cam = SwapTableCam::reference(TechNode::FinFet7);
+        assert!(cam.search_energy_fj() < 100.0, "{} fJ", cam.search_energy_fj());
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(TechNode::FinFet7.to_string(), "7nm FinFET");
+    }
+}

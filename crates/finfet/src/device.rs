@@ -1,0 +1,261 @@
+//! Analytic 7 nm dual-gate (DG) FinFET device model.
+//!
+//! The paper characterises its devices with Synopsys TCAD + HSpice; we use
+//! a smooth EKV-style analytic I–V model whose constants are *fit to the
+//! paper's published anchors* (Table III and §I/§IV):
+//!
+//! * effective gate length 7 nm with 1.5 nm underlap per side,
+//! * `Vth` = 0.23 V, NTV = 0.3 V, STV = 0.45 V,
+//! * ON current 2.372 mA/µm at STV with both gates on,
+//! * ON current 0.7505 mA/µm at NTV,
+//! * ON current 0.2427 mA/µm at STV with the back gate disabled
+//!   (≈ 9.8× lower drive than dual-gate — "the current is 9 times larger
+//!   than enabling just the front gate", §V-A),
+//! * gate capacitance halves when the back gate is disabled,
+//! * inverter delay triples from STV to NTV (§IV-B: "3X longer access
+//!   delay").
+//!
+//! The EKV softplus interpolation keeps the model smooth from subthreshold
+//! (exponential) through strong inversion (power law), which is what the
+//! Fig. 1 delay-vs-Vdd sweep needs.
+
+/// Near-threshold supply voltage used throughout the paper (volts).
+pub const NTV: f64 = 0.30;
+
+/// Super-threshold supply voltage used throughout the paper (volts).
+pub const STV: f64 = 0.45;
+
+/// Device threshold voltage (volts), from Fig. 1's caption.
+pub const VTH: f64 = 0.23;
+
+/// Thermal voltage at 300 K (volts).
+pub const VT_THERMAL: f64 = 0.026;
+
+/// Subthreshold slope factor `n` (dimensionless).
+pub const N_SUB: f64 = 1.5;
+
+/// Drive-current exponent fit to the Table III ON-current ratio
+/// (STV/NTV = 3.161).
+pub const ALPHA_ION: f64 = 1.082;
+
+/// Delay-effective drive exponent fit so an inverter slows 3.0× from STV
+/// to NTV (captures the slew degradation that plain CV/I misses).
+pub const ALPHA_DELAY: f64 = 1.4136;
+
+/// Threshold shift when the back gate is grounded (volts), fit to the
+/// Table III front-gate-only ON current.
+pub const VTH_BG_OFF_SHIFT: f64 = 0.181_54;
+
+/// DIBL coefficient: leakage grows `exp(DIBL * Vdd / (n * vT))`.
+pub const DIBL: f64 = 0.10;
+
+/// Table III anchor: dual-gate ON current at STV (A/µm).
+pub const ION_STV_ANCHOR: f64 = 2.372e-3;
+
+/// Table III anchor: ON current at NTV (A/µm).
+pub const ION_NTV_ANCHOR: f64 = 7.505e-4;
+
+/// Table III anchor: front-gate-only ON current at STV (A/µm).
+pub const ION_STV_BG_OFF_ANCHOR: f64 = 2.427e-4;
+
+/// Back-gate bias state of a DG FinFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackGate {
+    /// Back gate tied to Vdd: full drive, full gate capacitance.
+    #[default]
+    Vdd,
+    /// Back gate grounded: ~half the gate capacitance, higher Vth, much
+    /// lower drive and leakage — the paper's `FRF_low` enabler.
+    Grounded,
+}
+
+/// Smooth EKV interpolation: `softplus((v - vth) / (n * vT))`.
+fn ekv_g(vdd: f64, vth: f64) -> f64 {
+    let x = (vdd - vth) / (N_SUB * VT_THERMAL);
+    // ln(1 + e^x), computed stably for large |x|.
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// A 7 nm DG FinFET with a controllable back gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinFet {
+    /// Back-gate state.
+    pub back_gate: BackGate,
+}
+
+impl FinFet {
+    /// A device with the back gate enabled (normal dual-gate operation).
+    pub fn dual_gate() -> Self {
+        FinFet { back_gate: BackGate::Vdd }
+    }
+
+    /// A device with the back gate grounded (low-power mode).
+    pub fn front_gate_only() -> Self {
+        FinFet { back_gate: BackGate::Grounded }
+    }
+
+    /// Effective threshold voltage, including the back-gate shift.
+    pub fn vth_eff(&self) -> f64 {
+        match self.back_gate {
+            BackGate::Vdd => VTH,
+            BackGate::Grounded => VTH + VTH_BG_OFF_SHIFT,
+        }
+    }
+
+    /// Relative gate capacitance (1.0 dual-gate, 0.5 front-gate-only).
+    pub fn gate_cap_rel(&self) -> f64 {
+        match self.back_gate {
+            BackGate::Vdd => 1.0,
+            BackGate::Grounded => 0.5,
+        }
+    }
+
+    /// Relative channel-width factor (half the channel conducts with the
+    /// back gate off).
+    fn drive_rel(&self) -> f64 {
+        match self.back_gate {
+            BackGate::Vdd => 1.0,
+            BackGate::Grounded => 0.5,
+        }
+    }
+
+    /// ON current in A/µm at supply `vdd` (gate at `vdd`).
+    pub fn ion(&self, vdd: f64) -> f64 {
+        // I0 is set so that the dual-gate STV anchor is reproduced exactly.
+        let i0 = ION_STV_ANCHOR / ekv_g(STV, VTH).powf(ALPHA_ION);
+        i0 * self.drive_rel() * ekv_g(vdd, self.vth_eff()).powf(ALPHA_ION)
+    }
+
+    /// OFF (leakage) current in A/µm at supply `vdd` (gate at 0), relative
+    /// model with DIBL: used for leakage *scaling*; absolute leakage power
+    /// is calibrated at the array level.
+    pub fn ioff(&self, vdd: f64) -> f64 {
+        let i0 = ION_STV_ANCHOR / ekv_g(STV, VTH).powf(ALPHA_ION);
+        let x = (DIBL * vdd - self.vth_eff()) / (N_SUB * VT_THERMAL);
+        i0 * self.drive_rel() * x.exp().powf(ALPHA_ION)
+    }
+
+    /// Delay-effective drive (arbitrary units) — the denominator of the
+    /// CV/I delay model, with the slew-aware exponent.
+    pub fn drive_delay(&self, vdd: f64) -> f64 {
+        self.drive_rel() * ekv_g(vdd, self.vth_eff()).powf(ALPHA_DELAY)
+    }
+
+    /// Inverter delay at `vdd`, *relative* to a dual-gate inverter at STV.
+    pub fn inverter_delay_rel(&self, vdd: f64) -> f64 {
+        let ref_dev = FinFet::dual_gate();
+        let reference = STV * ref_dev.gate_cap_rel() / ref_dev.drive_delay(STV);
+        (vdd * self.gate_cap_rel() / self.drive_delay(vdd)) / reference
+    }
+}
+
+impl Default for FinFet {
+    fn default() -> Self {
+        Self::dual_gate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs()
+    }
+
+    #[test]
+    fn ion_matches_table3_stv() {
+        let d = FinFet::dual_gate();
+        assert!(close(d.ion(STV), ION_STV_ANCHOR, 1e-9), "{}", d.ion(STV));
+    }
+
+    #[test]
+    fn ion_matches_table3_ntv() {
+        let d = FinFet::dual_gate();
+        assert!(
+            close(d.ion(NTV), ION_NTV_ANCHOR, 0.005),
+            "got {}, want {ION_NTV_ANCHOR}",
+            d.ion(NTV)
+        );
+    }
+
+    #[test]
+    fn ion_matches_table3_back_gate_off() {
+        let d = FinFet::front_gate_only();
+        assert!(
+            close(d.ion(STV), ION_STV_BG_OFF_ANCHOR, 0.005),
+            "got {}, want {ION_STV_BG_OFF_ANCHOR}",
+            d.ion(STV)
+        );
+    }
+
+    #[test]
+    fn dual_gate_drive_is_about_9x_front_gate_only() {
+        // §V-A: "the current is 9 times larger than enabling just the
+        // front gate".
+        let ratio = FinFet::dual_gate().ion(STV) / FinFet::front_gate_only().ion(STV);
+        assert!((9.0..10.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ntv_delay_is_3x_stv() {
+        let d = FinFet::dual_gate();
+        let ratio = d.inverter_delay_rel(NTV);
+        assert!(
+            close(ratio, 3.0, 0.01),
+            "NTV/STV delay ratio {ratio}, want 3.0"
+        );
+        assert!(close(d.inverter_delay_rel(STV), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn delay_explodes_in_subthreshold() {
+        let d = FinFet::dual_gate();
+        // Fig. 1: delay grows steeply below Vth.
+        assert!(d.inverter_delay_rel(0.20) > 10.0);
+        assert!(d.inverter_delay_rel(0.15) > d.inverter_delay_rel(0.20) * 3.0);
+    }
+
+    #[test]
+    fn delay_monotonically_decreases_with_vdd() {
+        let d = FinFet::dual_gate();
+        let mut prev = f64::INFINITY;
+        let mut v = 0.15;
+        while v <= 0.6 {
+            let t = d.inverter_delay_rel(v);
+            assert!(t < prev, "delay must fall as Vdd rises (v={v})");
+            prev = t;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn back_gate_off_reduces_capacitance_and_leakage() {
+        let on = FinFet::dual_gate();
+        let off = FinFet::front_gate_only();
+        assert_eq!(off.gate_cap_rel(), 0.5);
+        assert!(off.ioff(STV) < on.ioff(STV) / 10.0, "grounded back gate slashes leakage");
+    }
+
+    #[test]
+    fn leakage_falls_with_voltage() {
+        let d = FinFet::dual_gate();
+        assert!(d.ioff(NTV) < d.ioff(STV));
+        // DIBL: ratio matches exp model.
+        let ratio = d.ioff(STV) / d.ioff(NTV);
+        let expect = ((DIBL * (STV - NTV)) / (N_SUB * VT_THERMAL) * ALPHA_ION).exp();
+        assert!((ratio - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn vth_eff_reflects_back_gate() {
+        assert_eq!(FinFet::dual_gate().vth_eff(), VTH);
+        assert!(FinFet::front_gate_only().vth_eff() > VTH + 0.15);
+    }
+}

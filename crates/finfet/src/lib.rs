@@ -1,0 +1,39 @@
+//! # prf-finfet — 7 nm FinFET device, SRAM, and array models
+//!
+//! The circuit-level substrate of the Pilot Register File reproduction.
+//! The paper characterises its register files with Synopsys TCAD, HSpice
+//! Monte Carlo, and FinCACTI; this crate provides analytic Rust equivalents
+//! calibrated to every number the paper publishes:
+//!
+//! * [`device`] — dual-gate FinFET I–V with binary back-gate control
+//!   (Table III ON currents; 3× NTV/STV delay; 9× back-gate drive ratio),
+//! * [`delay`] — FO4 inverter-chain delay vs Vdd (Fig. 1),
+//! * [`sram`] — 6T/8T/9T/10T cells with SNM vs voltage (Table III SNMs),
+//! * [`montecarlo`] — LER + work-function-variation yield analysis
+//!   (the §IV-A cell-selection study),
+//! * [`mod@array`] — FinCACTI-like access-energy / leakage / area / timing
+//!   estimator (Table IV; RFC port-scaling anchors of §V-D),
+//! * [`cam`] — the swapping-table CAM (105/95/55 ps RTL anchors, §III-B).
+//!
+//! # Example
+//!
+//! ```rust
+//! use prf_finfet::array::{characterize, ArraySpec};
+//!
+//! let srf = characterize(&ArraySpec::srf());
+//! assert!((srf.access_energy_pj - 7.03).abs() < 0.1); // Table IV
+//! ```
+
+pub mod array;
+pub mod cam;
+pub mod delay;
+pub mod device;
+pub mod montecarlo;
+pub mod sram;
+
+pub use array::{characterize, sweep_voltage, ArrayCharacteristics, ArraySpec, VoltagePoint, VoltageMode};
+pub use cam::{SwapTableCam, TechNode};
+pub use delay::{chain_delay_ns, fig1_sweep, DelayPoint};
+pub use device::{BackGate, FinFet, NTV, STV, VTH};
+pub use montecarlo::{snm_yield, YieldResult};
+pub use sram::SramCell;

@@ -1,0 +1,115 @@
+//! Cross-model consistency: the device, delay, SRAM, Monte Carlo, and
+//! array models must agree with one another wherever they overlap — the
+//! calibration is only trustworthy if the layers compose.
+
+use prf_finfet::array::{characterize, sweep_voltage, ArraySpec, VoltageMode};
+use prf_finfet::delay::{chain_delay_ns, fo4_stage_delay_ns};
+use prf_finfet::montecarlo::snm_yield;
+use prf_finfet::{BackGate, FinFet, SramCell, SwapTableCam, TechNode, NTV, STV, VTH};
+
+#[test]
+fn array_delay_scaling_matches_device_delay_scaling() {
+    // The array access-time NTV/STV ratio must equal the inverter-chain
+    // ratio — both come from the same device model.
+    let stv = characterize(&ArraySpec::rf(224.0, VoltageMode::Stv)).access_time_ns;
+    let ntv = characterize(&ArraySpec::rf(224.0, VoltageMode::Ntv)).access_time_ns;
+    let dev = FinFet::dual_gate();
+    let dev_ratio = dev.inverter_delay_rel(NTV) / dev.inverter_delay_rel(STV);
+    assert!(((ntv / stv) - dev_ratio).abs() < 1e-9);
+    // And the chain module agrees too.
+    let chain_ratio =
+        chain_delay_ns(40, NTV, BackGate::Vdd) / chain_delay_ns(40, STV, BackGate::Vdd);
+    assert!((chain_ratio - dev_ratio).abs() < 1e-9);
+}
+
+#[test]
+fn sweep_endpoints_match_discrete_characterisation() {
+    // The continuous voltage sweep must pass exactly through the discrete
+    // STV/NTV design points (up to the NTV cell-upsizing factor, which
+    // only the discrete NTV spec applies).
+    let pts = sweep_voltage(256.0, NTV, STV, 31);
+    let stv_point = pts.last().unwrap();
+    let stv_disc = characterize(&ArraySpec::rf(256.0, VoltageMode::Stv));
+    assert!((stv_point.access_energy_pj - stv_disc.access_energy_pj).abs() < 1e-9);
+    assert!((stv_point.leakage_mw - stv_disc.leakage_mw).abs() < 1e-9);
+    assert!((stv_point.access_time_ns - stv_disc.access_time_ns).abs() < 1e-9);
+    let ntv_point = &pts[0];
+    let ntv_disc = characterize(&ArraySpec::rf(256.0, VoltageMode::Ntv));
+    // Discrete NTV includes upsizing factors; the raw sweep sits below.
+    assert!(ntv_point.access_energy_pj <= ntv_disc.access_energy_pj);
+    assert!(ntv_point.leakage_mw <= ntv_disc.leakage_mw);
+}
+
+#[test]
+fn back_gate_energy_factor_consistent_with_capacitance_story() {
+    // FRF_low / FRF_high energy = 0.686: between "no change" (1.0) and
+    // "all capacitance halves" (0.5), since only part of the switched
+    // capacitance is gate capacitance under back-gate control.
+    let hi = characterize(&ArraySpec::frf_high()).access_energy_pj;
+    let lo = characterize(&ArraySpec::frf_low()).access_energy_pj;
+    let factor = lo / hi;
+    assert!(factor > 0.5 && factor < 1.0, "factor {factor}");
+    // The device model says BG-off halves gate capacitance exactly.
+    assert_eq!(FinFet::front_gate_only().gate_cap_rel(), 0.5);
+}
+
+#[test]
+fn monte_carlo_converges_to_nominal_snm() {
+    // With variation, the sampled mean sits below the nominal SNM
+    // (mismatch only hurts), within a few sigma/sqrt(n) of the analytic
+    // expectation for a folded normal.
+    for cell in SramCell::ALL {
+        let nominal = cell.snm(STV, BackGate::Vdd);
+        let r = snm_yield(cell, STV, BackGate::Vdd, 40_000, 99);
+        assert!(r.snm_mean <= nominal + 1e-9, "{cell}: mean above nominal");
+        assert!(
+            nominal - r.snm_mean < 0.05,
+            "{cell}: degradation {:.3} implausibly large",
+            nominal - r.snm_mean
+        );
+    }
+}
+
+#[test]
+fn yield_is_monotone_in_sample_agreement() {
+    // Different large sample counts agree on yield within a point.
+    let a = snm_yield(SramCell::T8, NTV, BackGate::Vdd, 20_000, 123).yield_fraction;
+    let b = snm_yield(SramCell::T8, NTV, BackGate::Vdd, 80_000, 321).yield_fraction;
+    assert!((a - b).abs() < 0.01, "{a} vs {b}");
+}
+
+#[test]
+fn cam_is_negligible_next_to_any_rf_access() {
+    // §III-B's implicit claim: the swapping table costs nothing compared
+    // to the register file it steers.
+    let cam = SwapTableCam::reference(TechNode::FinFet7);
+    let frf = characterize(&ArraySpec::frf_low());
+    let cam_pj = cam.search_energy_fj() / 1000.0;
+    assert!(
+        cam_pj < 0.01 * frf.access_energy_pj,
+        "CAM search ({cam_pj} pJ) must be <1% of the cheapest RF access"
+    );
+    // Delay: under 10% of a 900 MHz cycle, while even FRF_high uses most
+    // of its cycle budget at speed.
+    assert!(cam.search_delay_ps() / 1000.0 < frf.access_time_ns);
+}
+
+#[test]
+fn vth_sits_between_subthreshold_and_ntv_behaviour() {
+    // Delay curvature changes character around Vth: the relative delay
+    // slope (per 50 mV) below Vth is far steeper than above NTV.
+    let dev = FinFet::dual_gate();
+    let below = dev.inverter_delay_rel(VTH - 0.05) / dev.inverter_delay_rel(VTH);
+    let above = dev.inverter_delay_rel(NTV) / dev.inverter_delay_rel(NTV + 0.05);
+    assert!(
+        below > 2.0 * above,
+        "sub-Vth slope ({below:.2}x/50mV) should dwarf the super-NTV slope ({above:.2}x)"
+    );
+}
+
+#[test]
+fn fo4_stage_and_chain_are_linear() {
+    let one = fo4_stage_delay_ns(STV, BackGate::Vdd);
+    assert!((chain_delay_ns(40, STV, BackGate::Vdd) - 40.0 * one).abs() < 1e-12);
+    assert!((chain_delay_ns(7, STV, BackGate::Vdd) - 7.0 * one).abs() < 1e-12);
+}

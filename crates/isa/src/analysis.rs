@@ -1,0 +1,151 @@
+//! Static (compile-time) register analysis.
+//!
+//! This is the substrate of the paper's *compiler-based profiling* (§III-A1):
+//! "count the occurrences of each architected register in the kernel binary".
+//! Being static, it knows nothing about loop trip counts or branch paths —
+//! exactly the weakness the pilot-warp profiler fixes on Category-2
+//! workloads.
+
+use crate::kernel::Kernel;
+use crate::reg::{Reg, MAX_ARCH_REGS};
+
+/// Static per-register occurrence counts for one kernel.
+///
+/// An "occurrence" is one appearance of the register as a source or
+/// destination of any instruction, matching the paper's definition. Each
+/// instruction is counted once regardless of how often it executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticRegisterProfile {
+    counts: [u64; MAX_ARCH_REGS],
+}
+
+impl StaticRegisterProfile {
+    /// Analyses a kernel and counts static register occurrences.
+    pub fn analyze(kernel: &Kernel) -> Self {
+        let mut counts = [0u64; MAX_ARCH_REGS];
+        for i in kernel.instructions() {
+            for r in i.reg_reads() {
+                counts[r.index()] += 1;
+            }
+            if let Some(r) = i.reg_write() {
+                counts[r.index()] += 1;
+            }
+        }
+        StaticRegisterProfile { counts }
+    }
+
+    /// Occurrence count of one register.
+    pub fn count(&self, reg: Reg) -> u64 {
+        self.counts[reg.index()]
+    }
+
+    /// Total occurrences across all registers.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `n` most frequently occurring registers, highest count first.
+    /// Ties break toward the lower register index (deterministic). Registers
+    /// with zero occurrences are never returned.
+    pub fn top_n(&self, n: usize) -> Vec<Reg> {
+        let mut regs: Vec<(u64, usize)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (c, i))
+            .collect();
+        // Sort by count descending, then index ascending.
+        regs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        regs.into_iter()
+            .take(n)
+            .map(|(_, i)| Reg(i as u8))
+            .collect()
+    }
+
+    /// Fraction of all static occurrences captured by the given register
+    /// set (the quantity plotted in the paper's Fig. 4, but for static
+    /// counts).
+    pub fn coverage(&self, regs: &[Reg]) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = regs.iter().map(|r| self.count(*r)).sum();
+        covered as f64 / total as f64
+    }
+
+    /// Raw counts indexed by register number.
+    pub fn counts(&self) -> &[u64; MAX_ARCH_REGS] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut kb = KernelBuilder::new("k");
+        kb.mov_imm(Reg(0), 1); // R0: 1
+        kb.iadd(Reg(1), Reg(0), Reg(0)); // R0: +2, R1: 1
+        kb.stg(Reg(1), Reg(0), 0); // R1: +1, R0: +1
+        kb.exit();
+        let p = StaticRegisterProfile::analyze(&kb.build().unwrap());
+        assert_eq!(p.count(Reg(0)), 4);
+        assert_eq!(p.count(Reg(1)), 2);
+        assert_eq!(p.total(), 6);
+    }
+
+    #[test]
+    fn top_n_orders_by_count_then_index() {
+        let mut kb = KernelBuilder::new("k");
+        // R5 appears 3x, R2 2x, R9 2x, R0 1x.
+        kb.mov_imm(Reg(5), 1);
+        kb.iadd(Reg(5), Reg(5), Reg(2));
+        kb.iadd(Reg(9), Reg(2), Reg(9));
+        kb.mov_imm(Reg(0), 0);
+        kb.exit();
+        let p = StaticRegisterProfile::analyze(&kb.build().unwrap());
+        assert_eq!(p.count(Reg(5)), 3);
+        assert_eq!(p.top_n(3), vec![Reg(5), Reg(2), Reg(9)]);
+        assert_eq!(p.top_n(10), vec![Reg(5), Reg(2), Reg(9), Reg(0)]);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut kb = KernelBuilder::new("k");
+        kb.mov_imm(Reg(0), 1);
+        kb.mov_imm(Reg(0), 2);
+        kb.mov_imm(Reg(0), 3);
+        kb.mov_imm(Reg(1), 4);
+        kb.exit();
+        let p = StaticRegisterProfile::analyze(&kb.build().unwrap());
+        assert!((p.coverage(&[Reg(0)]) - 0.75).abs() < 1e-12);
+        assert!((p.coverage(&[Reg(0), Reg(1)]) - 1.0).abs() < 1e-12);
+        assert_eq!(p.coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn static_counts_ignore_loop_structure() {
+        // A loop body instruction is counted once even though it would
+        // execute many times — the fundamental blind spot of compiler-based
+        // profiling that the paper exploits.
+        let mut kb = KernelBuilder::new("loop");
+        kb.mov_imm(Reg(0), 0); // R0 x1
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.iadd_imm(Reg(1), Reg(1), 1); // R1 x2 per appearance
+        kb.iadd_imm(Reg(0), Reg(0), 1);
+        kb.setp_imm(crate::PredReg(0), crate::CmpOp::Lt, Reg(0), 1000);
+        kb.bra_if(crate::PredReg(0), true, top);
+        kb.exit();
+        let p = StaticRegisterProfile::analyze(&kb.build().unwrap());
+        // Static: R0 appears 4 times (mov dst, iadd dst+src, setp src);
+        // dynamically it would be accessed thousands of times.
+        assert_eq!(p.count(Reg(0)), 4);
+        assert_eq!(p.count(Reg(1)), 2);
+    }
+}

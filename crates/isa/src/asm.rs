@@ -1,0 +1,584 @@
+//! A textual assembler for the PTX-like ISA.
+//!
+//! [`Kernel`] already renders to a readable text form via `Display`; this
+//! module provides the inverse: parse an assembly listing back into a
+//! validated [`Kernel`]. Useful for writing test kernels and examples as
+//! text, and for round-tripping kernels through files.
+//!
+//! # Syntax
+//!
+//! ```text
+//! .kernel vecadd
+//!   mov       R0, %gtid
+//!   iadd      R1, R0, #0x100      ; immediates take a leading '#'
+//!   ldg       R2, [R1]
+//!   ldg       R3, [R1 + 4]
+//!   fadd      R2, R2, R3
+//! loop:                            ; labels end with ':'
+//!   isub      R4, R4, #1
+//!   setp.gt   P0, R4, #0
+//!   @P0 bra   loop                 ; guards: @P0 / @!P0
+//!   stg       [R1], R2
+//!   exit
+//! ```
+//!
+//! * registers: `R0`–`R62`; predicates `P0`–`P3`
+//! * specials: `%tid`, `%ctaid`, `%ntid`, `%nctaid`, `%laneid`,
+//!   `%warpid`, `%gtid`
+//! * immediates: `#123`, `#0x7f`, or `#1.5f` for f32 bit patterns
+//! * memory operands: `[Raddr]` or `[Raddr + byteoffset]`
+//! * comments: `;` or `//` to end of line
+
+use std::fmt;
+
+use crate::instr::{Dst, Instruction, Operand, PredGuard};
+use crate::kernel::{Kernel, KernelBuilder, KernelError};
+use crate::op::{CmpOp, Opcode};
+use crate::reg::{PredReg, Reg, SpecialReg};
+
+/// A parse failure, with 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<KernelError> for ParseError {
+    fn from(e: KernelError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let rest = tok
+        .strip_prefix('R')
+        .or_else(|| tok.strip_prefix('r'))
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register index in `{tok}`")))?;
+    Ok(Reg(idx))
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<PredReg, ParseError> {
+    let rest = tok
+        .strip_prefix('P')
+        .or_else(|| tok.strip_prefix('p'))
+        .ok_or_else(|| err(line, format!("expected predicate, got `{tok}`")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad predicate index in `{tok}`")))?;
+    Ok(PredReg(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u32, ParseError> {
+    let body = tok
+        .strip_prefix('#')
+        .ok_or_else(|| err(line, format!("expected immediate, got `{tok}`")))?;
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("bad hex immediate `{tok}`")));
+    }
+    if let Some(f) = body.strip_suffix('f') {
+        let v: f32 = f
+            .parse()
+            .map_err(|_| err(line, format!("bad float immediate `{tok}`")))?;
+        return Ok(v.to_bits());
+    }
+    if let Some(neg) = body.strip_prefix('-') {
+        let v: i64 = neg
+            .parse::<i64>()
+            .map(|v| -v)
+            .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+        return Ok(v as i32 as u32);
+    }
+    body.parse::<u32>()
+        .map_err(|_| err(line, format!("bad immediate `{tok}`")))
+}
+
+fn parse_special(tok: &str, line: usize) -> Result<SpecialReg, ParseError> {
+    let s = match tok {
+        "%tid" | "%tid.x" => SpecialReg::TidX,
+        "%ctaid" | "%ctaid.x" => SpecialReg::CtaIdX,
+        "%ntid" | "%ntid.x" => SpecialReg::NTidX,
+        "%nctaid" | "%nctaid.x" => SpecialReg::NCtaIdX,
+        "%laneid" => SpecialReg::LaneId,
+        "%warpid" => SpecialReg::WarpId,
+        "%gtid" => SpecialReg::GlobalTid,
+        _ => return Err(err(line, format!("unknown special register `{tok}`"))),
+    };
+    Ok(s)
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if tok.starts_with('#') {
+        Ok(Operand::Imm(parse_imm(tok, line)?))
+    } else if tok.starts_with('%') {
+        Ok(Operand::Special(parse_special(tok, line)?))
+    } else {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    }
+}
+
+/// `[Raddr]` or `[Raddr + off]` → (addr reg, byte offset in words).
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, u32), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [Rn] or [Rn + off], got `{tok}`")))?;
+    let parts: Vec<&str> = inner.split('+').map(str::trim).collect();
+    let reg = parse_reg(parts[0], line)?;
+    let off = match parts.len() {
+        1 => 0,
+        2 => parts[1]
+            .parse::<u32>()
+            .map_err(|_| err(line, format!("bad offset in `{tok}`")))?,
+        _ => return Err(err(line, format!("malformed memory operand `{tok}`"))),
+    };
+    Ok((reg, off))
+}
+
+fn parse_cmp(suffix: &str, line: usize) -> Result<CmpOp, ParseError> {
+    Ok(match suffix {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        "ult" => CmpOp::Ult,
+        "uge" => CmpOp::Uge,
+        other => return Err(err(line, format!("unknown setp condition `.{other}`"))),
+    })
+}
+
+/// Parses one assembly listing into a validated kernel.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors, and wraps
+/// [`KernelError`] (line 0) when the assembled kernel fails validation.
+///
+/// # Example
+///
+/// ```rust
+/// let src = r"
+///     .kernel double_it
+///     mov   R0, %gtid
+///     ldg   R1, [R0]
+///     iadd  R1, R1, R1
+///     stg   [R0], R1
+///     exit
+/// ";
+/// let k = prf_isa::asm::parse_kernel(src).unwrap();
+/// assert_eq!(k.name(), "double_it");
+/// assert_eq!(k.len(), 5);
+/// ```
+pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
+    let mut kb: Option<KernelBuilder> = None;
+    let mut labels: std::collections::HashMap<String, crate::kernel::Label> =
+        std::collections::HashMap::new();
+
+    // Collect (lineno, tokens) per instruction line.
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("");
+        let text = text.split("//").next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        // Directive.
+        if let Some(rest) = text.strip_prefix(".kernel") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err(line, ".kernel needs a name"));
+            }
+            if kb.is_some() {
+                return Err(err(line, "only one .kernel per listing"));
+            }
+            kb = Some(KernelBuilder::new(name));
+            continue;
+        }
+        let kb = kb
+            .as_mut()
+            .ok_or_else(|| err(line, "code before .kernel directive"))?;
+
+        // Label definition.
+        if let Some(name) = text.strip_suffix(':') {
+            let name = name.trim().to_string();
+            let label = *labels.entry(name).or_insert_with(|| kb.new_label());
+            kb.place_label(label);
+            continue;
+        }
+
+        // Optional guard, then mnemonic, then a comma-separated operand
+        // list (commas, not whitespace, so `[R0 + 16]` stays one token).
+        let mut rest = text;
+        let mut guard: Option<PredGuard> = None;
+        if rest.starts_with('@') {
+            let (g, tail) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(line, "guard with no instruction"))?;
+            let (expected, body) = if let Some(b) = g.strip_prefix("@!") {
+                (false, b)
+            } else {
+                (true, &g[1..])
+            };
+            guard = Some(PredGuard { pred: parse_pred(body, line)?, expected });
+            rest = tail.trim_start();
+        }
+        let (mnemonic, operand_text) = match rest.split_once(char::is_whitespace) {
+            Some((m, t)) => (m.to_ascii_lowercase(), t.trim()),
+            None => (rest.to_ascii_lowercase(), ""),
+        };
+        let ops: Vec<String> = if operand_text.is_empty() {
+            Vec::new()
+        } else {
+            operand_text.split(',').map(|t| t.trim().to_string()).collect()
+        };
+        let ops = &ops;
+
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+            }
+        };
+
+        let instr: Instruction = match mnemonic.as_str() {
+            "mov" => {
+                need(2)?;
+                Instruction::new(Opcode::Mov)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[parse_operand(&ops[1], line)?])
+            }
+            "iadd" | "isub" | "imul" | "imin" | "imax" | "and" | "or" | "xor" | "shl"
+            | "shr" | "fadd" | "fmul" => {
+                need(3)?;
+                let op = match mnemonic.as_str() {
+                    "iadd" => Opcode::IAdd,
+                    "isub" => Opcode::ISub,
+                    "imul" => Opcode::IMul,
+                    "imin" => Opcode::IMin,
+                    "imax" => Opcode::IMax,
+                    "and" => Opcode::IAnd,
+                    "or" => Opcode::IOr,
+                    "xor" => Opcode::IXor,
+                    "shl" => Opcode::IShl,
+                    "shr" => Opcode::IShr,
+                    "fadd" => Opcode::FAdd,
+                    _ => Opcode::FMul,
+                };
+                Instruction::new(op)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[
+                        parse_operand(&ops[1], line)?,
+                        parse_operand(&ops[2], line)?,
+                    ])
+            }
+            "imad" | "ffma" => {
+                need(4)?;
+                let op = if mnemonic == "imad" { Opcode::IMad } else { Opcode::FFma };
+                Instruction::new(op)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[
+                        parse_operand(&ops[1], line)?,
+                        parse_operand(&ops[2], line)?,
+                        parse_operand(&ops[3], line)?,
+                    ])
+            }
+            "frcp" | "fsqrt" | "flog2" | "fexp2" => {
+                need(2)?;
+                let op = match mnemonic.as_str() {
+                    "frcp" => Opcode::FRcp,
+                    "fsqrt" => Opcode::FSqrt,
+                    "flog2" => Opcode::FLog2,
+                    _ => Opcode::FExp2,
+                };
+                Instruction::new(op)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[parse_operand(&ops[1], line)?])
+            }
+            "shfl" => {
+                need(3)?;
+                Instruction::new(Opcode::Shfl)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[
+                        parse_operand(&ops[1], line)?,
+                        parse_operand(&ops[2], line)?,
+                    ])
+            }
+            "selp" => {
+                need(4)?;
+                Instruction::new(Opcode::Selp)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[
+                        parse_operand(&ops[1], line)?,
+                        parse_operand(&ops[2], line)?,
+                    ])
+                    .with_guard(PredGuard { pred: parse_pred(&ops[3], line)?, expected: true })
+            }
+            "ldg" | "lds" => {
+                need(2)?;
+                let (addr, off) = parse_mem(&ops[1], line)?;
+                let opcode = if mnemonic == "ldg" { Opcode::Ldg } else { Opcode::Lds };
+                let mut i = Instruction::new(opcode)
+                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                    .with_srcs(&[Operand::Reg(addr)]);
+                i.mem_offset = off;
+                i
+            }
+            "stg" | "sts" => {
+                need(2)?;
+                let (addr, off) = parse_mem(&ops[0], line)?;
+                let opcode = if mnemonic == "stg" { Opcode::Stg } else { Opcode::Sts };
+                let mut i = Instruction::new(opcode).with_srcs(&[
+                    Operand::Reg(addr),
+                    Operand::Reg(parse_reg(&ops[1], line)?),
+                ]);
+                i.mem_offset = off;
+                i
+            }
+            "bra" => {
+                need(1)?;
+                let label = *labels
+                    .entry(ops[0].clone())
+                    .or_insert_with(|| kb.new_label());
+                if let Some(g) = guard.take() {
+                    kb.guard(g.pred, g.expected);
+                }
+                kb.bra(label);
+                continue;
+            }
+            "bar" | "bar.sync" => {
+                need(0)?;
+                Instruction::new(Opcode::Bar)
+            }
+            "exit" => {
+                need(0)?;
+                Instruction::new(Opcode::Exit)
+            }
+            "nop" => {
+                need(0)?;
+                Instruction::new(Opcode::Nop)
+            }
+            m if m.starts_with("setp.") => {
+                need(3)?;
+                let cmp = parse_cmp(&m[5..], line)?;
+                Instruction::new(Opcode::Setp(cmp))
+                    .with_dst(Dst::Pred(parse_pred(&ops[0], line)?))
+                    .with_srcs(&[
+                        parse_operand(&ops[1], line)?,
+                        parse_operand(&ops[2], line)?,
+                    ])
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        let instr = match guard {
+            Some(g) => instr.with_guard(g),
+            None => instr,
+        };
+        kb.push(instr);
+    }
+
+    let kb = kb.ok_or_else(|| err(0, "no .kernel directive found"))?;
+    Ok(kb.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_kernel() {
+        let k = parse_kernel(
+            r"
+            .kernel add_one
+            mov  R0, %gtid
+            iadd R1, R0, #1
+            stg  [R0], R1
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "add_one");
+        assert_eq!(k.len(), 4);
+        assert_eq!(k.regs_per_thread(), 2);
+    }
+
+    #[test]
+    fn parses_loop_with_label_and_guard() {
+        let k = parse_kernel(
+            r"
+            .kernel count
+            mov R0, #0
+        top:
+            iadd    R0, R0, #1
+            setp.lt P0, R0, #10
+            @P0 bra top
+            exit
+        ",
+        )
+        .unwrap();
+        // bra at pc 3 targets pc 1.
+        assert_eq!(k.fetch(3).target, Some(1));
+        assert!(k.fetch(3).guard.is_some());
+    }
+
+    #[test]
+    fn parses_forward_label() {
+        let k = parse_kernel(
+            r"
+            .kernel fwd
+            setp.ge P1, R0, #5
+            @!P1 bra done
+            mov R1, #1
+        done:
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.fetch(1).target, Some(3));
+        let g = k.fetch(1).guard.unwrap();
+        assert!(!g.expected);
+        assert_eq!(g.pred, PredReg(1));
+    }
+
+    #[test]
+    fn parses_memory_offsets_and_shared() {
+        let k = parse_kernel(
+            r"
+            .kernel m
+            ldg R1, [R0 + 16]
+            sts [R1], R0
+            lds R2, [R1 + 4]
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.fetch(0).mem_offset, 16);
+        assert_eq!(k.fetch(0).opcode, Opcode::Ldg);
+        assert_eq!(k.fetch(1).opcode, Opcode::Sts);
+        assert_eq!(k.fetch(2).mem_offset, 4);
+    }
+
+    #[test]
+    fn parses_float_and_hex_immediates() {
+        let k = parse_kernel(
+            r"
+            .kernel f
+            mov R0, #1.5f
+            mov R1, #0xff
+            mov R2, #-3
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.fetch(0).srcs[0], Some(Operand::Imm(1.5f32.to_bits())));
+        assert_eq!(k.fetch(1).srcs[0], Some(Operand::Imm(255)));
+        assert_eq!(k.fetch(2).srcs[0], Some(Operand::Imm(-3i32 as u32)));
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        // parse -> Display -> spot-check the rendering is stable.
+        let k = parse_kernel(
+            r"
+            .kernel rt
+            mov     R0, %tid
+            imad    R1, R0, R0, R1
+            setp.ne P0, R1, #0
+            exit
+        ",
+        )
+        .unwrap();
+        let text = k.to_string();
+        assert!(text.contains("imad R1, R0, R0, R1"));
+        assert!(text.contains("setp.ne P0"));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_kernel(
+            r"
+            .kernel bad
+            mov R0, #1
+            frob R1, R2
+            exit
+        ",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frob"));
+    }
+
+    #[test]
+    fn rejects_code_before_directive() {
+        let e = parse_kernel("mov R0, #1").unwrap_err();
+        assert!(e.message.contains("before .kernel"));
+    }
+
+    #[test]
+    fn rejects_wrong_operand_count() {
+        let e = parse_kernel(
+            r"
+            .kernel bad
+            iadd R0, R1
+            exit
+        ",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let e = parse_kernel(
+            r"
+            .kernel noexit
+            mov R0, #1
+        ",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("exit"));
+    }
+
+    #[test]
+    fn parsed_kernel_executes_identically_to_builder_kernel() {
+        // The same program via builder and via assembler produce identical
+        // instruction streams.
+        let parsed = parse_kernel(
+            r"
+            .kernel twin
+            mov  R0, %gtid
+            iadd R1, R0, #5
+            stg  [R0], R1
+            exit
+        ",
+        )
+        .unwrap();
+        let mut kb = KernelBuilder::new("twin");
+        kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+        kb.iadd_imm(Reg(1), Reg(0), 5);
+        kb.stg(Reg(0), Reg(1), 0);
+        kb.exit();
+        let built = kb.build().unwrap();
+        assert_eq!(parsed.instructions(), built.instructions());
+    }
+}

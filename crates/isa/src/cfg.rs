@@ -1,0 +1,403 @@
+//! Control-flow analysis: instruction-level CFG and immediate
+//! post-dominators (IPDOM).
+//!
+//! GPGPU-Sim (and the GPUs it models) handle branch divergence with a SIMT
+//! reconvergence stack: when a warp's lanes take both sides of a branch, the
+//! warp pushes both paths and reconverges at the branch's *immediate
+//! post-dominator*. This module computes, for every instruction, the pc at
+//! which a divergent branch at that instruction reconverges.
+//!
+//! Kernels in this reproduction are small (tens to a few hundred
+//! instructions), so we compute post-dominators directly on the
+//! instruction-level CFG with the classic iterative Cooper–Harvey–Kennedy
+//! algorithm on the reverse graph.
+
+use crate::kernel::Kernel;
+use crate::op::Opcode;
+
+/// Per-instruction reconvergence-pc table for a kernel.
+///
+/// # Example
+///
+/// ```rust
+/// use prf_isa::{KernelBuilder, ReconvergenceTable, Reg, PredReg, CmpOp};
+///
+/// # fn main() -> Result<(), prf_isa::KernelError> {
+/// let mut kb = KernelBuilder::new("diamond");
+/// kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 16);
+/// let else_ = kb.new_label();
+/// let join = kb.new_label();
+/// kb.bra_if(PredReg(0), false, else_); // pc 1
+/// kb.mov_imm(Reg(1), 1);               // pc 2 (then)
+/// kb.bra(join);                        // pc 3
+/// kb.place_label(else_);
+/// kb.mov_imm(Reg(1), 2);               // pc 4 (else)
+/// kb.place_label(join);
+/// kb.exit();                           // pc 5 (join)
+/// let k = kb.build()?;
+/// let rt = ReconvergenceTable::compute(&k);
+/// assert_eq!(rt.reconvergence_pc(1), Some(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconvergenceTable {
+    /// `ipdom[pc]` = immediate post-dominator pc, or `None` when the
+    /// instruction post-dominates to exit (e.g. `Exit` itself).
+    ipdom: Vec<Option<usize>>,
+}
+
+/// Virtual exit node index used internally (one past the last instruction).
+fn exit_node(len: usize) -> usize {
+    len
+}
+
+/// Successor pcs of the instruction at `pc`.
+///
+/// `Exit` flows to the virtual exit; a branch flows to its target and — when
+/// it is predicated (can fall through) — also to `pc + 1`; everything else
+/// falls through. An unconditional `Bra` at the end of the array has only
+/// its target.
+fn successors(kernel: &Kernel, pc: usize) -> Vec<usize> {
+    let len = kernel.len();
+    let i = kernel.fetch(pc);
+    match i.opcode {
+        Opcode::Exit => vec![exit_node(len)],
+        Opcode::Bra => {
+            let t = i.target.expect("validated kernel: branch has target");
+            if i.guard.is_some() {
+                // Divergent/conditional branch: both paths possible.
+                let ft = pc + 1;
+                if ft < len && ft != t {
+                    vec![t, ft]
+                } else {
+                    vec![t]
+                }
+            } else {
+                vec![t]
+            }
+        }
+        _ => {
+            let ft = pc + 1;
+            if ft < len {
+                vec![ft]
+            } else {
+                // Fall off the end: treat as exit (validated kernels always
+                // end in Exit or a branch, but be safe).
+                vec![exit_node(len)]
+            }
+        }
+    }
+}
+
+impl ReconvergenceTable {
+    /// Computes the IPDOM table for a validated kernel.
+    pub fn compute(kernel: &Kernel) -> Self {
+        let n = kernel.len();
+        let exit = exit_node(n);
+        // Build predecessor lists on the forward graph (so the reverse graph
+        // successor sets are the forward predecessors).
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for pc in 0..n {
+            for s in successors(kernel, pc) {
+                preds[s].push(pc);
+            }
+        }
+
+        // Reverse post-order on the *reverse* CFG starting from exit, i.e.
+        // a post-order DFS over predecessor edges... easier: compute order
+        // by DFS on the reverse graph (edges exit->..., using forward
+        // successors reversed). We need, for each node, its successors in
+        // the reverse graph = forward predecessors = preds (already built
+        // per node as entries feeding into it)? No: preds[s] lists forward
+        // predecessors of s. In the reverse graph, the successors of s are
+        // exactly preds[s]. Good.
+        let mut order = Vec::with_capacity(n + 1);
+        let mut visited = vec![false; n + 1];
+        // Iterative post-order DFS from exit over reverse edges.
+        let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+        visited[exit] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < preds[node].len() {
+                let next = preds[node][*idx];
+                *idx += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        // `order` is post-order of the reverse-graph DFS; reverse it to get
+        // reverse post-order (exit first).
+        order.reverse();
+        let mut rpo_index = vec![usize::MAX; n + 1];
+        for (i, &node) in order.iter().enumerate() {
+            rpo_index[node] = i;
+        }
+
+        // Cooper–Harvey–Kennedy iterative dominators on the reverse graph.
+        let undef = usize::MAX;
+        let mut idom = vec![undef; n + 1];
+        idom[exit] = exit;
+        let intersect = |idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = idom[a];
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in order.iter().skip(1) {
+                // Successors of `node` in the reverse graph are the forward
+                // successors of `node`... careful: dominance on the reverse
+                // graph uses the reverse graph's *predecessors*, which are
+                // the forward successors.
+                let fwd_succs = if node == exit {
+                    Vec::new()
+                } else {
+                    successors(kernel, node)
+                };
+                let mut new_idom = undef;
+                for &p in &fwd_succs {
+                    if idom[p] != undef && rpo_index[p] != usize::MAX {
+                        new_idom = if new_idom == undef {
+                            p
+                        } else {
+                            intersect(&idom, &rpo_index, new_idom, p)
+                        };
+                    }
+                }
+                if new_idom != undef && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let ipdom = (0..n)
+            .map(|pc| {
+                let d = idom[pc];
+                if d == undef || d == exit {
+                    None
+                } else {
+                    Some(d)
+                }
+            })
+            .collect();
+        ReconvergenceTable { ipdom }
+    }
+
+    /// The reconvergence pc for a (possibly divergent) branch at `pc`:
+    /// the immediate post-dominator, or `None` when the paths only rejoin at
+    /// thread exit.
+    pub fn reconvergence_pc(&self, pc: usize) -> Option<usize> {
+        self.ipdom.get(pc).copied().flatten()
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.ipdom.len()
+    }
+
+    /// `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ipdom.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::op::CmpOp;
+    use crate::reg::{PredReg, Reg};
+
+    /// Straight-line code: every instruction's ipdom is the next one.
+    #[test]
+    fn straight_line() {
+        let mut kb = KernelBuilder::new("s");
+        kb.mov_imm(Reg(0), 0);
+        kb.iadd_imm(Reg(1), Reg(0), 1);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        assert_eq!(rt.reconvergence_pc(0), Some(1));
+        assert_eq!(rt.reconvergence_pc(1), Some(2));
+        assert_eq!(rt.reconvergence_pc(2), None); // Exit
+        assert_eq!(rt.len(), 3);
+        assert!(!rt.is_empty());
+    }
+
+    /// If/else diamond reconverges at the join.
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let mut kb = KernelBuilder::new("d");
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 16); // 0
+        let else_ = kb.new_label();
+        let join = kb.new_label();
+        kb.bra_if(PredReg(0), false, else_); // 1
+        kb.mov_imm(Reg(1), 1); // 2
+        kb.bra(join); // 3
+        kb.place_label(else_);
+        kb.mov_imm(Reg(1), 2); // 4
+        kb.place_label(join);
+        kb.iadd_imm(Reg(2), Reg(1), 0); // 5
+        kb.exit(); // 6
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        assert_eq!(rt.reconvergence_pc(1), Some(5));
+        // Inside the then-arm, ipdoms chain to the join.
+        assert_eq!(rt.reconvergence_pc(2), Some(3));
+        assert_eq!(rt.reconvergence_pc(3), Some(5));
+        assert_eq!(rt.reconvergence_pc(4), Some(5));
+    }
+
+    /// A do-while loop: the backward branch reconverges at the fall-through.
+    #[test]
+    fn loop_backedge_reconverges_after_loop() {
+        let mut kb = KernelBuilder::new("l");
+        kb.mov_imm(Reg(0), 0); // 0
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.iadd_imm(Reg(0), Reg(0), 1); // 1
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 10); // 2
+        kb.bra_if(PredReg(0), true, top); // 3
+        kb.stg(Reg(0), Reg(0), 0); // 4
+        kb.exit(); // 5
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        assert_eq!(rt.reconvergence_pc(3), Some(4));
+    }
+
+    /// A guarded early-exit: divergent paths only rejoin at thread exit, so
+    /// the branch that jumps over the exit reconverges after it.
+    #[test]
+    fn branch_over_exit() {
+        let mut kb = KernelBuilder::new("e");
+        kb.setp_imm(PredReg(0), CmpOp::Ge, Reg(0), 100); // 0
+        let cont = kb.new_label();
+        kb.bra_if(PredReg(0), false, cont); // 1
+        kb.exit(); // 2  (threads with R0>=100 leave)
+        kb.place_label(cont);
+        kb.mov_imm(Reg(1), 7); // 3
+        kb.exit(); // 4
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        // pc1's successors: 3 (taken) and 2 (fallthrough, which exits).
+        // Their only common post-dominator is the virtual exit -> None.
+        assert_eq!(rt.reconvergence_pc(1), None);
+    }
+
+    /// Nested diamonds: inner reconverges before outer.
+    #[test]
+    fn nested_diamonds() {
+        let mut kb = KernelBuilder::new("n");
+        let outer_else = kb.new_label();
+        let outer_join = kb.new_label();
+        let inner_else = kb.new_label();
+        let inner_join = kb.new_label();
+        kb.bra_if(PredReg(0), false, outer_else); // 0
+        kb.bra_if(PredReg(1), false, inner_else); // 1
+        kb.mov_imm(Reg(0), 1); // 2
+        kb.bra(inner_join); // 3
+        kb.place_label(inner_else);
+        kb.mov_imm(Reg(0), 2); // 4
+        kb.place_label(inner_join);
+        kb.mov_imm(Reg(1), 3); // 5
+        kb.bra(outer_join); // 6
+        kb.place_label(outer_else);
+        kb.mov_imm(Reg(0), 4); // 7
+        kb.place_label(outer_join);
+        kb.exit(); // 8
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        assert_eq!(rt.reconvergence_pc(1), Some(5)); // inner join
+        assert_eq!(rt.reconvergence_pc(0), Some(8)); // outer join
+    }
+
+    /// IPDOM must match a brute-force post-dominator computation on random
+    /// structured kernels.
+    #[test]
+    fn matches_brute_force_postdominators() {
+        // Brute force: node D post-dominates N if every path N..exit passes
+        // through D. Compute full postdom sets by iterative dataflow, then
+        // ipdom = the postdominator (other than self) that is dominated by
+        // all other postdominators.
+        let mut kb = KernelBuilder::new("bf");
+        let l1 = kb.new_label();
+        let l2 = kb.new_label();
+        let l3 = kb.new_label();
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 5); // 0
+        kb.bra_if(PredReg(0), true, l1); // 1
+        kb.mov_imm(Reg(1), 1); // 2
+        kb.bra_if(PredReg(1), true, l2); // 3
+        kb.mov_imm(Reg(2), 2); // 4
+        kb.place_label(l1);
+        kb.mov_imm(Reg(3), 3); // 5
+        kb.place_label(l2);
+        kb.setp_imm(PredReg(1), CmpOp::Gt, Reg(1), 0); // 6
+        kb.bra_if(PredReg(1), false, l3); // 7
+        kb.mov_imm(Reg(4), 4); // 8
+        kb.place_label(l3);
+        kb.exit(); // 9
+        let k = kb.build().unwrap();
+
+        let n = k.len();
+        let exit = n;
+        // postdom[v] = set of nodes post-dominating v (incl. v).
+        let full: u64 = (1u64 << (n + 1)) - 1;
+        let mut pdom = vec![full; n + 1];
+        pdom[exit] = 1u64 << exit;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                let succs = successors(&k, v);
+                let mut meet = full;
+                for s in &succs {
+                    meet &= pdom[*s];
+                }
+                let new = meet | (1u64 << v);
+                if new != pdom[v] {
+                    pdom[v] = new;
+                    changed = true;
+                }
+            }
+        }
+        let rt = ReconvergenceTable::compute(&k);
+        for v in 0..n {
+            // strict postdominators of v
+            let strict = pdom[v] & !(1u64 << v);
+            // ipdom = the strict postdominator that is postdominated by all
+            // other strict postdominators.
+            let mut ip = None;
+            for (d, pd) in pdom.iter().enumerate().take(n + 1) {
+                if strict & (1u64 << d) != 0 {
+                    let others = strict & !(1u64 << d);
+                    if others & !pd == 0 {
+                        ip = Some(d);
+                        break;
+                    }
+                }
+            }
+            let expected = match ip {
+                Some(d) if d < n => Some(d),
+                _ => None,
+            };
+            assert_eq!(
+                rt.reconvergence_pc(v),
+                expected,
+                "mismatch at pc {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Binary instruction encoding: a fixed 64-bit word per instruction.
+//!
+//! The paper's compiler profiler "counts the occurrences of each
+//! architected register in the kernel binary" (§III-A1); this module
+//! defines that binary. Kernels round-trip losslessly through
+//! [`encode_kernel`]/[`decode_kernel`], which also gives the reproduction
+//! a stable on-disk format.
+//!
+//! # Word layout (little-endian bit ranges)
+//!
+//! ```text
+//!  bits  0..8   opcode (8 bits, includes the setp condition)
+//!  bits  8..16  dst descriptor   (kind:2 | index:6)
+//!  bits 16..24  src0 descriptor  (kind:2 | index:6)
+//!  bits 24..32  src1 descriptor
+//!  bits 32..40  src2 descriptor
+//!  bits 40..44  guard (valid:1 | expected:1 | pred:2)
+//!  bits 44..64  target / memory offset / inline payload (20 bits)
+//! ```
+//!
+//! Immediates and wide fields that do not fit inline (32-bit immediates,
+//! 20-bit-plus targets) are stored in a constant pool appended after the
+//! instruction words; the descriptor then holds a pool index.
+
+use crate::instr::{Dst, Instruction, Operand, PredGuard};
+use crate::kernel::{Kernel, KernelBuilder, KernelError};
+use crate::op::{CmpOp, Opcode};
+use crate::reg::{PredReg, Reg, SpecialReg};
+
+/// Encoding/decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The word stream ended unexpectedly or had a bad header.
+    Truncated,
+    /// Magic number mismatch — not an encoded kernel.
+    BadMagic,
+    /// An opcode byte that no instruction maps to.
+    BadOpcode(u8),
+    /// An operand descriptor with an invalid kind/index combination.
+    BadOperand(u8),
+    /// A constant-pool index out of range.
+    BadPoolIndex(u32),
+    /// The decoded kernel failed validation.
+    Invalid(KernelError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "encoded kernel is truncated"),
+            CodecError::BadMagic => write!(f, "missing kernel magic number"),
+            CodecError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#x}"),
+            CodecError::BadOperand(b) => write!(f, "invalid operand descriptor {b:#x}"),
+            CodecError::BadPoolIndex(i) => write!(f, "constant-pool index {i} out of range"),
+            CodecError::Invalid(e) => write!(f, "decoded kernel is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Magic number at the head of every encoded kernel ("PRFK").
+pub const MAGIC: u32 = 0x5052_464B;
+
+const OPCODES: &[Opcode] = &[
+    Opcode::Mov,
+    Opcode::IAdd,
+    Opcode::ISub,
+    Opcode::IMul,
+    Opcode::IMad,
+    Opcode::IMin,
+    Opcode::IMax,
+    Opcode::IAnd,
+    Opcode::IOr,
+    Opcode::IXor,
+    Opcode::IShl,
+    Opcode::IShr,
+    Opcode::FAdd,
+    Opcode::FMul,
+    Opcode::FFma,
+    Opcode::FRcp,
+    Opcode::FSqrt,
+    Opcode::FLog2,
+    Opcode::FExp2,
+    Opcode::Setp(CmpOp::Eq),
+    Opcode::Setp(CmpOp::Ne),
+    Opcode::Setp(CmpOp::Lt),
+    Opcode::Setp(CmpOp::Le),
+    Opcode::Setp(CmpOp::Gt),
+    Opcode::Setp(CmpOp::Ge),
+    Opcode::Setp(CmpOp::Ult),
+    Opcode::Setp(CmpOp::Uge),
+    Opcode::Selp,
+    Opcode::Ldg,
+    Opcode::Stg,
+    Opcode::Lds,
+    Opcode::Sts,
+    Opcode::Shfl,
+    Opcode::Bra,
+    Opcode::Bar,
+    Opcode::Exit,
+    Opcode::Nop,
+];
+
+fn opcode_byte(op: Opcode) -> u8 {
+    OPCODES
+        .iter()
+        .position(|&o| o == op)
+        .expect("every opcode is in the table") as u8
+}
+
+fn byte_opcode(b: u8) -> Result<Opcode, CodecError> {
+    OPCODES
+        .get(b as usize)
+        .copied()
+        .ok_or(CodecError::BadOpcode(b))
+}
+
+// Operand descriptor kinds.
+const K_NONE: u64 = 0;
+const K_REG: u64 = 1;
+const K_SPECIAL: u64 = 2;
+const K_POOL_IMM: u64 = 3;
+
+fn special_index(s: SpecialReg) -> u64 {
+    match s {
+        SpecialReg::TidX => 0,
+        SpecialReg::CtaIdX => 1,
+        SpecialReg::NTidX => 2,
+        SpecialReg::NCtaIdX => 3,
+        SpecialReg::LaneId => 4,
+        SpecialReg::WarpId => 5,
+        SpecialReg::GlobalTid => 6,
+    }
+}
+
+fn index_special(i: u64) -> Option<SpecialReg> {
+    Some(match i {
+        0 => SpecialReg::TidX,
+        1 => SpecialReg::CtaIdX,
+        2 => SpecialReg::NTidX,
+        3 => SpecialReg::NCtaIdX,
+        4 => SpecialReg::LaneId,
+        5 => SpecialReg::WarpId,
+        6 => SpecialReg::GlobalTid,
+        _ => return None,
+    })
+}
+
+/// Encodes a kernel into a word stream:
+/// `[MAGIC, n_instrs, n_pool, instr_words(2 each: lo, hi)…, pool…]`,
+/// all as `u32` pairs packed into `u64` instruction words.
+pub fn encode_kernel(kernel: &Kernel) -> Vec<u32> {
+    let mut pool: Vec<u32> = Vec::new();
+    let mut words: Vec<u64> = Vec::with_capacity(kernel.len());
+
+    let pool_index = |v: u32, pool: &mut Vec<u32>| -> u64 {
+        // Deduplicate pool constants.
+        if let Some(i) = pool.iter().position(|&p| p == v) {
+            i as u64
+        } else {
+            pool.push(v);
+            (pool.len() - 1) as u64
+        }
+    };
+
+    for i in kernel.instructions() {
+        let mut w: u64 = u64::from(opcode_byte(i.opcode));
+        // dst
+        let dst_desc = match i.dst {
+            Dst::None => K_NONE << 6,
+            Dst::Reg(r) => (K_REG << 6) | r.index() as u64,
+            Dst::Pred(p) => (K_SPECIAL << 6) | p.index() as u64,
+        };
+        w |= dst_desc << 8;
+        // srcs
+        for (slot, src) in i.srcs.iter().enumerate() {
+            let desc = match src {
+                None => K_NONE << 6,
+                Some(Operand::Reg(r)) => (K_REG << 6) | r.index() as u64,
+                Some(Operand::Special(s)) => (K_SPECIAL << 6) | special_index(*s),
+                Some(Operand::Imm(v)) => (K_POOL_IMM << 6) | pool_index(*v, &mut pool),
+            };
+            w |= desc << (16 + 8 * slot);
+        }
+        // guard
+        if let Some(g) = &i.guard {
+            let gb = 1u64 | (u64::from(g.expected) << 1) | ((g.pred.index() as u64) << 2);
+            w |= gb << 40;
+        }
+        // payload: branch target or memory offset (20 bits inline, else pool)
+        let payload = i.target.map(|t| t as u32).unwrap_or(i.mem_offset);
+        let payload = if payload < (1 << 19) {
+            u64::from(payload)
+        } else {
+            (1 << 19) | pool_index(payload, &mut pool)
+        };
+        w |= payload << 44;
+        words.push(w);
+    }
+
+    let mut out = Vec::with_capacity(3 + words.len() * 2 + pool.len());
+    out.push(MAGIC);
+    out.push(words.len() as u32);
+    out.push(pool.len() as u32);
+    for w in words {
+        out.push(w as u32);
+        out.push((w >> 32) as u32);
+    }
+    out.extend(pool);
+    out
+}
+
+fn decode_operand(desc: u64, pool: &[u32]) -> Result<Option<Operand>, CodecError> {
+    let kind = (desc >> 6) & 0x3;
+    let idx = desc & 0x3f;
+    Ok(match kind {
+        K_NONE => None,
+        K_REG => Some(Operand::Reg(Reg(idx as u8))),
+        K_SPECIAL => Some(Operand::Special(
+            index_special(idx).ok_or(CodecError::BadOperand(desc as u8))?,
+        )),
+        _ => Some(Operand::Imm(
+            *pool
+                .get(idx as usize)
+                .ok_or(CodecError::BadPoolIndex(idx as u32))?,
+        )),
+    })
+}
+
+/// Decodes a word stream produced by [`encode_kernel`] back into a
+/// validated kernel with the given name.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input or if the decoded kernel
+/// fails validation.
+pub fn decode_kernel(name: &str, words: &[u32]) -> Result<Kernel, CodecError> {
+    if words.len() < 3 {
+        return Err(CodecError::Truncated);
+    }
+    if words[0] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let n_instr = words[1] as usize;
+    let n_pool = words[2] as usize;
+    if words.len() != 3 + n_instr * 2 + n_pool {
+        return Err(CodecError::Truncated);
+    }
+    let pool = &words[3 + n_instr * 2..];
+
+    let mut kb = KernelBuilder::new(name);
+    for k in 0..n_instr {
+        let lo = u64::from(words[3 + 2 * k]);
+        let hi = u64::from(words[3 + 2 * k + 1]);
+        let w = lo | (hi << 32);
+        let opcode = byte_opcode((w & 0xff) as u8)?;
+
+        let dst_desc = (w >> 8) & 0xff;
+        let dst = match (dst_desc >> 6) & 0x3 {
+            K_NONE => Dst::None,
+            K_REG => Dst::Reg(Reg((dst_desc & 0x3f) as u8)),
+            K_SPECIAL => Dst::Pred(PredReg((dst_desc & 0x3f) as u8)),
+            _ => return Err(CodecError::BadOperand(dst_desc as u8)),
+        };
+
+        let mut instr = Instruction::new(opcode).with_dst(dst);
+        for slot in 0..3 {
+            let desc = (w >> (16 + 8 * slot)) & 0xff;
+            instr.srcs[slot] = decode_operand(desc, pool)?;
+        }
+
+        let gb = (w >> 40) & 0xf;
+        if gb & 1 != 0 {
+            instr.guard = Some(PredGuard {
+                expected: gb & 2 != 0,
+                pred: PredReg(((gb >> 2) & 0x3) as u8),
+            });
+        }
+
+        let payload = (w >> 44) & 0xf_ffff;
+        let value = if payload & (1 << 19) != 0 {
+            let i = (payload & 0x7_ffff) as usize;
+            *pool.get(i).ok_or(CodecError::BadPoolIndex(i as u32))?
+        } else {
+            payload as u32
+        };
+        if opcode.is_branch() {
+            instr.target = Some(value as usize);
+        } else {
+            instr.mem_offset = value;
+        }
+        kb.push(instr);
+    }
+    kb.build().map_err(CodecError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::reg::Reg;
+
+    fn sample_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("sample");
+        kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+        kb.mov_imm(Reg(1), 0xDEAD_BEEF);
+        kb.mov_f32(Reg(2), 1.5);
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.imad(Reg(3), Reg(1), Reg(2), Reg(3));
+        kb.ldg(Reg(4), Reg(0), 128);
+        kb.iadd_imm(Reg(5), Reg(5), 1);
+        kb.setp_imm(crate::PredReg(1), CmpOp::Ult, Reg(5), 10);
+        kb.bra_if(crate::PredReg(1), true, top);
+        kb.guard(crate::PredReg(0), false);
+        kb.stg(Reg(0), Reg(3), 4);
+        kb.exit();
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_instructions() {
+        let k = sample_kernel();
+        let words = encode_kernel(&k);
+        let k2 = decode_kernel("sample", &words).unwrap();
+        assert_eq!(k.instructions(), k2.instructions());
+        assert_eq!(k.regs_per_thread(), k2.regs_per_thread());
+    }
+
+    #[test]
+    fn pool_deduplicates_constants() {
+        let mut kb = KernelBuilder::new("dup");
+        for _ in 0..5 {
+            kb.mov_imm(Reg(0), 0x1234_5678);
+        }
+        kb.exit();
+        let words = encode_kernel(&kb.build().unwrap());
+        let n_pool = words[2];
+        assert_eq!(n_pool, 1, "repeated immediate stored once");
+    }
+
+    #[test]
+    fn every_opcode_roundtrips() {
+        for (i, &op) in OPCODES.iter().enumerate() {
+            assert_eq!(opcode_byte(op), i as u8);
+            assert_eq!(byte_opcode(i as u8).unwrap(), op);
+        }
+        assert!(byte_opcode(200).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_kernel("x", &[0, 0, 0]).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let k = sample_kernel();
+        let mut words = encode_kernel(&k);
+        words.pop();
+        assert_eq!(decode_kernel("x", &words).unwrap_err(), CodecError::Truncated);
+        assert_eq!(decode_kernel("x", &[MAGIC]).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn static_profile_identical_after_roundtrip() {
+        // The compiler profiler must see the same "binary".
+        let k = sample_kernel();
+        let k2 = decode_kernel("sample", &encode_kernel(&k)).unwrap();
+        let p1 = crate::StaticRegisterProfile::analyze(&k);
+        let p2 = crate::StaticRegisterProfile::analyze(&k2);
+        assert_eq!(p1.counts(), p2.counts());
+    }
+
+    #[test]
+    fn encoded_size_is_compact() {
+        let k = sample_kernel();
+        let words = encode_kernel(&k);
+        // Header (3) + 2 per instruction + small pool.
+        assert!(words.len() <= 3 + 2 * k.len() + 4);
+    }
+
+    #[test]
+    fn suite_kernels_roundtrip() {
+        // Smoke over something bigger: the sample plus a loop-heavy kernel.
+        let mut kb = KernelBuilder::new("big");
+        for r in 0..40u8 {
+            kb.mov_imm(Reg(r), u32::from(r) * 3);
+        }
+        let l = kb.new_label();
+        kb.place_label(l);
+        kb.iadd_imm(Reg(0), Reg(0), 1);
+        kb.setp_imm(crate::PredReg(0), CmpOp::Lt, Reg(0), 1000);
+        kb.bra_if(crate::PredReg(0), true, l);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let k2 = decode_kernel("big", &encode_kernel(&k)).unwrap();
+        assert_eq!(k.instructions(), k2.instructions());
+    }
+}

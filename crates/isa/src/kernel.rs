@@ -1,0 +1,680 @@
+//! Kernel representation and a label-based builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{Dst, Instruction, Operand, PredGuard};
+use crate::op::{CmpOp, Opcode};
+use crate::reg::{PredReg, Reg, SpecialReg, MAX_ARCH_REGS, NUM_PRED_REGS};
+
+/// An opaque forward-referenceable branch label handed out by
+/// [`KernelBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced when finalising a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A label was referenced by a branch but never placed with
+    /// [`KernelBuilder::place_label`].
+    UnboundLabel(usize),
+    /// A register index ≥ [`MAX_ARCH_REGS`] was used.
+    RegisterOutOfRange(Reg),
+    /// A predicate index ≥ [`crate::NUM_PRED_REGS`] was used.
+    PredicateOutOfRange(PredReg),
+    /// The kernel has no instructions.
+    Empty,
+    /// The kernel has no reachable `Exit`.
+    NoExit,
+    /// A branch target is outside the instruction array.
+    TargetOutOfRange {
+        /// Index of the offending branch.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnboundLabel(id) => write!(f, "label {id} was never placed"),
+            KernelError::RegisterOutOfRange(r) => {
+                write!(f, "register {r} exceeds the {MAX_ARCH_REGS}-register limit")
+            }
+            KernelError::PredicateOutOfRange(p) => {
+                write!(f, "predicate {p} exceeds the {NUM_PRED_REGS}-predicate limit")
+            }
+            KernelError::Empty => write!(f, "kernel has no instructions"),
+            KernelError::NoExit => write!(f, "kernel has no exit instruction"),
+            KernelError::TargetOutOfRange { pc, target } => {
+                write!(f, "branch at #{pc} targets out-of-range #{target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// An immutable, validated GPU kernel: a flat instruction array plus
+/// metadata.
+///
+/// Build one with [`KernelBuilder`]. Validation guarantees:
+/// every branch target is in range, every register and predicate index is
+/// legal, and at least one `Exit` exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    name: String,
+    instrs: Vec<Instruction>,
+    regs_per_thread: u8,
+}
+
+impl Kernel {
+    /// The kernel's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated instruction array.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the kernel has no instructions (never true for a
+    /// validated kernel).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of architected registers allocated per thread
+    /// (= highest register index used + 1), the quantity reported in the
+    /// paper's Table I second column.
+    pub fn regs_per_thread(&self) -> u8 {
+        self.regs_per_thread
+    }
+
+    /// Fetches the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn fetch(&self, pc: usize) -> &Instruction {
+        &self.instrs[pc]
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".kernel {} (regs={})", self.name, self.regs_per_thread)?;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "  #{pc:<4} {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental kernel builder with labels and ergonomic per-opcode helpers.
+///
+/// # Example
+///
+/// ```rust
+/// use prf_isa::{KernelBuilder, Reg, PredReg, CmpOp};
+///
+/// # fn main() -> Result<(), prf_isa::KernelError> {
+/// let mut kb = KernelBuilder::new("count_to_ten");
+/// kb.mov_imm(Reg(0), 0);
+/// let top = kb.new_label();
+/// kb.place_label(top);
+/// kb.iadd_imm(Reg(0), Reg(0), 1);
+/// kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 10);
+/// kb.bra_if(PredReg(0), true, top);
+/// kb.exit();
+/// let kernel = kb.build()?;
+/// assert_eq!(kernel.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instruction>,
+    labels: HashMap<usize, usize>,
+    next_label: usize,
+    pending_guard: Option<PredGuard>,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            next_label: 0,
+            pending_guard: None,
+        }
+    }
+
+    /// Current instruction count (= the pc the next instruction will get).
+    pub fn pc(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Allocates a fresh label that may be branched to before it is placed.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the next instruction's pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place_label(&mut self, label: Label) {
+        let prev = self.labels.insert(label.0, self.instrs.len());
+        assert!(prev.is_none(), "label {:?} placed twice", label);
+    }
+
+    /// Applies a predicate guard to the *next* instruction pushed.
+    pub fn guard(&mut self, pred: PredReg, expected: bool) -> &mut Self {
+        self.pending_guard = Some(PredGuard { pred, expected });
+        self
+    }
+
+    /// Pushes a raw instruction (escape hatch for anything the helpers do
+    /// not cover). Encodes label targets as `usize::MAX - label_id`; prefer
+    /// the helpers.
+    pub fn push(&mut self, mut instr: Instruction) -> &mut Self {
+        if let Some(g) = self.pending_guard.take() {
+            instr.guard = Some(g);
+        }
+        self.instrs.push(instr);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Moves
+    // ------------------------------------------------------------------
+
+    /// `dst = imm`.
+    pub fn mov_imm(&mut self, dst: Reg, imm: u32) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Mov)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[Operand::Imm(imm)]),
+        )
+    }
+
+    /// `dst = f32 immediate` (stored as IEEE-754 bits).
+    pub fn mov_f32(&mut self, dst: Reg, imm: f32) -> &mut Self {
+        self.mov_imm(dst, imm.to_bits())
+    }
+
+    /// `dst = special register`.
+    pub fn mov_special(&mut self, dst: Reg, s: SpecialReg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Mov)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[Operand::Special(s)]),
+        )
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Mov)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[Operand::Reg(src)]),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Integer arithmetic
+    // ------------------------------------------------------------------
+
+    fn bin(&mut self, op: Opcode, dst: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(
+            Instruction::new(op)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a, b]),
+        )
+    }
+
+    /// `dst = a + b`.
+    pub fn iadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::IAdd, dst, a.into(), b.into())
+    }
+
+    /// `dst = a + imm`.
+    pub fn iadd_imm(&mut self, dst: Reg, a: Reg, imm: u32) -> &mut Self {
+        self.bin(Opcode::IAdd, dst, a.into(), Operand::Imm(imm))
+    }
+
+    /// `dst = a - b`.
+    pub fn isub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::ISub, dst, a.into(), b.into())
+    }
+
+    /// `dst = a * b` (low 32 bits).
+    pub fn imul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::IMul, dst, a.into(), b.into())
+    }
+
+    /// `dst = a * imm`.
+    pub fn imul_imm(&mut self, dst: Reg, a: Reg, imm: u32) -> &mut Self {
+        self.bin(Opcode::IMul, dst, a.into(), Operand::Imm(imm))
+    }
+
+    /// `dst = a * b + c`.
+    pub fn imad(&mut self, dst: Reg, a: Reg, b: Reg, c: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::IMad)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into(), b.into(), c.into()]),
+        )
+    }
+
+    /// `dst = min(a, b)` (signed).
+    pub fn imin(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::IMin, dst, a.into(), b.into())
+    }
+
+    /// `dst = max(a, b)` (signed).
+    pub fn imax(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::IMax, dst, a.into(), b.into())
+    }
+
+    /// `dst = a & b`.
+    pub fn iand(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::IAnd, dst, a.into(), b.into())
+    }
+
+    /// `dst = a & imm`.
+    pub fn iand_imm(&mut self, dst: Reg, a: Reg, imm: u32) -> &mut Self {
+        self.bin(Opcode::IAnd, dst, a.into(), Operand::Imm(imm))
+    }
+
+    /// `dst = a ^ b`.
+    pub fn ixor(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::IXor, dst, a.into(), b.into())
+    }
+
+    /// `dst = a << imm`.
+    pub fn ishl_imm(&mut self, dst: Reg, a: Reg, imm: u32) -> &mut Self {
+        self.bin(Opcode::IShl, dst, a.into(), Operand::Imm(imm))
+    }
+
+    /// `dst = a >> imm` (logical).
+    pub fn ishr_imm(&mut self, dst: Reg, a: Reg, imm: u32) -> &mut Self {
+        self.bin(Opcode::IShr, dst, a.into(), Operand::Imm(imm))
+    }
+
+    // ------------------------------------------------------------------
+    // Floating point
+    // ------------------------------------------------------------------
+
+    /// `dst = a + b` (f32).
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::FAdd, dst, a.into(), b.into())
+    }
+
+    /// `dst = a * b` (f32).
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.bin(Opcode::FMul, dst, a.into(), b.into())
+    }
+
+    /// `dst = a * b + c` (fused, f32).
+    pub fn ffma(&mut self, dst: Reg, a: Reg, b: Reg, c: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::FFma)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into(), b.into(), c.into()]),
+        )
+    }
+
+    /// `dst = 1 / a` (SFU).
+    pub fn frcp(&mut self, dst: Reg, a: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::FRcp)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into()]),
+        )
+    }
+
+    /// `dst = sqrt(a)` (SFU).
+    pub fn fsqrt(&mut self, dst: Reg, a: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::FSqrt)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into()]),
+        )
+    }
+
+    /// `dst = log2(a)` (SFU).
+    pub fn flog2(&mut self, dst: Reg, a: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::FLog2)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into()]),
+        )
+    }
+
+    /// `dst = exp2(a)` (SFU).
+    pub fn fexp2(&mut self, dst: Reg, a: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::FExp2)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into()]),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Predicates, select, shuffle
+    // ------------------------------------------------------------------
+
+    /// `p = a <op> b`.
+    pub fn setp(&mut self, p: PredReg, op: CmpOp, a: Reg, b: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Setp(op))
+                .with_dst(Dst::Pred(p))
+                .with_srcs(&[a.into(), b.into()]),
+        )
+    }
+
+    /// `p = a <op> imm`.
+    pub fn setp_imm(&mut self, p: PredReg, op: CmpOp, a: Reg, imm: u32) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Setp(op))
+                .with_dst(Dst::Pred(p))
+                .with_srcs(&[a.into(), Operand::Imm(imm)]),
+        )
+    }
+
+    /// `dst = p ? a : b`. The guard slot carries the selecting predicate.
+    pub fn selp(&mut self, dst: Reg, a: Reg, b: Reg, p: PredReg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Selp)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[a.into(), b.into()])
+                .with_guard(PredGuard { pred: p, expected: true }),
+        )
+    }
+
+    /// Warp shuffle: `dst = value of src in lane (lane_src & 31)`.
+    pub fn shfl(&mut self, dst: Reg, src: Reg, lane_src: Reg) -> &mut Self {
+        self.push(
+            Instruction::new(Opcode::Shfl)
+                .with_dst(Dst::Reg(dst))
+                .with_srcs(&[src.into(), lane_src.into()]),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// `dst = global[addr + offset]`.
+    pub fn ldg(&mut self, dst: Reg, addr: Reg, offset: u32) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Ldg)
+            .with_dst(Dst::Reg(dst))
+            .with_srcs(&[addr.into()]);
+        i.mem_offset = offset;
+        self.push(i)
+    }
+
+    /// `global[addr + offset] = val`.
+    pub fn stg(&mut self, addr: Reg, val: Reg, offset: u32) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Stg).with_srcs(&[addr.into(), val.into()]);
+        i.mem_offset = offset;
+        self.push(i)
+    }
+
+    /// `dst = shared[addr + offset]`.
+    pub fn lds(&mut self, dst: Reg, addr: Reg, offset: u32) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Lds)
+            .with_dst(Dst::Reg(dst))
+            .with_srcs(&[addr.into()]);
+        i.mem_offset = offset;
+        self.push(i)
+    }
+
+    /// `shared[addr + offset] = val`.
+    pub fn sts(&mut self, addr: Reg, val: Reg, offset: u32) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Sts).with_srcs(&[addr.into(), val.into()]);
+        i.mem_offset = offset;
+        self.push(i)
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    /// Unconditional branch to `label`.
+    pub fn bra(&mut self, label: Label) -> &mut Self {
+        // Targets are temporarily encoded as usize::MAX - label id and fixed
+        // up in build(); a real pc can never reach that range because the
+        // instruction vector itself could not be that large.
+        self.push(Instruction::new(Opcode::Bra).with_target(usize::MAX - label.0))
+    }
+
+    /// Branch to `label` when `pred == expected` (per-lane; may diverge).
+    pub fn bra_if(&mut self, pred: PredReg, expected: bool, label: Label) -> &mut Self {
+        self.guard(pred, expected);
+        self.bra(label)
+    }
+
+    /// CTA-wide barrier.
+    pub fn bar(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Bar))
+    }
+
+    /// Terminate the thread.
+    pub fn exit(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Exit))
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Nop))
+    }
+
+    // ------------------------------------------------------------------
+    // Finalisation
+    // ------------------------------------------------------------------
+
+    /// Validates and freezes the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if a label was never placed, a register or
+    /// predicate index is out of range, the kernel is empty, has no `Exit`,
+    /// or a branch targets a pc outside the instruction array.
+    pub fn build(mut self) -> Result<Kernel, KernelError> {
+        if self.instrs.is_empty() {
+            return Err(KernelError::Empty);
+        }
+        // Resolve labels.
+        for pc in 0..self.instrs.len() {
+            if let Some(t) = self.instrs[pc].target {
+                if t > usize::MAX / 2 {
+                    let label_id = usize::MAX - t;
+                    let resolved = *self
+                        .labels
+                        .get(&label_id)
+                        .ok_or(KernelError::UnboundLabel(label_id))?;
+                    self.instrs[pc].target = Some(resolved);
+                }
+                let t = self.instrs[pc].target.unwrap();
+                if t >= self.instrs.len() {
+                    return Err(KernelError::TargetOutOfRange { pc, target: t });
+                }
+            }
+        }
+        // Validate registers and find the high-water mark.
+        let mut max_reg: i32 = -1;
+        let mut has_exit = false;
+        for i in &self.instrs {
+            if matches!(i.opcode, Opcode::Exit) {
+                has_exit = true;
+            }
+            for r in i.reg_reads().chain(i.reg_write()) {
+                if !r.is_valid() {
+                    return Err(KernelError::RegisterOutOfRange(r));
+                }
+                max_reg = max_reg.max(r.0 as i32);
+            }
+            if let Dst::Pred(p) = i.dst {
+                if !p.is_valid() {
+                    return Err(KernelError::PredicateOutOfRange(p));
+                }
+            }
+            if let Some(g) = &i.guard {
+                if !g.pred.is_valid() {
+                    return Err(KernelError::PredicateOutOfRange(g.pred));
+                }
+            }
+        }
+        if !has_exit {
+            return Err(KernelError::NoExit);
+        }
+        Ok(Kernel {
+            name: self.name,
+            instrs: self.instrs,
+            regs_per_thread: (max_reg + 1) as u8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_kernel() {
+        let mut kb = KernelBuilder::new("k");
+        kb.mov_imm(Reg(0), 1);
+        kb.iadd_imm(Reg(1), Reg(0), 2);
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.len(), 3);
+        assert_eq!(k.regs_per_thread(), 2);
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut kb = KernelBuilder::new("loop");
+        kb.mov_imm(Reg(0), 0);
+        let top = kb.new_label();
+        let done = kb.new_label();
+        kb.place_label(top); // pc 1
+        kb.iadd_imm(Reg(0), Reg(0), 1);
+        kb.setp_imm(PredReg(0), CmpOp::Ge, Reg(0), 10);
+        kb.bra_if(PredReg(0), true, done); // pc 3 -> 6
+        kb.bra(top); // pc 4 -> 1
+        kb.place_label(done);
+        kb.nop(); // pc 5 — done label actually binds here
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(k.fetch(3).target, Some(5));
+        assert_eq!(k.fetch(4).target, Some(1));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut kb = KernelBuilder::new("bad");
+        let l = kb.new_label();
+        kb.bra(l);
+        kb.exit();
+        assert_eq!(kb.build().unwrap_err(), KernelError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn register_out_of_range_is_an_error() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.mov_imm(Reg(63), 0);
+        kb.exit();
+        assert_eq!(
+            kb.build().unwrap_err(),
+            KernelError::RegisterOutOfRange(Reg(63))
+        );
+    }
+
+    #[test]
+    fn empty_kernel_is_an_error() {
+        let kb = KernelBuilder::new("empty");
+        assert_eq!(kb.build().unwrap_err(), KernelError::Empty);
+    }
+
+    #[test]
+    fn missing_exit_is_an_error() {
+        let mut kb = KernelBuilder::new("noexit");
+        kb.mov_imm(Reg(0), 0);
+        assert_eq!(kb.build().unwrap_err(), KernelError::NoExit);
+    }
+
+    #[test]
+    fn guard_applies_to_next_instruction_only() {
+        let mut kb = KernelBuilder::new("g");
+        kb.guard(PredReg(1), false);
+        kb.mov_imm(Reg(0), 1);
+        kb.mov_imm(Reg(1), 2);
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(
+            k.fetch(0).guard,
+            Some(PredGuard { pred: PredReg(1), expected: false })
+        );
+        assert_eq!(k.fetch(1).guard, None);
+    }
+
+    #[test]
+    fn predicate_out_of_range_is_an_error() {
+        let mut kb = KernelBuilder::new("badp");
+        kb.setp_imm(PredReg(4), CmpOp::Eq, Reg(0), 0);
+        kb.exit();
+        assert_eq!(
+            kb.build().unwrap_err(),
+            KernelError::PredicateOutOfRange(PredReg(4))
+        );
+    }
+
+    #[test]
+    fn regs_per_thread_counts_high_water_mark() {
+        let mut kb = KernelBuilder::new("hw");
+        kb.mov_imm(Reg(12), 0);
+        kb.exit();
+        assert_eq!(kb.build().unwrap().regs_per_thread(), 13);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut kb = KernelBuilder::new("d");
+        kb.mov_imm(Reg(0), 5);
+        kb.exit();
+        let text = kb.build().unwrap().to_string();
+        assert!(text.contains(".kernel d"));
+        assert!(text.contains("mov R0"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn selp_and_shfl_helpers() {
+        let mut kb = KernelBuilder::new("s");
+        kb.selp(Reg(2), Reg(0), Reg(1), PredReg(0));
+        kb.shfl(Reg(3), Reg(2), Reg(0));
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(k.fetch(0).opcode, Opcode::Selp);
+        assert_eq!(k.fetch(1).opcode, Opcode::Shfl);
+        assert_eq!(k.regs_per_thread(), 4);
+    }
+}

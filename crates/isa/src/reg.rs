@@ -1,0 +1,171 @@
+//! Architected registers, predicate registers, and special (read-only)
+//! registers.
+//!
+//! The simulated GPU follows the paper's Kepler-like configuration: each
+//! thread may be allocated at most [`MAX_ARCH_REGS`] (63) general-purpose
+//! registers — the paper sizes its per-SM profiling counter array to 63
+//! two-byte counters for exactly this reason (§III-B).
+
+use std::fmt;
+
+/// Maximum number of architected general-purpose registers per thread.
+///
+/// Matches the paper's simulated GPU ("each thread can be allocated at most
+/// 63 registers", §III-B) and real Kepler GK110 hardware (255 for later
+/// chips, 63 for the compute-capability-3.0 parts the paper models).
+pub const MAX_ARCH_REGS: usize = 63;
+
+/// Number of predicate registers per thread.
+pub const NUM_PRED_REGS: usize = 4;
+
+/// An architected general-purpose register, `R0..R62`.
+///
+/// Register indices above [`MAX_ARCH_REGS`] are rejected by
+/// [`crate::KernelBuilder::build`]; the newtype itself is deliberately cheap
+/// to construct so kernel-building code stays readable.
+///
+/// # Example
+///
+/// ```rust
+/// use prf_isa::Reg;
+/// let r = Reg(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "R7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Returns the register index as a `usize`, convenient for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this register is a legal architected register.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < MAX_ARCH_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(v: u8) -> Self {
+        Reg(v)
+    }
+}
+
+/// A predicate register, `P0..P3`, written by `SETP` and read by predicated
+/// instructions.
+///
+/// Predicate registers live outside the main register file in real GPUs and
+/// in this model; they do not contribute to the register-file access counts
+/// that the pilot-warp profiler collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(pub u8);
+
+impl PredReg {
+    /// Returns the predicate index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this predicate register is in range.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_PRED_REGS
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Read-only special registers exposing thread geometry, as in PTX
+/// (`%tid.x`, `%ctaid.x`, …).
+///
+/// Reads of special registers do not access the main register file and are
+/// therefore invisible to register-file profiling, matching real hardware
+/// where they are serviced by dedicated logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the CTA (x dimension).
+    TidX,
+    /// CTA index within the grid (x dimension).
+    CtaIdX,
+    /// Number of threads per CTA (x dimension).
+    NTidX,
+    /// Number of CTAs in the grid (x dimension).
+    NCtaIdX,
+    /// Lane index within the warp (`0..32`).
+    LaneId,
+    /// Warp index within the CTA.
+    WarpId,
+    /// Globally unique (flattened) thread index: `ctaid * ntid + tid`.
+    GlobalTid,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+            SpecialReg::GlobalTid => "%gtid",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(0).to_string(), "R0");
+        assert_eq!(Reg(62).to_string(), "R62");
+        assert_eq!(Reg(13).index(), 13);
+    }
+
+    #[test]
+    fn reg_validity_boundary() {
+        assert!(Reg(62).is_valid());
+        assert!(!Reg(63).is_valid());
+        assert!(!Reg(255).is_valid());
+    }
+
+    #[test]
+    fn pred_validity_boundary() {
+        assert!(PredReg(3).is_valid());
+        assert!(!PredReg(4).is_valid());
+    }
+
+    #[test]
+    fn reg_from_u8() {
+        let r: Reg = 9u8.into();
+        assert_eq!(r, Reg(9));
+    }
+
+    #[test]
+    fn reg_ordering_follows_index() {
+        assert!(Reg(3) < Reg(10));
+        let mut v = vec![Reg(5), Reg(1), Reg(3)];
+        v.sort();
+        assert_eq!(v, vec![Reg(1), Reg(3), Reg(5)]);
+    }
+
+    #[test]
+    fn special_reg_display() {
+        assert_eq!(SpecialReg::TidX.to_string(), "%tid.x");
+        assert_eq!(SpecialReg::GlobalTid.to_string(), "%gtid");
+    }
+}

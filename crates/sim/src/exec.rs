@@ -1,0 +1,458 @@
+//! Functional execution of one warp instruction across its active lanes.
+//!
+//! The simulator is *functional-first*: architectural state (registers,
+//! predicates, memories, the SIMT stack) is updated at issue time, while
+//! timing (operand collection, bank conflicts, execution and memory
+//! latencies) is modelled separately. The scoreboard guarantees that the
+//! timing model never issues an instruction whose inputs are still in
+//! flight, so the functional-first shortcut cannot produce value anomalies
+//! visible to the timing model.
+
+use prf_isa::{
+    Dst, Instruction, Opcode, Operand, ReconvergenceTable, SpecialReg, WARP_SIZE,
+};
+
+use crate::mem::{GlobalMemory, SharedMemory};
+use crate::warp::WarpContext;
+
+/// Geometry facts the executor needs to evaluate special registers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecEnv {
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Number of CTAs in the grid.
+    pub num_ctas: u32,
+}
+
+/// The side effects of executing one instruction, as relevant to timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Word addresses touched per active lane (for coalescing), if the
+    /// instruction was a global memory access.
+    pub global_addrs: Vec<u32>,
+    /// True if the instruction was a shared-memory access.
+    pub shared_access: bool,
+    /// True if the warp hit a barrier and is now blocked.
+    pub hit_barrier: bool,
+    /// Lanes that exited.
+    pub exited_mask: u32,
+    /// Lanes active when the instruction executed.
+    pub active_lanes: u32,
+    /// The instruction was a branch, and whether it diverged.
+    pub branch: Option<bool>,
+}
+
+impl ExecOutcome {
+    fn none() -> Self {
+        ExecOutcome {
+            global_addrs: Vec::new(),
+            shared_access: false,
+            hit_barrier: false,
+            exited_mask: 0,
+            active_lanes: 0,
+            branch: None,
+        }
+    }
+}
+
+fn lane_operand(warp: &WarpContext, env: &ExecEnv, lane: usize, op: Operand) -> u32 {
+    match op {
+        Operand::Reg(r) => warp.regs[lane][r.index()],
+        Operand::Imm(v) => v,
+        Operand::Special(s) => {
+            let tid = warp.warp_in_cta * WARP_SIZE as u32 + lane as u32;
+            match s {
+                SpecialReg::TidX => tid,
+                SpecialReg::CtaIdX => warp.cta.0,
+                SpecialReg::NTidX => env.threads_per_cta,
+                SpecialReg::NCtaIdX => env.num_ctas,
+                SpecialReg::LaneId => lane as u32,
+                SpecialReg::WarpId => warp.warp_in_cta,
+                SpecialReg::GlobalTid => warp.cta.0 * env.threads_per_cta + tid,
+            }
+        }
+    }
+}
+
+/// Executes the instruction at the warp's current pc, updating the warp's
+/// architectural state, the SIMT stack, and the memories.
+///
+/// Returns the [`ExecOutcome`] the timing model needs. The caller must have
+/// fetched `instr` from the warp's current pc.
+///
+/// # Panics
+///
+/// Panics if the warp has already exited.
+pub fn execute_warp_instruction(
+    warp: &mut WarpContext,
+    instr: &Instruction,
+    rt: &ReconvergenceTable,
+    env: &ExecEnv,
+    global: &mut GlobalMemory,
+    shared: &mut SharedMemory,
+) -> ExecOutcome {
+    let pc = warp.stack.pc().expect("executing an exited warp");
+    let active = warp.stack.active_mask();
+    let mut outcome = ExecOutcome::none();
+    outcome.active_lanes = active.count_ones();
+
+    // Lanes where the guard holds.
+    let guard_mask = match &instr.guard {
+        None => active,
+        Some(g) => {
+            let mut m = 0u32;
+            for lane in 0..WARP_SIZE {
+                if active & (1 << lane) != 0 && warp.preds[lane][g.pred.index()] == g.expected {
+                    m |= 1 << lane;
+                }
+            }
+            m
+        }
+    };
+
+    match instr.opcode {
+        Opcode::Bra => {
+            let target = instr.target.expect("validated branch has a target");
+            let not_taken = active & !guard_mask;
+            outcome.branch = Some(guard_mask != 0 && not_taken != 0);
+            warp.stack.branch(pc, target, guard_mask, rt);
+            return outcome;
+        }
+        Opcode::Exit => {
+            // Exit applies to guarded lanes; unguarded exit retires all
+            // active lanes.
+            outcome.exited_mask = guard_mask;
+            let survivors = active & !guard_mask;
+            if survivors != 0 {
+                // Guarded exit with survivors: survivors fall through.
+                warp.stack.exit_lanes(guard_mask);
+                if warp.stack.pc() == Some(pc) {
+                    warp.stack.advance(pc + 1);
+                }
+            } else {
+                warp.stack.exit_lanes(guard_mask);
+            }
+            return outcome;
+        }
+        Opcode::Bar => {
+            outcome.hit_barrier = true;
+            warp.stack.advance(pc + 1);
+            return outcome;
+        }
+        _ => {}
+    }
+
+    // Selp's guard is a value selector, not an execution mask: it runs in
+    // every active lane and picks src0/src1 by the predicate value.
+    let exec_mask = if instr.opcode == Opcode::Selp { active } else { guard_mask };
+
+    // Shuffle needs a snapshot of the source register across lanes.
+    let shfl_snapshot: Option<Vec<u32>> = if instr.opcode == Opcode::Shfl {
+        let src = instr.srcs[0]
+            .and_then(|o| o.as_reg())
+            .expect("shfl source must be a register");
+        Some((0..WARP_SIZE).map(|l| warp.regs[l][src.index()]).collect())
+    } else {
+        None
+    };
+
+    for lane in 0..WARP_SIZE {
+        if exec_mask & (1 << lane) == 0 {
+            continue;
+        }
+        let fetch = |i: usize| -> u32 {
+            instr.srcs[i].map_or(0, |o| lane_operand(warp, env, lane, o))
+        };
+        let result: Option<u32> = match instr.opcode {
+            Opcode::Ldg => {
+                let addr = fetch(0).wrapping_add(instr.mem_offset);
+                outcome.global_addrs.push(addr);
+                Some(global.read(addr))
+            }
+            Opcode::Stg => {
+                let addr = fetch(0).wrapping_add(instr.mem_offset);
+                outcome.global_addrs.push(addr);
+                global.write(addr, fetch(1));
+                None
+            }
+            Opcode::Lds => {
+                outcome.shared_access = true;
+                Some(shared.read(fetch(0).wrapping_add(instr.mem_offset)))
+            }
+            Opcode::Sts => {
+                outcome.shared_access = true;
+                shared.write(fetch(0).wrapping_add(instr.mem_offset), fetch(1));
+                None
+            }
+            Opcode::Shfl => {
+                let src_lane = (fetch(1) & 31) as usize;
+                Some(shfl_snapshot.as_ref().expect("snapshot exists for shfl")[src_lane])
+            }
+            Opcode::Selp => {
+                // Guard carries the predicate: by construction `selp` is
+                // built with a guard, so lanes reaching here select src0;
+                // but we want value selection, not squashing. Handle via
+                // direct eval with the guard value.
+                let g = instr.guard.as_ref().expect("selp carries its predicate as guard");
+                let pv = warp.preds[lane][g.pred.index()] == g.expected;
+                Some(Opcode::Selp.eval([fetch(0), fetch(1), u32::from(pv)]))
+            }
+            Opcode::Nop => None,
+            Opcode::Setp(cmp) => {
+                let v = cmp.eval(fetch(0), fetch(1));
+                if let Dst::Pred(p) = instr.dst {
+                    warp.preds[lane][p.index()] = v;
+                }
+                None
+            }
+            op => Some(op.eval([fetch(0), fetch(1), fetch(2)])),
+        };
+        if let (Some(v), Dst::Reg(r)) = (result, instr.dst) {
+            warp.regs[lane][r.index()] = v;
+        }
+    }
+
+    warp.stack.advance(pc + 1);
+    outcome
+}
+
+/// `Selp` executes in *all* active lanes (it is a value select, not a
+/// guarded op), so its guard must not squash lanes. This helper tells the
+/// issue logic whether an instruction's guard squashes lanes (`true` for
+/// everything except `Selp`).
+pub fn guard_squashes(instr: &Instruction) -> bool {
+    instr.opcode != Opcode::Selp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_isa::{CmpOp, CtaId, KernelBuilder, PredReg, Reg};
+
+    fn env() -> ExecEnv {
+        ExecEnv { threads_per_cta: 64, num_ctas: 4 }
+    }
+
+    fn fresh_warp(regs: usize) -> WarpContext {
+        WarpContext::new(0, 0, CtaId(1), 1, u32::MAX, regs, 0)
+    }
+
+    fn run_to_completion(
+        kernel: &prf_isa::Kernel,
+        warp: &mut WarpContext,
+        global: &mut GlobalMemory,
+    ) {
+        let rt = ReconvergenceTable::compute(kernel);
+        let mut shared = SharedMemory::new(1024);
+        let e = env();
+        let mut steps = 0;
+        while let Some(pc) = warp.stack.pc() {
+            let instr = kernel.fetch(pc).clone();
+            execute_warp_instruction(warp, &instr, &rt, &e, global, &mut shared);
+            steps += 1;
+            assert!(steps < 100_000, "kernel did not terminate");
+        }
+    }
+
+    #[test]
+    fn special_registers_resolve_per_lane() {
+        let mut kb = KernelBuilder::new("tid");
+        kb.mov_special(Reg(0), SpecialReg::TidX);
+        kb.mov_special(Reg(1), SpecialReg::GlobalTid);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(2);
+        let mut g = GlobalMemory::new(1024);
+        run_to_completion(&k, &mut w, &mut g);
+        // warp_in_cta = 1: tid = 32 + lane.
+        assert_eq!(w.regs[0][0], 32);
+        assert_eq!(w.regs[5][0], 37);
+        // cta 1, 64 thr/cta: gtid = 64 + tid.
+        assert_eq!(w.regs[5][1], 64 + 37);
+    }
+
+    #[test]
+    fn arithmetic_updates_registers() {
+        let mut kb = KernelBuilder::new("a");
+        kb.mov_imm(Reg(0), 6);
+        kb.mov_imm(Reg(1), 7);
+        kb.imul(Reg(2), Reg(0), Reg(1));
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(3);
+        let mut g = GlobalMemory::new(1024);
+        run_to_completion(&k, &mut w, &mut g);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(w.regs[lane][2], 42);
+        }
+    }
+
+    #[test]
+    fn global_load_store_roundtrip() {
+        let mut kb = KernelBuilder::new("m");
+        kb.mov_special(Reg(0), SpecialReg::TidX);
+        kb.mov_imm(Reg(1), 1000);
+        kb.iadd(Reg(1), Reg(1), Reg(0)); // addr = 1000 + tid
+        kb.mov_imm(Reg(2), 5);
+        kb.stg(Reg(1), Reg(2), 0);
+        kb.ldg(Reg(3), Reg(1), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(4);
+        let mut g = GlobalMemory::new(4096);
+        run_to_completion(&k, &mut w, &mut g);
+        assert_eq!(g.read(1032), 5); // tid 32 is lane 0 of warp 1
+        assert_eq!(w.regs[0][3], 5);
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_paths() {
+        // if (tid < 40) R1 = 1 else R1 = 2  — lanes 0..7 of warp 1 take it.
+        let mut kb = KernelBuilder::new("div");
+        kb.mov_special(Reg(0), SpecialReg::TidX);
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 40);
+        let else_ = kb.new_label();
+        let join = kb.new_label();
+        kb.bra_if(PredReg(0), false, else_);
+        kb.mov_imm(Reg(1), 1);
+        kb.bra(join);
+        kb.place_label(else_);
+        kb.mov_imm(Reg(1), 2);
+        kb.place_label(join);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(2); // tids 32..63
+        let mut g = GlobalMemory::new(1024);
+        run_to_completion(&k, &mut w, &mut g);
+        for lane in 0..8 {
+            assert_eq!(w.regs[lane][1], 1, "lane {lane} (tid<40) takes then");
+        }
+        for lane in 8..WARP_SIZE {
+            assert_eq!(w.regs[lane][1], 2, "lane {lane} takes else");
+        }
+    }
+
+    #[test]
+    fn data_dependent_loop_trip_counts() {
+        // R0 = tid & 3; loop until R1 >= R0: per-lane trip counts differ.
+        let mut kb = KernelBuilder::new("loop");
+        kb.mov_special(Reg(0), SpecialReg::LaneId);
+        kb.iand_imm(Reg(0), Reg(0), 3);
+        kb.mov_imm(Reg(1), 0);
+        kb.mov_imm(Reg(2), 0);
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.iadd_imm(Reg(2), Reg(2), 10); // work
+        kb.iadd_imm(Reg(1), Reg(1), 1);
+        kb.setp(PredReg(0), CmpOp::Lt, Reg(1), Reg(0));
+        kb.bra_if(PredReg(0), true, top);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(3);
+        let mut g = GlobalMemory::new(1024);
+        run_to_completion(&k, &mut w, &mut g);
+        // Lane 0: R0=0 -> one iteration (do-while), R2=10.
+        assert_eq!(w.regs[0][2], 10);
+        // Lane 3: R0=3 -> three iterations, R2=30.
+        assert_eq!(w.regs[3][2], 30);
+        // Lane 7 (7&3=3): 30 as well.
+        assert_eq!(w.regs[7][2], 30);
+    }
+
+    #[test]
+    fn shfl_broadcasts_lane_value() {
+        let mut kb = KernelBuilder::new("sh");
+        kb.mov_special(Reg(0), SpecialReg::LaneId);
+        kb.mov_imm(Reg(1), 3); // read from lane 3
+        kb.shfl(Reg(2), Reg(0), Reg(1));
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(3);
+        let mut g = GlobalMemory::new(1024);
+        run_to_completion(&k, &mut w, &mut g);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(w.regs[lane][2], 3);
+        }
+    }
+
+    #[test]
+    fn selp_selects_per_lane_without_squashing() {
+        let mut kb = KernelBuilder::new("sel");
+        kb.mov_special(Reg(0), SpecialReg::LaneId);
+        kb.mov_imm(Reg(1), 100);
+        kb.mov_imm(Reg(2), 200);
+        kb.setp_imm(PredReg(1), CmpOp::Lt, Reg(0), 16);
+        kb.selp(Reg(3), Reg(1), Reg(2), PredReg(1));
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut w = fresh_warp(4);
+        let mut g = GlobalMemory::new(1024);
+        run_to_completion(&k, &mut w, &mut g);
+        assert_eq!(w.regs[0][3], 100);
+        assert_eq!(w.regs[20][3], 200);
+    }
+
+    #[test]
+    fn guarded_exit_retires_some_lanes() {
+        let mut kb = KernelBuilder::new("gx");
+        kb.mov_special(Reg(0), SpecialReg::LaneId);
+        kb.setp_imm(PredReg(0), CmpOp::Ge, Reg(0), 16);
+        kb.guard(PredReg(0), true);
+        kb.exit(); // upper half leaves
+        kb.mov_imm(Reg(1), 9);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        let mut w = fresh_warp(2);
+        let mut g = GlobalMemory::new(1024);
+        let mut s = SharedMemory::new(64);
+        let e = env();
+        // Step the first three instructions.
+        for _ in 0..3 {
+            let pc = w.stack.pc().unwrap();
+            let i = k.fetch(pc).clone();
+            execute_warp_instruction(&mut w, &i, &rt, &e, &mut g, &mut s);
+        }
+        assert_eq!(w.stack.active_mask(), 0x0000_FFFF);
+        // Finish.
+        while let Some(pc) = w.stack.pc() {
+            let i = k.fetch(pc).clone();
+            execute_warp_instruction(&mut w, &i, &rt, &e, &mut g, &mut s);
+        }
+        assert_eq!(w.regs[0][1], 9);
+        assert_eq!(w.regs[31][1], 0, "exited lane never ran the mov");
+    }
+
+    #[test]
+    fn barrier_blocks_and_advances_pc() {
+        let mut kb = KernelBuilder::new("b");
+        kb.bar();
+        kb.exit();
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        let mut w = fresh_warp(1);
+        let mut g = GlobalMemory::new(1024);
+        let mut s = SharedMemory::new(64);
+        let out = execute_warp_instruction(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
+        assert!(out.hit_barrier);
+        assert_eq!(w.stack.pc(), Some(1));
+    }
+
+    #[test]
+    fn partial_warp_respects_initial_mask() {
+        // sad-like CTA with 61 threads: warp 1 has 29 lanes.
+        let mut kb = KernelBuilder::new("p");
+        kb.mov_imm(Reg(0), 1);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let rt = ReconvergenceTable::compute(&k);
+        let mask = (1u32 << 29) - 1;
+        let mut w = WarpContext::new(1, 0, CtaId(0), 1, mask, 1, 0);
+        let mut g = GlobalMemory::new(1024);
+        let mut s = SharedMemory::new(64);
+        execute_warp_instruction(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
+        assert_eq!(w.regs[0][0], 1);
+        assert_eq!(w.regs[29][0], 0, "inactive lane untouched");
+        assert_eq!(w.regs[31][0], 0);
+    }
+}

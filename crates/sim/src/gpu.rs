@@ -1,0 +1,297 @@
+//! The whole-GPU simulation driver: CTA dispatch across SMs and the main
+//! cycle loop.
+
+use std::rc::Rc;
+
+use prf_isa::{CtaId, GridConfig, Kernel};
+
+use crate::config::GpuConfig;
+use crate::mem::GlobalMemory;
+use crate::rf::RegisterFileModel;
+use crate::sm::{KernelImage, Sm};
+use crate::stats::{SimResult, SmStats};
+
+/// Errors from running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel exceeded `GpuConfig::max_cycles` — almost always an
+    /// infinite loop in the kernel under test.
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the {limit}-cycle safety limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A GPU: a set of SMs sharing global memory, plus the CTA dispatcher.
+///
+/// # Example
+///
+/// ```rust
+/// use prf_isa::{GridConfig, KernelBuilder, Reg, SpecialReg};
+/// use prf_sim::{Gpu, GpuConfig, BaselineRf};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut kb = KernelBuilder::new("quick");
+/// kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+/// kb.iadd_imm(Reg(1), Reg(0), 1);
+/// kb.stg(Reg(0), Reg(1), 0);
+/// kb.exit();
+/// let kernel = kb.build()?;
+///
+/// let config = GpuConfig::kepler_single_sm();
+/// let banks = config.num_rf_banks;
+/// let mut gpu = Gpu::new(config);
+/// let result = gpu.run(
+///     kernel,
+///     GridConfig::new(4, 64),
+///     &|_sm| Box::new(BaselineRf::stv(banks)),
+/// )?;
+/// assert!(result.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    global: GlobalMemory,
+    /// Cycle counter carried across kernel launches (a workload may launch
+    /// several kernels back to back, as backprop does).
+    pub cycle: u64,
+}
+
+impl Gpu {
+    /// Creates a GPU with zeroed global memory.
+    pub fn new(config: GpuConfig) -> Self {
+        config.validate();
+        let global = GlobalMemory::new(config.global_mem_words);
+        Gpu { config, global, cycle: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Functional global memory (initialise workload inputs here).
+    pub fn global_mem(&mut self) -> &mut GlobalMemory {
+        &mut self.global
+    }
+
+    /// Read-only view of global memory (check workload outputs here).
+    pub fn global_mem_ref(&self) -> &GlobalMemory {
+        &self.global
+    }
+
+    /// Runs one kernel to completion.
+    ///
+    /// `rf_factory` builds the per-SM register-file model; it is invoked
+    /// once per SM with the SM index. The pilot warp is warp 0 of CTA 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimitExceeded`] if the kernel does not
+    /// finish within `GpuConfig::max_cycles` cycles.
+    pub fn run(
+        &mut self,
+        kernel: Kernel,
+        grid: GridConfig,
+        rf_factory: &dyn Fn(usize) -> Box<dyn RegisterFileModel>,
+    ) -> Result<SimResult, SimError> {
+        let name = kernel.name().to_string();
+        let image = Rc::new(KernelImage::new(kernel, grid));
+        let mut sms: Vec<Sm> = (0..self.config.num_sms)
+            .map(|i| Sm::new(i, &self.config, Rc::clone(&image), rf_factory(i)))
+            .collect();
+        let start_cycle = self.cycle;
+        for sm in &mut sms {
+            sm.notify_kernel_launch(start_cycle);
+        }
+
+        let mut next_cta = 0u32;
+        let mut pilot_finish: Option<u64> = None;
+        let limit = start_cycle + self.config.max_cycles;
+
+        loop {
+            // CTA dispatch: round-robin over SMs, as many as fit.
+            'dispatch: loop {
+                if next_cta >= grid.num_ctas {
+                    break;
+                }
+                let mut dispatched = false;
+                for sm in sms.iter_mut() {
+                    if next_cta >= grid.num_ctas {
+                        break 'dispatch;
+                    }
+                    if sm.try_dispatch_cta(CtaId(next_cta), self.cycle) {
+                        next_cta += 1;
+                        dispatched = true;
+                    }
+                }
+                if !dispatched {
+                    break;
+                }
+            }
+
+            for sm in sms.iter_mut() {
+                sm.cycle(self.cycle, &mut self.global);
+                for &(cta, warp, at) in &sm.finished_warps {
+                    if cta == 0 && warp == 0 && pilot_finish.is_none() {
+                        pilot_finish = Some(at - start_cycle);
+                    }
+                    let _ = at;
+                }
+                sm.finished_warps.clear();
+            }
+            self.cycle += 1;
+
+            if next_cta >= grid.num_ctas && sms.iter().all(|sm| sm.is_idle()) {
+                break;
+            }
+            if self.cycle >= limit {
+                return Err(SimError::CycleLimitExceeded { limit: self.config.max_cycles });
+            }
+        }
+
+        let mut stats = SmStats::new();
+        let mut per_sm_instructions = Vec::with_capacity(sms.len());
+        let mut trace = Vec::new();
+        for sm in &mut sms {
+            stats.merge(&sm.stats);
+            per_sm_instructions.push(sm.stats.instructions);
+            trace.extend(sm.trace.drain());
+        }
+        trace.sort_by_key(|e| e.cycle());
+        Ok(SimResult {
+            kernel: name,
+            cycles: self.cycle - start_cycle,
+            stats,
+            pilot_warp_finish: pilot_finish,
+            per_sm_instructions,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rf::BaselineRf;
+    use prf_isa::{KernelBuilder, Reg, SpecialReg};
+
+    fn store_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("store");
+        kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+        kb.iadd_imm(Reg(1), Reg(0), 100);
+        kb.stg(Reg(0), Reg(1), 0);
+        kb.exit();
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn single_sm_run_completes() {
+        let mut gpu = Gpu::new(GpuConfig {
+            global_mem_words: 1 << 14,
+            ..GpuConfig::kepler_single_sm()
+        });
+        let r = gpu
+            .run(store_kernel(), GridConfig::new(8, 128), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
+            .unwrap();
+        assert_eq!(r.stats.instructions, 4 * 8 * 4);
+        assert!(r.pilot_warp_finish.is_some());
+        assert!(r.ipc() > 0.0);
+        assert_eq!(gpu.global_mem_ref().read(500), 600);
+    }
+
+    #[test]
+    fn multi_sm_distributes_ctas() {
+        let config = GpuConfig {
+            num_sms: 4,
+            global_mem_words: 1 << 14,
+            ..GpuConfig::kepler_gtx780()
+        };
+        let mut gpu = Gpu::new(config);
+        let r = gpu
+            .run(store_kernel(), GridConfig::new(16, 64), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
+            .unwrap();
+        assert_eq!(r.per_sm_instructions.len(), 4);
+        assert!(
+            r.per_sm_instructions.iter().all(|&i| i > 0),
+            "all SMs should get work: {:?}",
+            r.per_sm_instructions
+        );
+        // All 1024 threads stored.
+        assert_eq!(gpu.global_mem_ref().read(1023), 1123);
+    }
+
+    #[test]
+    fn cycle_limit_catches_infinite_loops() {
+        let mut kb = KernelBuilder::new("hang");
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.iadd_imm(Reg(0), Reg(0), 1);
+        kb.bra(top);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            max_cycles: 5_000,
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        });
+        let err = gpu
+            .run(k, GridConfig::new(1, 32), &|_| Box::new(BaselineRf::stv(24)))
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimitExceeded { limit: 5_000 });
+    }
+
+    #[test]
+    fn back_to_back_kernels_accumulate_cycles() {
+        let mut gpu = Gpu::new(GpuConfig {
+            global_mem_words: 1 << 14,
+            ..GpuConfig::kepler_single_sm()
+        });
+        let r1 = gpu
+            .run(store_kernel(), GridConfig::new(2, 64), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
+            .unwrap();
+        let c1 = gpu.cycle;
+        let r2 = gpu
+            .run(store_kernel(), GridConfig::new(2, 64), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
+            .unwrap();
+        assert!(gpu.cycle > c1);
+        assert_eq!(r1.stats.instructions, r2.stats.instructions);
+    }
+
+    #[test]
+    fn pilot_fraction_small_for_many_ctas() {
+        let mut gpu = Gpu::new(GpuConfig {
+            global_mem_words: 1 << 16,
+            ..GpuConfig::kepler_single_sm()
+        });
+        let r = gpu
+            .run(store_kernel(), GridConfig::new(64, 256), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
+            .unwrap();
+        let frac = r.pilot_runtime_fraction().unwrap();
+        assert!(frac < 0.5, "pilot fraction should be small, got {frac}");
+    }
+}

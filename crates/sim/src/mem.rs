@@ -1,0 +1,313 @@
+//! Memory system: functional global/shared memory, a small L1 model, and
+//! the load/store unit with warp-level coalescing.
+
+use std::collections::VecDeque;
+
+/// Functional global memory: a flat array of 32-bit words with wrapping
+/// addressing (addresses are word indices masked to the array size).
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    words: Vec<u32>,
+    mask: usize,
+}
+
+impl GlobalMemory {
+    /// Allocates `num_words` (must be a power of two) zeroed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_words` is not a power of two.
+    pub fn new(num_words: usize) -> Self {
+        assert!(num_words.is_power_of_two(), "memory size must be a power of two");
+        GlobalMemory { words: vec![0; num_words], mask: num_words - 1 }
+    }
+
+    /// Reads the word at `addr` (word address, wraps).
+    pub fn read(&self, addr: u32) -> u32 {
+        self.words[addr as usize & self.mask]
+    }
+
+    /// Writes the word at `addr` (word address, wraps).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        self.words[addr as usize & self.mask] = value;
+    }
+
+    /// Bulk-initialises memory starting at `base` from `data`.
+    pub fn load(&mut self, base: u32, data: &[u32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(base.wrapping_add(i as u32), v);
+        }
+    }
+
+    /// Size in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always false (memory always has at least one word).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Per-CTA shared memory (word-addressed, wraps).
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    words: Vec<u32>,
+}
+
+impl SharedMemory {
+    /// Allocates `num_words` zeroed words.
+    pub fn new(num_words: usize) -> Self {
+        SharedMemory { words: vec![0; num_words.max(1)] }
+    }
+
+    /// Reads the word at `addr` (wraps).
+    pub fn read(&self, addr: u32) -> u32 {
+        let n = self.words.len();
+        self.words[addr as usize % n]
+    }
+
+    /// Writes the word at `addr` (wraps).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        let n = self.words.len();
+        self.words[addr as usize % n] = value;
+    }
+}
+
+/// Words per coalescing segment / cache line (128 bytes).
+pub const LINE_WORDS: u32 = 32;
+
+/// A tiny fully-associative LRU cache over 128-byte lines, standing in for
+/// the per-SM L1.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    lines: VecDeque<u32>,
+    capacity: usize,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl L1Cache {
+    /// Creates a cache with `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        L1Cache { lines: VecDeque::new(), capacity: capacity.max(1), hits: 0, misses: 0 }
+    }
+
+    /// Accesses the line containing word address `addr`; returns `true` on
+    /// hit. Misses allocate (LRU eviction).
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line = addr / LINE_WORDS;
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.lines.push_back(line);
+            self.hits += 1;
+            true
+        } else {
+            if self.lines.len() == self.capacity {
+                self.lines.pop_front();
+            }
+            self.lines.push_back(line);
+            self.misses += 1;
+            false
+        }
+    }
+}
+
+/// A memory request being processed by the LSU.
+#[derive(Debug, Clone, Copy)]
+struct LsuOp {
+    token: u64,
+    finish_at: u64,
+}
+
+/// The load/store unit for one SM.
+///
+/// Accepts one warp memory instruction per cycle; each instruction's
+/// latency is `base latency + (transactions - 1)` cycles, where
+/// transactions is the number of distinct 128-byte segments touched by the
+/// active lanes (coalescing). Completion tokens are returned to the SM,
+/// which performs the register writeback via the operand collector.
+#[derive(Debug)]
+pub struct LoadStoreUnit {
+    inflight: Vec<LsuOp>,
+    accept_queue: VecDeque<(u64, u32)>, // (token, latency)
+    /// Total coalesced transactions issued.
+    pub transactions: u64,
+    /// Warp-level memory instructions processed.
+    pub instructions: u64,
+}
+
+impl LoadStoreUnit {
+    /// New, idle LSU.
+    pub fn new() -> Self {
+        LoadStoreUnit {
+            inflight: Vec::new(),
+            accept_queue: VecDeque::new(),
+            transactions: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Counts coalesced transactions for a set of word addresses.
+    pub fn coalesce(addrs: &[u32]) -> u32 {
+        let mut segs: Vec<u32> = addrs.iter().map(|a| a / LINE_WORDS).collect();
+        segs.sort_unstable();
+        segs.dedup();
+        segs.len() as u32
+    }
+
+    /// Submits a warp memory instruction. `latency` is the full service
+    /// latency (hit/miss decided by the caller via the L1 model);
+    /// `transactions` adds serialisation cycles.
+    pub fn submit(&mut self, token: u64, latency: u32, transactions: u32) {
+        self.transactions += u64::from(transactions);
+        self.instructions += 1;
+        let serialised = latency + transactions.saturating_sub(1);
+        self.accept_queue.push_back((token, serialised));
+    }
+
+    /// Advances one cycle; returns tokens of completed operations.
+    pub fn tick(&mut self, cycle: u64) -> Vec<u64> {
+        // One instruction enters service per cycle.
+        if let Some((token, lat)) = self.accept_queue.pop_front() {
+            self.inflight.push(LsuOp { token, finish_at: cycle + u64::from(lat) });
+        }
+        let mut done = Vec::new();
+        self.inflight.retain(|op| {
+            if op.finish_at <= cycle {
+                done.push(op.token);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.accept_queue.is_empty()
+    }
+}
+
+impl Default for LoadStoreUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_memory_wraps() {
+        let mut m = GlobalMemory::new(1024);
+        m.write(5, 42);
+        assert_eq!(m.read(5), 42);
+        m.write(1024 + 5, 7); // wraps to 5
+        assert_eq!(m.read(5), 7);
+        assert_eq!(m.len(), 1024);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn global_memory_bulk_load() {
+        let mut m = GlobalMemory::new(256);
+        m.load(10, &[1, 2, 3]);
+        assert_eq!(m.read(10), 1);
+        assert_eq!(m.read(12), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn global_memory_requires_pow2() {
+        GlobalMemory::new(1000);
+    }
+
+    #[test]
+    fn shared_memory_read_write() {
+        let mut s = SharedMemory::new(128);
+        s.write(3, 9);
+        assert_eq!(s.read(3), 9);
+        s.write(128 + 3, 11);
+        assert_eq!(s.read(3), 11);
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut c = L1Cache::new(4);
+        assert!(!c.access(0));
+        assert!(c.access(5)); // same 32-word line
+        assert!(!c.access(32)); // next line
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn l1_lru_eviction() {
+        let mut c = L1Cache::new(2);
+        c.access(0); // line 0
+        c.access(32); // line 1
+        c.access(64); // line 2, evicts line 0
+        assert!(!c.access(0), "line 0 was evicted");
+        assert!(c.access(64));
+    }
+
+    #[test]
+    fn coalescing_counts_segments() {
+        // All 32 lanes in one segment.
+        let addrs: Vec<u32> = (0..32).collect();
+        assert_eq!(LoadStoreUnit::coalesce(&addrs), 1);
+        // Stride-32: every lane its own segment.
+        let addrs: Vec<u32> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(LoadStoreUnit::coalesce(&addrs), 32);
+        // Two segments.
+        let addrs = vec![0, 1, 40, 41];
+        assert_eq!(LoadStoreUnit::coalesce(&addrs), 2);
+    }
+
+    #[test]
+    fn lsu_completes_after_latency() {
+        let mut lsu = LoadStoreUnit::new();
+        lsu.submit(1, 10, 1);
+        let mut done = Vec::new();
+        for cyc in 0..=10 {
+            done.extend(lsu.tick(cyc));
+        }
+        assert_eq!(done, vec![1]);
+        assert!(lsu.is_idle());
+        assert_eq!(lsu.instructions, 1);
+    }
+
+    #[test]
+    fn lsu_serialises_extra_transactions() {
+        let mut lsu = LoadStoreUnit::new();
+        lsu.submit(1, 10, 4); // +3 cycles
+        let mut finish = None;
+        for cyc in 0..=20 {
+            if lsu.tick(cyc).contains(&1) {
+                finish = Some(cyc);
+                break;
+            }
+        }
+        assert_eq!(finish, Some(13));
+        assert_eq!(lsu.transactions, 4);
+    }
+
+    #[test]
+    fn lsu_accepts_one_per_cycle() {
+        let mut lsu = LoadStoreUnit::new();
+        lsu.submit(1, 5, 1);
+        lsu.submit(2, 5, 1);
+        // token 1 enters at cycle 0 (done 5), token 2 at cycle 1 (done 6).
+        let mut done = Vec::new();
+        for cyc in 0..=6 {
+            done.extend(lsu.tick(cyc));
+        }
+        assert_eq!(done, vec![1, 2]);
+    }
+}

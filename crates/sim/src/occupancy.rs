@@ -1,0 +1,185 @@
+//! Occupancy analysis: how many CTAs/warps of a kernel fit on an SM, and
+//! what limits them — the CUDA-occupancy-calculator equivalent for this
+//! simulator's resource model.
+//!
+//! Occupancy matters to this paper twice: it bounds the thread-level
+//! parallelism available to hide FRF/SRF latency, and the register file is
+//! itself one of the limiting resources (Table I's register counts times
+//! Table II's 256 KB capacity).
+
+use std::fmt;
+
+use prf_isa::GridConfig;
+
+use crate::config::GpuConfig;
+
+/// Which resource caps residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// The per-SM CTA-slot count.
+    CtaSlots,
+    /// The hardware warp slots.
+    WarpSlots,
+    /// Register-file capacity.
+    Registers,
+}
+
+impl fmt::Display for OccupancyLimiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OccupancyLimiter::CtaSlots => "CTA slots",
+            OccupancyLimiter::WarpSlots => "warp slots",
+            OccupancyLimiter::Registers => "registers",
+        })
+    }
+}
+
+/// Occupancy report for one kernel shape on one GPU configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident CTAs per SM.
+    pub resident_ctas: usize,
+    /// Resident warps per SM.
+    pub resident_warps: usize,
+    /// Fraction of the SM's warp slots occupied.
+    pub warp_occupancy: f64,
+    /// Registers allocated per SM.
+    pub registers_used: usize,
+    /// Fraction of the register file allocated.
+    pub rf_utilization: f64,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+}
+
+impl Occupancy {
+    /// Computes occupancy for a kernel using `regs_per_thread` registers
+    /// with the given launch geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CTA cannot fit on the SM at all (more warps than the
+    /// SM has slots).
+    pub fn compute(config: &GpuConfig, grid: &GridConfig, regs_per_thread: u8) -> Self {
+        let warps_per_cta = grid.warps_per_cta() as usize;
+        assert!(
+            warps_per_cta <= config.max_warps_per_sm,
+            "a single CTA ({warps_per_cta} warps) exceeds the SM's {} warp slots",
+            config.max_warps_per_sm
+        );
+        let regs_per_cta =
+            grid.threads_per_cta as usize * regs_per_thread.max(1) as usize;
+
+        let by_ctas = config.max_ctas_per_sm;
+        let by_warps = config.max_warps_per_sm / warps_per_cta;
+        let by_regs = config.rf_registers / regs_per_cta.max(1);
+
+        let resident = by_ctas.min(by_warps).min(by_regs).min(grid.num_ctas as usize);
+        let limiter = if resident == by_regs && by_regs <= by_warps && by_regs <= by_ctas {
+            OccupancyLimiter::Registers
+        } else if resident == by_warps && by_warps <= by_ctas {
+            OccupancyLimiter::WarpSlots
+        } else {
+            OccupancyLimiter::CtaSlots
+        };
+
+        let resident_warps = resident * warps_per_cta;
+        Occupancy {
+            resident_ctas: resident,
+            resident_warps,
+            warp_occupancy: resident_warps as f64 / config.max_warps_per_sm as f64,
+            registers_used: resident * regs_per_cta,
+            rf_utilization: (resident * regs_per_cta) as f64 / config.rf_registers as f64,
+            limiter,
+        }
+    }
+}
+
+impl fmt::Display for Occupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} CTAs / {} warps ({:.0}% occupancy), RF {:.0}% used, limited by {}",
+            self.resident_ctas,
+            self.resident_warps,
+            100.0 * self.warp_occupancy,
+            100.0 * self.rf_utilization,
+            self.limiter
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler() -> GpuConfig {
+        GpuConfig::kepler_gtx780()
+    }
+
+    #[test]
+    fn warp_limited_backprop_shape() {
+        // 256 threads x 13 regs: 8 warps/CTA -> 8 CTAs by warps;
+        // registers would allow 19.
+        let o = Occupancy::compute(&kepler(), &GridConfig::new(100, 256), 13);
+        assert_eq!(o.resident_ctas, 8);
+        assert_eq!(o.resident_warps, 64);
+        assert_eq!(o.limiter, OccupancyLimiter::WarpSlots);
+        assert!((o.warp_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_limited_fat_kernel() {
+        // 512 threads x 63 regs = 32256 regs/CTA -> 65536/32256 = 2 CTAs
+        // (warps would allow 4).
+        let o = Occupancy::compute(&kepler(), &GridConfig::new(100, 512), 63);
+        assert_eq!(o.resident_ctas, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+        assert!(o.rf_utilization > 0.9);
+    }
+
+    #[test]
+    fn cta_slot_limited_tiny_ctas() {
+        // nw-like 16-thread CTAs: 1 warp each, 16-CTA slot limit binds.
+        let o = Occupancy::compute(&kepler(), &GridConfig::new(100, 16), 21);
+        assert_eq!(o.resident_ctas, 16);
+        assert_eq!(o.resident_warps, 16);
+        assert_eq!(o.limiter, OccupancyLimiter::CtaSlots);
+        assert!((o.warp_occupancy - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_grids_cap_residency() {
+        let o = Occupancy::compute(&kepler(), &GridConfig::new(3, 256), 13);
+        assert_eq!(o.resident_ctas, 3);
+    }
+
+    #[test]
+    fn matches_config_resident_limit() {
+        // Occupancy::compute and GpuConfig::max_resident_ctas agree
+        // whenever the grid is large enough.
+        let c = kepler();
+        for (threads, regs) in [(256u32, 13u8), (1024, 15), (61, 29), (128, 27)] {
+            let o = Occupancy::compute(&c, &GridConfig::new(1000, threads), regs);
+            assert_eq!(
+                o.resident_ctas,
+                c.max_resident_ctas(threads, regs),
+                "{threads}x{regs}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the SM")]
+    fn oversized_cta_rejected() {
+        let c = GpuConfig { max_warps_per_sm: 8, ..kepler() };
+        Occupancy::compute(&c, &GridConfig::new(1, 1024), 8);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let o = Occupancy::compute(&kepler(), &GridConfig::new(100, 256), 13);
+        let s = o.to_string();
+        assert!(s.contains("8 CTAs"));
+        assert!(s.contains("warp slots"));
+    }
+}

@@ -1,0 +1,891 @@
+//! The streaming multiprocessor (SM) pipeline.
+//!
+//! Per cycle, in order: (1) retire completed loads/stores and execution
+//! results, (2) advance the operand collectors and bank arbiter, (3) let
+//! each warp scheduler issue up to its width, executing issued instructions
+//! functionally and allocating collector entries for their register
+//! operands, (4) drive the register-file model's per-cycle hook (the
+//! adaptive-FRF epoch detector counts issued instructions here).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use prf_isa::{CtaId, GridConfig, Kernel, PredReg, ReconvergenceTable, Reg};
+
+use crate::collector::{CollectDest, OperandCollector};
+use crate::config::GpuConfig;
+use crate::exec::{execute_warp_instruction, ExecEnv};
+use crate::mem::{GlobalMemory, L1Cache, LoadStoreUnit, SharedMemory};
+use crate::rf::{AccessKind, RegisterFileModel, WarpLifecycle};
+use crate::scheduler::{build_scheduler, SchedulerEvent, WarpScheduler, WarpView};
+use crate::scoreboard::Scoreboard;
+use crate::stats::SmStats;
+use crate::trace::{TraceEvent, TraceRing};
+use crate::warp::{WarpBlock, WarpContext};
+
+/// Everything the SM needs to know about the running kernel.
+#[derive(Debug)]
+pub struct KernelImage {
+    /// The kernel itself.
+    pub kernel: Kernel,
+    /// IPDOM reconvergence table.
+    pub rt: ReconvergenceTable,
+    /// Launch geometry.
+    pub grid: GridConfig,
+}
+
+impl KernelImage {
+    /// Prepares a kernel for execution (computes the reconvergence table).
+    pub fn new(kernel: Kernel, grid: GridConfig) -> Self {
+        let rt = ReconvergenceTable::compute(&kernel);
+        KernelImage { kernel, rt, grid }
+    }
+
+    fn env(&self) -> ExecEnv {
+        ExecEnv {
+            threads_per_cta: self.grid.threads_per_cta,
+            num_ctas: self.grid.num_ctas,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CtaState {
+    warp_slots: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct InflightInstr {
+    warp_slot: usize,
+    dst_reg: Option<Reg>,
+    pred_dst: Option<PredReg>,
+    is_load: bool,
+    global_addrs: Vec<u32>,
+    shared_access: bool,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    /// SM index (0-based).
+    pub id: usize,
+    config: GpuConfig,
+    image: Rc<KernelImage>,
+    warps: Vec<Option<WarpContext>>,
+    scoreboards: Vec<Scoreboard>,
+    pending_loads: Vec<u32>,
+    schedulers: Vec<Box<dyn WarpScheduler>>,
+    collector: OperandCollector,
+    lsu: LoadStoreUnit,
+    shared_unit: LoadStoreUnit,
+    l1: L1Cache,
+    rf: Box<dyn RegisterFileModel>,
+    cta_slots: Vec<Option<CtaState>>,
+    shared_mem: Vec<SharedMemory>,
+    inflight: HashMap<u64, InflightInstr>,
+    next_token: u64,
+    exec_completions: Vec<(u64, u64)>, // (cycle, token)
+    /// Statistics for this SM.
+    pub stats: SmStats,
+    /// (cta, warp_in_cta, finish_cycle) of finished warps, drained by the GPU.
+    pub finished_warps: Vec<(u32, u32, u64)>,
+    sched_events: Vec<SchedulerEvent>,
+    next_dispatch_allowed: u64,
+    /// Pipeline-event trace ring (enabled via `GpuConfig::trace_capacity`).
+    pub trace: TraceRing,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("resident_warps", &self.warps.iter().filter(|w| w.is_some()).count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sm {
+    /// Creates an SM running `image` with the given register-file model.
+    pub fn new(
+        id: usize,
+        config: &GpuConfig,
+        image: Rc<KernelImage>,
+        rf: Box<dyn RegisterFileModel>,
+    ) -> Self {
+        let schedulers = (0..config.num_schedulers)
+            .map(|_| build_scheduler(config.scheduler))
+            .collect();
+        Sm {
+            id,
+            config: config.clone(),
+            warps: (0..config.max_warps_per_sm).map(|_| None).collect(),
+            scoreboards: (0..config.max_warps_per_sm).map(|_| Scoreboard::new()).collect(),
+            pending_loads: vec![0; config.max_warps_per_sm],
+            schedulers,
+            collector: OperandCollector::new(
+                config.num_collectors,
+                config.num_rf_banks,
+                config.rf_pipelined,
+            ),
+            lsu: LoadStoreUnit::new(),
+            shared_unit: LoadStoreUnit::new(),
+            l1: L1Cache::new(config.l1_lines),
+            rf,
+            cta_slots: (0..config.max_ctas_per_sm).map(|_| None).collect(),
+            shared_mem: (0..config.max_ctas_per_sm)
+                .map(|_| SharedMemory::new(config.shared_mem_words))
+                .collect(),
+            inflight: HashMap::new(),
+            next_token: 0,
+            exec_completions: Vec::new(),
+            stats: SmStats::new(),
+            finished_warps: Vec::new(),
+            sched_events: Vec::new(),
+            next_dispatch_allowed: 0,
+            trace: TraceRing::new(config.trace_capacity),
+            image,
+        }
+    }
+
+    /// Notifies the register-file model that a new kernel begins.
+    pub fn notify_kernel_launch(&mut self, cycle: u64) {
+        self.rf.on_kernel_launch(&self.image.kernel, cycle);
+    }
+
+    /// Number of CTAs currently resident.
+    pub fn resident_ctas(&self) -> usize {
+        self.cta_slots.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of warps currently resident.
+    pub fn resident_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// True when no warp is resident and no instruction is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.resident_warps() == 0
+            && self.inflight.is_empty()
+            && self.collector.is_idle()
+            && self.lsu.is_idle()
+            && self.shared_unit.is_idle()
+    }
+
+    /// Tries to make `cta` resident; returns `false` when out of CTA slots,
+    /// warp slots, register capacity, or still within the dispatch
+    /// interval after the previous CTA launch.
+    pub fn try_dispatch_cta(&mut self, cta: CtaId, cycle: u64) -> bool {
+        let grid = &self.image.grid;
+        let regs = self.image.kernel.regs_per_thread().max(1) as usize;
+        let warps_needed = grid.warps_per_cta() as usize;
+
+        if cycle < self.next_dispatch_allowed {
+            return false;
+        }
+        if self.resident_ctas() >= self.config.max_ctas_per_sm {
+            return false;
+        }
+        // Register-capacity limit.
+        let regs_in_use: usize = self.warps.iter().flatten().count() * 32 * regs;
+        if regs_in_use + warps_needed * 32 * regs > self.config.rf_registers {
+            return false;
+        }
+        let free_slots: Vec<usize> = (0..self.warps.len())
+            .filter(|&i| self.warps[i].is_none())
+            .take(warps_needed)
+            .collect();
+        if free_slots.len() < warps_needed {
+            return false;
+        }
+        let Some(cta_slot) = self.cta_slots.iter().position(|c| c.is_none()) else {
+            return false;
+        };
+
+        for (w, &slot) in free_slots.iter().enumerate() {
+            let mask = grid.active_mask(w as u32);
+            let warp = WarpContext::new(slot, cta_slot, cta, w as u32, mask, regs, cycle);
+            self.scoreboards[slot] = Scoreboard::new();
+            self.pending_loads[slot] = 0;
+            let nsched = self.schedulers.len();
+            self.schedulers[slot % nsched].on_warp_start(slot);
+            self.rf.on_warp_start(
+                WarpLifecycle { slot, cta: cta.0, warp_in_cta: w as u32 },
+                cycle,
+            );
+            self.warps[slot] = Some(warp);
+        }
+        self.cta_slots[cta_slot] = Some(CtaState { warp_slots: free_slots });
+        // Fresh shared memory for the CTA.
+        self.shared_mem[cta_slot] = SharedMemory::new(self.config.shared_mem_words);
+        self.next_dispatch_allowed = cycle + self.config.cta_dispatch_interval;
+        self.trace.record(TraceEvent::CtaDispatch { cycle, sm: self.id, cta: cta.0 });
+        true
+    }
+
+    fn alloc_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn retire(&mut self, token: u64, cycle: u64) {
+        let Some(info) = self.inflight.remove(&token) else { return };
+        if let Some(p) = info.pred_dst {
+            self.scoreboards[info.warp_slot].release_pred(p);
+        }
+        if info.is_load {
+            self.pending_loads[info.warp_slot] =
+                self.pending_loads[info.warp_slot].saturating_sub(1);
+        }
+        if let Some(w) = self.warps[info.warp_slot].as_mut() {
+            w.inflight = w.inflight.saturating_sub(1);
+        }
+        self.maybe_finish_warp(info.warp_slot, cycle);
+    }
+
+    fn maybe_finish_warp(&mut self, slot: usize, cycle: u64) {
+        let done = match self.warps[slot].as_ref() {
+            Some(w) => w.exited() && w.inflight == 0,
+            None => false,
+        };
+        if !done {
+            return;
+        }
+        let w = self.warps[slot].take().expect("checked above");
+        self.trace.record(TraceEvent::WarpFinish { cycle, sm: self.id, warp: slot });
+        let nsched = self.schedulers.len();
+        self.schedulers[slot % nsched].on_warp_finish(slot);
+        self.rf.on_warp_finish(
+            WarpLifecycle { slot, cta: w.cta.0, warp_in_cta: w.warp_in_cta },
+            cycle,
+        );
+        self.finished_warps.push((w.cta.0, w.warp_in_cta, cycle));
+        // CTA completion check.
+        let cta_slot = w.cta_slot;
+        let cta_done = self.cta_slots[cta_slot]
+            .as_ref()
+            .is_some_and(|c| c.warp_slots.iter().all(|&s| self.warps[s].is_none()));
+        if cta_done {
+            self.cta_slots[cta_slot] = None;
+        }
+    }
+
+    fn release_barriers(&mut self) {
+        for cta_slot in 0..self.cta_slots.len() {
+            let Some(c) = self.cta_slots[cta_slot].as_ref() else { continue };
+            let mut waiting = 0usize;
+            let mut live = 0usize;
+            for &s in &c.warp_slots {
+                if let Some(w) = self.warps[s].as_ref() {
+                    if !w.exited() {
+                        live += 1;
+                        if w.block == WarpBlock::Barrier {
+                            waiting += 1;
+                        }
+                    }
+                }
+            }
+            if live > 0 && waiting == live {
+                let slots = c.warp_slots.clone();
+                for s in slots {
+                    if let Some(w) = self.warps[s].as_mut() {
+                        if w.block == WarpBlock::Barrier {
+                            w.block = WarpBlock::None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn warp_views(&self, sched: usize) -> Vec<WarpView> {
+        let mut views = Vec::new();
+        for slot in (sched..self.warps.len()).step_by(self.schedulers.len()) {
+            if let Some(w) = self.warps[slot].as_ref() {
+                if w.exited() {
+                    continue;
+                }
+                // "Long latency pending" = the warp's next instruction is
+                // blocked by the scoreboard while it has loads outstanding —
+                // the two-level scheduler's demotion trigger.
+                let long = self.pending_loads[slot] > 0 && {
+                    match w.stack.pc() {
+                        Some(pc) => self.scoreboards[slot].blocked(self.image.kernel.fetch(pc)),
+                        None => false,
+                    }
+                };
+                views.push(WarpView {
+                    slot,
+                    dispatch_cycle: w.dispatch_cycle,
+                    resident: true,
+                    long_latency_pending: long,
+                    barrier_waiting: w.block == WarpBlock::Barrier,
+                });
+            }
+        }
+        views
+    }
+
+    /// Returns true when the warp at `slot` can issue its next instruction.
+    fn can_issue(&self, slot: usize) -> bool {
+        let Some(w) = self.warps[slot].as_ref() else { return false };
+        if w.exited() || w.block != WarpBlock::None {
+            return false;
+        }
+        let Some(pc) = w.stack.pc() else { return false };
+        let instr = self.image.kernel.fetch(pc);
+        if self.scoreboards[slot].blocked(instr) {
+            return false;
+        }
+        // Needs a collector unit unless it touches no registers at all.
+        let needs_collector =
+            instr.num_reg_src_operands() > 0 || instr.reg_write().is_some();
+        if needs_collector && !self.collector.has_free_unit() {
+            return false;
+        }
+        true
+    }
+
+    /// Issues the next instruction of warp `slot`. Caller must have checked
+    /// [`Sm::can_issue`].
+    fn issue(&mut self, slot: usize, cycle: u64, global: &mut GlobalMemory) {
+        let image = Rc::clone(&self.image);
+        let w = self.warps[slot].as_mut().expect("can_issue checked residency");
+        let pc = w.stack.pc().expect("can_issue checked pc");
+        let instr = image.kernel.fetch(pc).clone();
+        let env = image.env();
+
+        // Functional execution (updates pc / SIMT stack / registers /
+        // predicates / memory).
+        let cta_slot = w.cta_slot;
+        let trace_pc = pc;
+        let outcome = execute_warp_instruction(
+            w,
+            &instr,
+            &image.rt,
+            &env,
+            global,
+            &mut self.shared_mem[cta_slot],
+        );
+        if outcome.hit_barrier {
+            w.block = WarpBlock::Barrier;
+        }
+        let cta = w.cta.0;
+        let warp_in_cta = w.warp_in_cta;
+        self.stats.active_lane_sum += u64::from(outcome.active_lanes);
+        if let Some(diverged) = outcome.branch {
+            self.stats.total_branches += 1;
+            if diverged {
+                self.stats.divergent_branches += 1;
+            }
+        }
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Issue { cycle, sm: self.id, warp: slot, pc: trace_pc });
+            if outcome.hit_barrier {
+                self.trace.record(TraceEvent::BarrierWait { cycle, sm: self.id, warp: slot });
+            }
+        }
+
+        // Register-file bookkeeping. Reads are resolved here, exactly once
+        // per access (stateful models depend on this).
+        let reads: Vec<Reg> = instr.reg_reads().collect();
+        let dst_reg = instr.reg_write();
+        let mut resolved_reads = Vec::with_capacity(reads.len());
+        for &r in &reads {
+            self.rf.observe_access(slot, r, AccessKind::Read, cycle);
+            resolved_reads.push(self.rf.resolve(slot, r, AccessKind::Read, cycle));
+            self.stats.reg_accesses.record(r);
+        }
+        if let Some(r) = dst_reg {
+            self.rf.observe_access(slot, r, AccessKind::Write, cycle);
+            self.stats.reg_accesses.record(r);
+        }
+        if self.config.per_warp_stats {
+            let h = self.stats.per_warp.entry((cta, warp_in_cta)).or_default();
+            for &r in &reads {
+                h.record(r);
+            }
+            if let Some(r) = dst_reg {
+                h.record(r);
+            }
+        }
+
+        let pred_dst = match instr.dst {
+            prf_isa::Dst::Pred(p) => Some(p),
+            _ => None,
+        };
+        let needs_collector = !reads.is_empty() || dst_reg.is_some();
+
+        if needs_collector {
+            self.scoreboards[slot].reserve(&instr);
+            let token = self.alloc_token();
+            let is_load = instr.opcode.is_load();
+            if is_load {
+                self.pending_loads[slot] += 1;
+            }
+            let dest = if instr.opcode.exec_class() == prf_isa::ExecClass::Mem {
+                CollectDest::Memory
+            } else {
+                let latency = match instr.opcode.exec_class() {
+                    prf_isa::ExecClass::Fp => self.config.fp_latency,
+                    prf_isa::ExecClass::Sfu => self.config.sfu_latency,
+                    _ => self.config.alu_latency,
+                };
+                CollectDest::Execute { latency, writeback: dst_reg }
+            };
+            let ok = self.collector.allocate(slot, &resolved_reads, dest, token);
+            debug_assert!(ok, "can_issue checked for a free unit");
+            self.inflight.insert(
+                token,
+                InflightInstr {
+                    warp_slot: slot,
+                    dst_reg,
+                    pred_dst,
+                    is_load,
+                    global_addrs: outcome.global_addrs,
+                    shared_access: outcome.shared_access,
+                },
+            );
+            if let Some(w) = self.warps[slot].as_mut() {
+                w.inflight += 1;
+            }
+        }
+        // Control instructions (Bra/Exit/Bar/Nop) retire at issue.
+
+        self.stats.instructions += 1;
+        self.maybe_finish_warp(slot, cycle);
+    }
+
+    /// Advances the SM by one cycle. Returns the number of instructions
+    /// issued.
+    pub fn cycle(&mut self, cycle: u64, global: &mut GlobalMemory) -> u32 {
+        if self.resident_warps() > 0 {
+            self.stats.active_cycles += 1;
+        }
+
+        // 1. LSU + shared-memory-unit completions -> writeback (loads) or
+        // retire (stores).
+        let mut mem_done = self.lsu.tick(cycle);
+        mem_done.extend(self.shared_unit.tick(cycle));
+        for token in mem_done {
+            let (slot, dst) = match self.inflight.get(&token) {
+                Some(i) => (i.warp_slot, i.dst_reg),
+                None => continue,
+            };
+            match dst {
+                Some(reg) => {
+                    // Result forwarding: dependents see the value as soon
+                    // as it returns; the RF write itself is overlapped.
+                    self.scoreboards[slot].release_reg(reg);
+                    let access = self.rf.resolve(slot, reg, AccessKind::Write, cycle);
+                    self.collector.request_writeback(slot, reg, access, token);
+                }
+                None => self.retire(token, cycle),
+            }
+        }
+
+        // 2. Execution-pipe completions -> writeback or retire.
+        let mut due = Vec::new();
+        self.exec_completions.retain(|&(at, token)| {
+            if at <= cycle {
+                due.push(token);
+                false
+            } else {
+                true
+            }
+        });
+        for token in due {
+            let (slot, dst) = match self.inflight.get(&token) {
+                Some(i) => (i.warp_slot, i.dst_reg),
+                None => continue,
+            };
+            match dst {
+                Some(reg) => {
+                    // Result forwarding (as above).
+                    self.scoreboards[slot].release_reg(reg);
+                    let access = self.rf.resolve(slot, reg, AccessKind::Write, cycle);
+                    self.collector.request_writeback(slot, reg, access, token);
+                }
+                None => self.retire(token, cycle),
+            }
+        }
+
+        // 3. Operand collectors + bank arbiter.
+        let stats_pa = &mut self.stats.partition_accesses;
+        let (collected, completed_writes) =
+            self.collector.tick(cycle, |p, k| stats_pa.record(p, k));
+        for c in collected {
+            match c.dest {
+                CollectDest::Execute { latency, writeback } => {
+                    if writeback.is_some() || self.inflight.contains_key(&c.token) {
+                        self.exec_completions.push((cycle + u64::from(latency), c.token));
+                    }
+                }
+                CollectDest::Memory => {
+                    let info = self.inflight.get(&c.token).expect("mem op is in flight");
+                    if info.shared_access {
+                        // Shared memory has its own pipeline, separate from
+                        // the global-memory LSU (as on real SMs).
+                        self.shared_unit.submit(c.token, self.config.shared_mem_latency, 1);
+                        continue;
+                    }
+                    let (latency, transactions) = {
+                        let txns = LoadStoreUnit::coalesce(&info.global_addrs).max(1);
+                        let mut any_miss = false;
+                        let mut segs: Vec<u32> =
+                            info.global_addrs.iter().map(|a| a / crate::mem::LINE_WORDS).collect();
+                        segs.sort_unstable();
+                        segs.dedup();
+                        for s in segs {
+                            if !self.l1.access(s * crate::mem::LINE_WORDS) {
+                                any_miss = true;
+                            }
+                        }
+                        let lat = if any_miss {
+                            self.config.l1_miss_latency
+                        } else {
+                            self.config.l1_hit_latency
+                        };
+                        (lat, txns)
+                    };
+                    self.lsu.submit(c.token, latency, transactions);
+                }
+            }
+        }
+        for wdone in completed_writes {
+            // Scoreboard was already released at result forwarding; the
+            // completed write just retires the instruction.
+            self.retire(wdone.token, cycle);
+        }
+        self.stats.bank_conflict_waits = self.collector.bank_conflict_waits;
+        self.stats.l1_hits = self.l1.hits;
+        self.stats.l1_misses = self.l1.misses;
+        self.stats.mem_transactions = self.lsu.transactions;
+        self.stats.mem_instructions = self.lsu.instructions + self.shared_unit.instructions;
+
+        // 4. Barrier release.
+        self.release_barriers();
+
+        // 5. Issue.
+        let mut issued_total = 0u32;
+        for sched in 0..self.schedulers.len() {
+            let views = self.warp_views(sched);
+            let mut order = Vec::new();
+            self.schedulers[sched].prioritize(&views, cycle, &mut order);
+            let mut issued = 0usize;
+            for slot in order {
+                if issued >= self.config.issue_per_scheduler {
+                    break;
+                }
+                // Deterministic issue jitter: skip this warp this cycle
+                // with probability 1/issue_jitter (see GpuConfig).
+                if self.config.issue_jitter > 0 {
+                    let h = cycle
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((slot as u64) << 32)
+                        .wrapping_add(self.id as u64)
+                        .wrapping_add(self.config.jitter_seed.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    if (h >> 33).is_multiple_of(u64::from(self.config.issue_jitter)) {
+                        continue;
+                    }
+                }
+                // GTO greediness: a warp may issue both slots of its
+                // scheduler in one cycle if it stays ready.
+                while issued < self.config.issue_per_scheduler && self.can_issue(slot) {
+                    self.issue(slot, cycle, global);
+                    self.schedulers[sched].on_issue(slot, cycle);
+                    issued += 1;
+                }
+                if issued > 0 && !self.collector.has_free_unit() {
+                    self.stats.collector_stalls += 1;
+                    break;
+                }
+            }
+            issued_total += issued as u32;
+            // Export scheduler pool demotions to the RF model (RFC flush).
+            self.schedulers[sched].drain_events(&mut self.sched_events);
+        }
+        for ev in self.sched_events.drain(..) {
+            match ev {
+                SchedulerEvent::Deactivated { slot } => {
+                    self.rf.on_warp_deactivated(slot, cycle);
+                }
+            }
+        }
+
+        if issued_total > 0 {
+            self.stats.issue_cycles += 1;
+        } else if self.resident_warps() > 0 {
+            // Classify the zero-issue cycle by the dominant blocker.
+            let (mut mem, mut barrier, mut coll, mut alu) = (0u32, 0u32, 0u32, 0u32);
+            for slot in 0..self.warps.len() {
+                let Some(w) = self.warps[slot].as_ref() else { continue };
+                if w.exited() {
+                    continue;
+                }
+                if w.block == WarpBlock::Barrier {
+                    barrier += 1;
+                    continue;
+                }
+                let Some(pc) = w.stack.pc() else { continue };
+                let instr = self.image.kernel.fetch(pc);
+                if self.scoreboards[slot].blocked(instr) {
+                    if self.pending_loads[slot] > 0 {
+                        mem += 1;
+                    } else {
+                        alu += 1;
+                    }
+                } else {
+                    coll += 1; // ready but starved (collector / width)
+                }
+            }
+            let max = mem.max(barrier).max(coll).max(alu);
+            if max > 0 {
+                if max == mem {
+                    self.stats.stall_mem += 1;
+                } else if max == barrier {
+                    self.stats.stall_barrier += 1;
+                } else if max == alu {
+                    self.stats.stall_alu_dep += 1;
+                } else {
+                    self.stats.stall_collector += 1;
+                }
+            }
+        }
+
+        // 6. RF model per-cycle hook (adaptive FRF epoch counting).
+        self.rf.tick(cycle, issued_total);
+
+        issued_total
+    }
+
+    /// Access to the register-file model (for tests and reports).
+    pub fn rf_model(&self) -> &dyn RegisterFileModel {
+        self.rf.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rf::BaselineRf;
+    use prf_isa::{CmpOp, KernelBuilder, PredReg, SpecialReg};
+
+    fn simple_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("simple");
+        kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+        kb.iadd_imm(Reg(1), Reg(0), 5);
+        kb.imul_imm(Reg(2), Reg(1), 3);
+        kb.stg(Reg(0), Reg(2), 0);
+        kb.exit();
+        kb.build().unwrap()
+    }
+
+    fn run_sm(kernel: Kernel, grid: GridConfig, config: &GpuConfig) -> (Sm, u64, GlobalMemory) {
+        let image = Rc::new(KernelImage::new(kernel, grid));
+        let mut sm = Sm::new(0, config, Rc::clone(&image), Box::new(BaselineRf::stv(config.num_rf_banks)));
+        sm.notify_kernel_launch(0);
+        let mut global = GlobalMemory::new(config.global_mem_words);
+        let mut next_cta = 0u32;
+        let mut cycle = 0u64;
+        loop {
+            while next_cta < grid.num_ctas && sm.try_dispatch_cta(CtaId(next_cta), cycle) {
+                next_cta += 1;
+            }
+            sm.cycle(cycle, &mut global);
+            cycle += 1;
+            if next_cta == grid.num_ctas && sm.is_idle() {
+                break;
+            }
+            assert!(cycle < config.max_cycles, "SM test did not terminate");
+        }
+        (sm, cycle, global)
+    }
+
+    #[test]
+    fn single_warp_kernel_completes_with_correct_memory() {
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let grid = GridConfig::new(1, 32);
+        let (sm, cycles, global) = run_sm(simple_kernel(), grid, &config);
+        assert!(cycles > 0);
+        assert_eq!(sm.stats.instructions, 5); // 5 instrs x 1 warp
+        // tid 7: (7+5)*3 = 36 at address 7.
+        assert_eq!(global.read(7), 36);
+        assert_eq!(global.read(31), (31 + 5) * 3);
+    }
+
+    #[test]
+    fn multi_cta_kernel_all_ctas_complete() {
+        let config = GpuConfig { global_mem_words: 1 << 14, ..GpuConfig::kepler_single_sm() };
+        let grid = GridConfig::new(6, 64);
+        let (sm, _, global) = run_sm(simple_kernel(), grid, &config);
+        assert_eq!(sm.stats.instructions, 5 * 6 * 2); // 6 CTAs x 2 warps
+        // Last thread: tid = 6*64-1 = 383 -> (383+5)*3.
+        assert_eq!(global.read(383), (383 + 5) * 3);
+        assert_eq!(sm.finished_warps.len(), 12);
+    }
+
+    #[test]
+    fn rf_access_counts_match_instruction_mix() {
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let grid = GridConfig::new(1, 32);
+        let (sm, _, _) = run_sm(simple_kernel(), grid, &config);
+        // Per warp: mov (W R0), iadd (R R0, W R1), imul (R R1, W R2),
+        // stg (R R0, R R2) -> R0: 3, R1: 2, R2: 2.
+        assert_eq!(sm.stats.reg_accesses.count(Reg(0)), 3);
+        assert_eq!(sm.stats.reg_accesses.count(Reg(1)), 2);
+        assert_eq!(sm.stats.reg_accesses.count(Reg(2)), 2);
+        // Every architectural access eventually hits a bank.
+        assert_eq!(sm.stats.partition_accesses.total(), 7);
+    }
+
+    #[test]
+    fn barrier_synchronises_cta() {
+        // Warp 0 writes shared, all warps barrier, then read back.
+        let mut kb = KernelBuilder::new("bar");
+        kb.mov_special(Reg(0), SpecialReg::TidX);
+        kb.mov_imm(Reg(1), 123);
+        // Only warp 0 (tids 0..32) stores.
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 32);
+        let skip = kb.new_label();
+        kb.bra_if(PredReg(0), false, skip);
+        kb.sts(Reg(0), Reg(1), 0);
+        kb.place_label(skip);
+        kb.bar();
+        // Everyone loads tid%32 from shared.
+        kb.iand_imm(Reg(2), Reg(0), 31);
+        kb.lds(Reg(3), Reg(2), 0);
+        kb.stg(Reg(0), Reg(3), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let grid = GridConfig::new(1, 128);
+        let (_, _, global) = run_sm(k, grid, &config);
+        for tid in [0u32, 33, 127] {
+            assert_eq!(global.read(tid), 123, "tid {tid} must observe warp 0's store");
+        }
+    }
+
+    #[test]
+    fn looped_kernel_issues_dynamic_instructions() {
+        // 10-iteration loop: dynamic instruction count >> static length.
+        let mut kb = KernelBuilder::new("loop");
+        kb.mov_imm(Reg(0), 0);
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.iadd_imm(Reg(0), Reg(0), 1);
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 10);
+        kb.bra_if(PredReg(0), true, top);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let (sm, _, _) = run_sm(k, GridConfig::new(1, 32), &config);
+        // 1 + 10*3 + 1 = 32 dynamic instructions.
+        assert_eq!(sm.stats.instructions, 32);
+        // R0 dynamic accesses: mov W(1) + per iter iadd R+W (2) + setp R(1) = 31.
+        assert_eq!(sm.stats.reg_accesses.count(Reg(0)), 1 + 10 * 3);
+    }
+
+    #[test]
+    fn ntv_rf_slows_execution() {
+        let config = GpuConfig { global_mem_words: 1 << 14, ..GpuConfig::kepler_single_sm() };
+        let grid = GridConfig::new(4, 256);
+        let kernel = || {
+            let mut kb = KernelBuilder::new("alu");
+            kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+            for _ in 0..20 {
+                kb.imad(Reg(1), Reg(0), Reg(0), Reg(1));
+                kb.iadd(Reg(2), Reg(1), Reg(0));
+            }
+            kb.stg(Reg(0), Reg(2), 0);
+            kb.exit();
+            kb.build().unwrap()
+        };
+        let image = Rc::new(KernelImage::new(kernel(), grid));
+        let run = |rf: Box<dyn RegisterFileModel>| -> u64 {
+            let mut sm = Sm::new(0, &config, Rc::clone(&image), rf);
+            let mut global = GlobalMemory::new(config.global_mem_words);
+            let mut next_cta = 0u32;
+            let mut cycle = 0u64;
+            loop {
+                while next_cta < grid.num_ctas && sm.try_dispatch_cta(CtaId(next_cta), cycle) {
+                    next_cta += 1;
+                }
+                sm.cycle(cycle, &mut global);
+                cycle += 1;
+                if next_cta == grid.num_ctas && sm.is_idle() {
+                    return cycle;
+                }
+                assert!(cycle < 1_000_000);
+            }
+        };
+        let stv = run(Box::new(BaselineRf::stv(config.num_rf_banks)));
+        let ntv = run(Box::new(BaselineRf::ntv(config.num_rf_banks, 3)));
+        assert!(
+            ntv > stv,
+            "NTV RF ({ntv} cycles) must be slower than STV ({stv} cycles)"
+        );
+    }
+
+    #[test]
+    fn dispatch_respects_register_capacity() {
+        // 63 regs x 1024 threads = 64512 regs per CTA; capacity 65536 ->
+        // only one CTA fits.
+        let mut kb = KernelBuilder::new("fat");
+        kb.mov_imm(Reg(62), 1);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let config = GpuConfig::kepler_single_sm();
+        let grid = GridConfig::new(4, 1024);
+        let image = Rc::new(KernelImage::new(k, grid));
+        let mut sm = Sm::new(0, &config, image, Box::new(BaselineRf::stv(24)));
+        assert!(sm.try_dispatch_cta(CtaId(0), 0));
+        assert!(!sm.try_dispatch_cta(CtaId(1), 0), "register capacity exceeded");
+    }
+
+    #[test]
+    fn divergence_stats_track_branches() {
+        // Divergent diamond on lane id: one divergent branch per warp,
+        // plus the uniform loop-free fallthrough.
+        let mut kb = KernelBuilder::new("div");
+        kb.mov_special(Reg(0), SpecialReg::LaneId);
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 16);
+        let else_ = kb.new_label();
+        let join = kb.new_label();
+        kb.bra_if(PredReg(0), false, else_); // divergent
+        kb.mov_imm(Reg(1), 1);
+        kb.bra(join); // uniform
+        kb.place_label(else_);
+        kb.mov_imm(Reg(1), 2);
+        kb.place_label(join);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let (sm, _, _) = run_sm(k, GridConfig::new(1, 64), &config);
+        assert_eq!(sm.stats.total_branches, 4, "2 warps x 2 branches");
+        assert_eq!(sm.stats.divergent_branches, 2, "only the guarded branch diverges");
+        assert!((sm.stats.divergence_rate() - 0.5).abs() < 1e-12);
+        // SIMD efficiency below 1 because the diamond halves the masks.
+        let eff = sm.stats.simd_efficiency();
+        assert!(eff < 1.0 && eff > 0.5, "efficiency {eff}");
+    }
+
+    #[test]
+    fn uniform_kernel_has_full_simd_efficiency() {
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let (sm, _, _) = run_sm(simple_kernel(), GridConfig::new(1, 64), &config);
+        assert!((sm.stats.simd_efficiency() - 1.0).abs() < 1e-12);
+        assert_eq!(sm.stats.divergence_rate(), 0.0);
+    }
+
+    #[test]
+    fn partial_warp_cta_completes() {
+        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let grid = GridConfig::new(1, 61); // sad-like
+        let (sm, _, global) = run_sm(simple_kernel(), grid, &config);
+        assert_eq!(sm.finished_warps.len(), 2);
+        assert_eq!(global.read(60), (60 + 5) * 3);
+        // Thread 61 does not exist; its slot in memory must stay zero.
+        assert_eq!(global.read(61), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution tracing: a bounded ring of pipeline events for debugging and
+//! for driving visualisations.
+//!
+//! Tracing is off by default (`GpuConfig::trace_capacity == 0`). When
+//! enabled, each SM records its last `trace_capacity` events and
+//! [`crate::SimResult`] carries them merged, sorted by cycle.
+
+use std::fmt;
+
+/// One pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A CTA became resident.
+    CtaDispatch {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Flattened CTA id.
+        cta: u32,
+    },
+    /// A warp issued an instruction.
+    Issue {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+        /// Program counter of the issued instruction.
+        pc: usize,
+    },
+    /// A warp blocked at a CTA barrier.
+    BarrierWait {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+    },
+    /// A warp finished execution.
+    WarpFinish {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::CtaDispatch { cycle, .. }
+            | TraceEvent::Issue { cycle, .. }
+            | TraceEvent::BarrierWait { cycle, .. }
+            | TraceEvent::WarpFinish { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::CtaDispatch { cycle, sm, cta } => {
+                write!(f, "[{cycle:>8}] sm{sm} dispatch cta{cta}")
+            }
+            TraceEvent::Issue { cycle, sm, warp, pc } => {
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} issue #{pc}")
+            }
+            TraceEvent::BarrierWait { cycle, sm, warp } => {
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} barrier")
+            }
+            TraceEvent::WarpFinish { cycle, sm, warp } => {
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} finish")
+            }
+        }
+    }
+}
+
+/// A bounded ring buffer of trace events (keeps the most recent
+/// `capacity`).
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events ever recorded (including evicted ones).
+    pub recorded: u64,
+}
+
+impl TraceRing {
+    /// A ring with the given capacity; 0 disables recording.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            events: std::collections::VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// True when recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event (drops the oldest at capacity).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Drains the retained events out of the ring.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(cycle: u64) -> TraceEvent {
+        TraceEvent::Issue { cycle, sm: 0, warp: 1, pc: 2 }
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::new(0);
+        assert!(!r.enabled());
+        r.record(issue(1));
+        assert_eq!(r.recorded, 0);
+        assert_eq!(r.events().count(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = TraceRing::new(3);
+        for c in 0..5 {
+            r.record(issue(c));
+        }
+        assert_eq!(r.recorded, 5);
+        let cycles: Vec<u64> = r.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn drain_empties_ring() {
+        let mut r = TraceRing::new(4);
+        r.record(issue(7));
+        let drained = r.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(r.events().count(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::CtaDispatch { cycle: 12, sm: 0, cta: 3 };
+        assert!(e.to_string().contains("dispatch cta3"));
+        assert!(issue(9).to_string().contains("issue #2"));
+        let b = TraceEvent::BarrierWait { cycle: 1, sm: 0, warp: 5 };
+        assert!(b.to_string().contains("barrier"));
+        let w = TraceEvent::WarpFinish { cycle: 1, sm: 0, warp: 5 };
+        assert!(w.to_string().contains("finish"));
+    }
+}

@@ -1,0 +1,624 @@
+//! The kernel-recipe generator: builds synthetic kernels with controlled
+//! register-access structure.
+//!
+//! Each recipe produces a kernel with:
+//!
+//! * an exact register count (Table I's "Registers/Thread" column),
+//! * a designated *hot* register set used intensively in the main loop —
+//!   these become the dynamically most-accessed registers (Fig. 2 skew),
+//! * optional *decoy* registers that appear often in straight-line code
+//!   that executes once: statically frequent but dynamically cold, which
+//!   is what makes compiler-based profiling mispredict on Category-2
+//!   workloads (Fig. 4),
+//! * optional data-dependent trip counts loaded from memory,
+//! * an optional *pilot-variant* path: warp 0 of CTA 0 (the pilot) runs a
+//!   different loop over different registers than every other warp —
+//!   the Category-3 structure where the pilot's profile misleads,
+//! * optional per-iteration memory traffic (streaming, pointer-chasing,
+//!   or shared-memory tiles with barriers) that creates the low-compute
+//!   phases the adaptive FRF exploits.
+
+use prf_isa::{
+    CmpOp, GridConfig, Kernel, KernelBuilder, PredReg, Reg, SpecialReg,
+};
+
+/// Base word address of the per-thread trip-count array used by
+/// data-dependent recipes.
+pub const TRIPS_BASE: u32 = 0x400;
+
+/// Base word address of the data arrays kernels stream through.
+pub const DATA_BASE: u32 = 0x8000;
+
+/// Base word address where kernels store their outputs.
+pub const OUT_BASE: u32 = 0x10_0000;
+
+/// Per-iteration memory behaviour of the main loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPattern {
+    /// No memory traffic inside the loop (compute-bound).
+    None,
+    /// `val = mem[addr]; addr += stride` — regular streaming. Requires at
+    /// least two operand registers (address walker + loaded value).
+    Streaming {
+        /// Address stride in words.
+        stride: u32,
+    },
+    /// `ptr = mem[ptr]` — pointer chasing (irregular, BFS/MUM-like).
+    /// Requires at least one operand register.
+    Chase,
+    /// Shared-memory tile: `sts`/`bar`/`lds` per iteration (sgemm-,
+    /// stencil-like). Only valid with fixed trip counts.
+    SharedTile,
+}
+
+/// The Category-3 structure: the pilot warp takes a different path.
+#[derive(Debug, Clone)]
+pub struct PilotVariant {
+    /// Hot registers of the pilot-only path.
+    pub pilot_hot: Vec<u8>,
+    /// Pilot-path trip count.
+    pub pilot_trips: u32,
+}
+
+/// A parameterised synthetic kernel.
+#[derive(Debug, Clone)]
+pub struct KernelRecipe {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Total architected registers per thread (Table I).
+    pub regs: u8,
+    /// Hot registers: `hot[0]` is the accumulator, `hot[1]` the loop
+    /// counter, `hot[2]` the loop bound when trips are data-dependent,
+    /// the rest operands. At least 3 required.
+    pub hot: Vec<u8>,
+    /// Decoy registers (Category 2): statically frequent, dynamically
+    /// cold. Empty for other categories.
+    pub decoys: Vec<u8>,
+    /// Main-loop trip count (ignored per-thread when `data_dependent` is
+    /// set, where it becomes the *maximum*).
+    pub trips: u32,
+    /// Load per-thread trip counts from `TRIPS_BASE + gtid`.
+    pub data_dependent: bool,
+    /// Per-iteration memory behaviour.
+    pub mem: MemPattern,
+    /// A tid-dependent divergent branch inside the loop body.
+    pub body_divergence: bool,
+    /// Category-3 pilot-variant path.
+    pub pilot_variant: Option<PilotVariant>,
+}
+
+impl KernelRecipe {
+    /// A minimal compute recipe (Category-1 shaped).
+    pub fn basic(name: &'static str, regs: u8, hot: Vec<u8>, trips: u32) -> Self {
+        KernelRecipe {
+            name,
+            regs,
+            hot,
+            decoys: Vec::new(),
+            trips,
+            data_dependent: false,
+            mem: MemPattern::None,
+            body_divergence: false,
+            pilot_variant: None,
+        }
+    }
+
+    fn check(&self) {
+        assert!(self.hot.len() >= 3, "{}: need at least 3 hot registers", self.name);
+        assert!(self.regs >= 4, "{}: need at least 4 registers", self.name);
+        for &r in self.hot.iter().chain(&self.decoys) {
+            assert!(r < self.regs, "{}: register R{r} exceeds budget {}", self.name, self.regs);
+        }
+        for &d in &self.decoys {
+            assert!(!self.hot.contains(&d), "{}: R{d} is both hot and decoy", self.name);
+        }
+        if matches!(self.mem, MemPattern::SharedTile) {
+            assert!(!self.data_dependent, "{}: shared tiles need uniform trips", self.name);
+        }
+        let operands = self.hot.len() - 2 - usize::from(self.data_dependent);
+        match self.mem {
+            MemPattern::Streaming { .. } => {
+                assert!(operands >= 2, "{}: streaming needs 2 operand registers", self.name)
+            }
+            MemPattern::Chase => {
+                assert!(operands >= 1, "{}: chasing needs 1 operand register", self.name)
+            }
+            _ => {}
+        }
+        if let Some(pv) = &self.pilot_variant {
+            assert!(pv.pilot_hot.len() >= 3, "{}: pilot path needs 3 hot registers", self.name);
+            for &r in &pv.pilot_hot {
+                assert!(r < self.regs, "{}: pilot register R{r} out of budget", self.name);
+            }
+        }
+        // The builder needs a gtid register plus at least one scratch
+        // outside the designated roles (decoys can double as scratch).
+        let roles: usize = self.hot.len()
+            + self.pilot_variant.as_ref().map_or(0, |pv| pv.pilot_hot.len());
+        let free = (self.regs as usize).saturating_sub(roles);
+        assert!(
+            free + self.decoys.len() >= 2,
+            "{}: need at least 2 registers outside the hot/pilot roles              (for gtid and scratch); have {} free and {} decoys",
+            self.name,
+            free.saturating_sub(self.decoys.len().min(free)),
+            self.decoys.len()
+        );
+    }
+
+    /// A scratch register not used for any designated role. When the
+    /// register budget is fully claimed by roles (e.g. lavaMD's 6
+    /// registers), a decoy is reused: its scratch uses are one-shot, so it
+    /// stays dynamically cold.
+    fn scratch(&self, avoid: &[u8]) -> Reg {
+        for r in 0..self.regs {
+            let role = self.hot.contains(&r)
+                || self.decoys.contains(&r)
+                || avoid.contains(&r)
+                || self
+                    .pilot_variant
+                    .as_ref()
+                    .is_some_and(|pv| pv.pilot_hot.contains(&r));
+            if !role {
+                return Reg(r);
+            }
+        }
+        for &r in self.decoys.iter().rev() {
+            if !avoid.contains(&r) {
+                return Reg(r);
+            }
+        }
+        panic!("{}: no scratch register available", self.name);
+    }
+
+    /// Emits the arithmetic/memory loop body over the given role split.
+    /// `div_scratch` must not alias any live role register.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_loop(
+        &self,
+        kb: &mut KernelBuilder,
+        acc: Reg,
+        ctr: Reg,
+        bound_imm: Option<u32>,
+        bound_reg: Option<Reg>,
+        operands: &[Reg],
+        mem: MemPattern,
+        body_divergence: Option<Reg>,
+        warm: &[Reg],
+        unroll: u32,
+    ) {
+        let top = kb.new_label();
+        kb.place_label(top);
+        for u in 0..unroll.max(1) {
+            // Memory first, consumption of the loaded value last: real
+            // compilers schedule loads early, and the gap is what lets
+            // multi-cycle register files hide their latency.
+            let mut consume: Option<(Reg, Reg)> = None;
+            match mem {
+                MemPattern::None => {}
+                MemPattern::Streaming { stride } => {
+                    let addr = operands[0];
+                    let val = operands[1];
+                    kb.ldg(val, addr, 0);
+                    kb.iadd_imm(addr, addr, stride);
+                    consume = Some((acc, val));
+                }
+                MemPattern::Chase => {
+                    let ptr = operands[0];
+                    kb.ldg(ptr, ptr, 0);
+                    consume = Some((acc, ptr));
+                }
+                MemPattern::SharedTile => {
+                    let addr = operands[0];
+                    let val = *operands.get(1).unwrap_or(&operands[0]);
+                    kb.sts(addr, acc, 0);
+                    // One barrier per unrolled group (not per iteration):
+                    // real tiled kernels amortise synchronisation over a
+                    // tile's worth of work.
+                    if u == 0 {
+                        kb.bar();
+                    }
+                    kb.lds(val, addr, 1);
+                    consume = Some((acc, val));
+                }
+            }
+            // Independent chains per operand interleaved with the
+            // accumulator chain: ILP ~ operand count, as in real kernels.
+            for (i, &op) in operands.iter().enumerate() {
+                if (i + u as usize).is_multiple_of(2) {
+                    kb.imad(acc, op, op, acc);
+                } else {
+                    kb.imad(op, op, op, op);
+                }
+            }
+            // Warm-tier touch: one multiply-add reading two mid-tier
+            // registers per iteration. Real kernels touch well over six
+            // registers per loop iteration; this keeps the per-iteration
+            // footprint realistic (it is what limits an RFC's hit rate)
+            // and provides the register access mid-tier of Fig. 2.
+            if warm.len() >= 2 {
+                kb.imad(acc, warm[0], warm[1], acc);
+            }
+            if warm.len() >= 3 {
+                // An independent warm chain (extra ILP, like real code).
+                kb.imad(warm[2], warm[0], warm[1], warm[2]);
+            }
+            if let Some((dst, val)) = consume {
+                kb.iadd(dst, dst, val);
+            }
+            if let Some(b) = bound_reg {
+                // The loop bound participates in the computation (as real
+                // bounds do in address math), keeping it genuinely hot.
+                kb.imad(acc, b, b, acc);
+            }
+            if operands.is_empty() {
+                // Degenerate hot set: keep the accumulator and bound busy.
+                let src = bound_reg.unwrap_or(ctr);
+                kb.imad(acc, src, src, acc);
+            }
+        }
+        if let Some(s) = body_divergence {
+            // Lanes with odd accumulator skip one extra op — a real
+            // data-dependent divergent diamond.
+            let skip = kb.new_label();
+            kb.iand_imm(s, acc, 1);
+            kb.setp_imm(PredReg(1), CmpOp::Eq, s, 0);
+            kb.bra_if(PredReg(1), false, skip);
+            kb.iadd_imm(acc, acc, 3);
+            kb.place_label(skip);
+        }
+        kb.iadd_imm(ctr, ctr, 1);
+        match (bound_reg, bound_imm) {
+            (Some(b), _) => kb.setp(PredReg(0), CmpOp::Lt, ctr, b),
+            (None, Some(n)) => kb.setp_imm(PredReg(0), CmpOp::Lt, ctr, n),
+            (None, None) => unreachable!("loop needs a bound"),
+        };
+        kb.bra_if(PredReg(0), true, top);
+    }
+
+    /// Builds the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recipe is internally inconsistent (see the field
+    /// docs); never produces an invalid kernel otherwise.
+    pub fn build(&self) -> Kernel {
+        self.check();
+        let mut kb = KernelBuilder::new(self.name);
+
+        let gtid = self.scratch(&[]);
+        // --- Preamble: gtid, then touch every register once so the
+        // high-water mark equals the Table I register count.
+        kb.mov_special(gtid, SpecialReg::GlobalTid);
+        for r in 0..self.regs {
+            if Reg(r) == gtid {
+                continue;
+            }
+            kb.mov_imm(Reg(r), u32::from(r) + 1);
+        }
+
+        // --- Decoy block (Category 2): statically dense, executes once.
+        if !self.decoys.is_empty() {
+            for round in 0..3 {
+                for i in 0..self.decoys.len() {
+                    let d = Reg(self.decoys[i]);
+                    let e = Reg(self.decoys[(i + 1) % self.decoys.len()]);
+                    if round % 2 == 0 {
+                        kb.iadd(d, d, e);
+                    } else {
+                        kb.imad(d, e, e, d);
+                    }
+                }
+            }
+        }
+
+        // --- Role split.
+        let acc = Reg(self.hot[0]);
+        let ctr = Reg(self.hot[1]);
+        let (bound_reg, op_start) = if self.data_dependent {
+            (Some(Reg(self.hot[2])), 3)
+        } else {
+            (None, 2)
+        };
+        let operands: Vec<Reg> = self.hot[op_start..].iter().map(|&r| Reg(r)).collect();
+
+        // --- Loop setup.
+        kb.mov_imm(ctr, 0);
+        if let Some(b) = bound_reg {
+            // Per-thread trip count from memory (clamped at build of the
+            // init data, not here).
+            kb.iadd_imm(self.scratch(&[gtid.0]), gtid, TRIPS_BASE);
+            kb.ldg(b, self.scratch(&[gtid.0]), 0);
+        }
+        match self.mem {
+            MemPattern::Streaming { .. } => {
+                // Seed the address walker with a *warp-private* region:
+                // addr = DATA_BASE + gtid + (gtid >> 5) << 12. Private
+                // regions keep each warp's L1 behaviour independent of
+                // other warps' timing — shared frontier lines make hit
+                // rates chaotically order-sensitive.
+                let addr = operands[0];
+                kb.ishr_imm(addr, gtid, 5);
+                kb.ishl_imm(addr, addr, 12);
+                kb.iadd(addr, addr, gtid);
+                kb.iadd_imm(addr, addr, DATA_BASE);
+            }
+            MemPattern::Chase => {
+                // Seed the pointer from gtid; chase targets are seeded
+                // pseudo-random, which is self-averaging.
+                kb.iadd_imm(operands[0], gtid, DATA_BASE);
+            }
+            MemPattern::SharedTile => {
+                // Per-thread shared-memory slot.
+                kb.iand_imm(operands[0], gtid, 1023);
+            }
+            MemPattern::None => {}
+        }
+
+        // --- Warm-register pair: two free registers (descending index so
+        // static-count ties resolve toward the designated hot registers),
+        // read once per main-loop iteration.
+        let mut free: Vec<u8> = (0..self.regs)
+            .filter(|&r| {
+                r != gtid.0
+                    && !self.hot.contains(&r)
+                    && !self.decoys.contains(&r)
+                    && !self
+                        .pilot_variant
+                        .as_ref()
+                        .is_some_and(|pv| pv.pilot_hot.contains(&r))
+            })
+            .collect();
+        free.sort_unstable_by(|a, b| b.cmp(a));
+        // Keep at least one low-index free register for scratch duty.
+        let warm: Vec<Reg> = if free.len() >= 3 {
+            free[..(free.len() - 1).min(3)].iter().map(|&r| Reg(r)).collect()
+        } else {
+            Vec::new()
+        };
+
+        // --- Pilot-variant split (Category 3).
+        if let Some(pv) = &self.pilot_variant {
+            // is_pilot = (ctaid == 0) && (warpid == 0), computed with one
+            // scratch register via a predicated second compare.
+            let s = self.scratch(&[gtid.0]);
+            kb.mov_special(s, SpecialReg::CtaIdX);
+            kb.setp_imm(PredReg(2), CmpOp::Eq, s, 0);
+            kb.mov_special(s, SpecialReg::WarpId);
+            kb.guard(PredReg(2), true);
+            kb.setp_imm(PredReg(2), CmpOp::Eq, s, 0);
+            let path_b = kb.new_label();
+            let done = kb.new_label();
+            kb.bra_if(PredReg(2), false, path_b);
+            // Path A: the pilot warp only.
+            let p_acc = Reg(pv.pilot_hot[0]);
+            let p_ctr = Reg(pv.pilot_hot[1]);
+            let p_ops: Vec<Reg> = pv.pilot_hot[2..].iter().map(|&r| Reg(r)).collect();
+            kb.mov_imm(p_ctr, 0);
+            self.emit_loop(
+                &mut kb,
+                p_acc,
+                p_ctr,
+                Some(pv.pilot_trips),
+                None,
+                &p_ops,
+                MemPattern::None,
+                None,
+                &warm,
+                1,
+            );
+            kb.mov(acc, p_acc);
+            kb.bra(done);
+            kb.place_label(path_b);
+            // Path B: everyone else. Unroll 2 so its registers dominate
+            // the static counts (what the compiler sees).
+            let div = self.body_divergence.then(|| self.scratch(&[gtid.0, s.0]));
+            self.emit_loop(
+                &mut kb,
+                acc,
+                ctr,
+                Some(self.trips),
+                None,
+                &operands,
+                self.mem,
+                div,
+                &warm,
+                2,
+            );
+            kb.place_label(done);
+        } else if self.data_dependent {
+            let div = self.body_divergence.then(|| self.scratch(&[gtid.0]));
+            self.emit_loop(
+                &mut kb,
+                acc,
+                ctr,
+                Some(self.trips),
+                bound_reg,
+                &operands,
+                self.mem,
+                div,
+                &warm,
+                1,
+            );
+        } else {
+            // Mild per-warp trip variation: the loop counter starts at
+            // `warpid & 7`, so each warp runs `trips - (warpid & 7)`
+            // iterations. Real kernels never run in perfect lock-step
+            // across 64 warps; without this the uniform synthetic warps
+            // phase-lock on the LSU and produce chaotic timing resonance.
+            // (No extra register and no change to which registers are
+            // statically hot — the counter is hot by design.)
+            let div = self.body_divergence.then(|| self.scratch(&[gtid.0]));
+            kb.mov_special(ctr, SpecialReg::WarpId);
+            kb.iand_imm(ctr, ctr, 7);
+            // Tiled kernels amortise their barrier over 4 unrolled
+            // iterations; the trip count shrinks to compensate.
+            let (unroll, trips) = if self.mem == MemPattern::SharedTile {
+                (4, (self.trips / 4).max(2))
+            } else {
+                (1, self.trips)
+            };
+            self.emit_loop(
+                &mut kb,
+                acc,
+                ctr,
+                Some(trips),
+                None,
+                &operands,
+                self.mem,
+                div,
+                &warm,
+                unroll,
+            );
+        }
+
+        // --- Epilogue: store the result.
+        let s = self.scratch(&[gtid.0]);
+        kb.iadd_imm(s, gtid, OUT_BASE);
+        kb.stg(s, acc, 0);
+        kb.exit();
+        kb.build()
+            .unwrap_or_else(|e| panic!("recipe {} built an invalid kernel: {e}", self.name))
+    }
+
+    /// The trip-count initialisation block for data-dependent recipes:
+    /// one word per thread in `[lo, hi)`, deterministic per seed.
+    pub fn trips_init(total_threads: u32, lo: u32, hi: u32, seed: u64) -> (u32, Vec<u32>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let words = (0..total_threads).map(|_| rng.gen_range(lo..hi)).collect();
+        (TRIPS_BASE, words)
+    }
+
+    /// Pointer-chase / streaming data initialisation: pseudo-random words
+    /// at [`DATA_BASE`].
+    pub fn data_init(words: u32, seed: u64) -> (u32, Vec<u32>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = (0..words)
+            .map(|_| DATA_BASE + rng.gen_range(0..words))
+            .collect();
+        (DATA_BASE, data)
+    }
+}
+
+/// Builds a launch geometry for a recipe.
+pub fn grid(num_ctas: u32, threads_per_cta: u32) -> GridConfig {
+    GridConfig::new(num_ctas, threads_per_cta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_isa::StaticRegisterProfile;
+
+    fn basic() -> KernelRecipe {
+        KernelRecipe::basic("t", 10, vec![5, 6, 7, 8], 20)
+    }
+
+    #[test]
+    fn register_budget_is_exact() {
+        let k = basic().build();
+        assert_eq!(k.regs_per_thread(), 10);
+    }
+
+    #[test]
+    fn hot_registers_dominate_statics_without_decoys() {
+        let k = basic().build();
+        let p = StaticRegisterProfile::analyze(&k);
+        let top = p.top_n(4);
+        for r in [5u8, 6] {
+            assert!(top.contains(&Reg(r)), "R{r} should be statically hot: {top:?}");
+        }
+    }
+
+    #[test]
+    fn decoys_dominate_statics() {
+        let mut r = basic();
+        r.decoys = vec![1, 2, 3, 4];
+        let k = r.build();
+        let p = StaticRegisterProfile::analyze(&k);
+        let top = p.top_n(4);
+        for d in [1u8, 2, 3, 4] {
+            assert!(
+                top.contains(&Reg(d)),
+                "decoy R{d} must fool the compiler: top = {top:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_dependent_recipe_loads_bound() {
+        let mut r = basic();
+        r.data_dependent = true;
+        let k = r.build();
+        // The kernel contains exactly one trip-count load plus no other
+        // ldg (MemPattern::None).
+        let loads = k
+            .instructions()
+            .iter()
+            .filter(|i| i.opcode == prf_isa::Opcode::Ldg)
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn streaming_recipe_has_loop_loads() {
+        let mut r = basic();
+        r.mem = MemPattern::Streaming { stride: 32 };
+        let k = r.build();
+        let loads = k
+            .instructions()
+            .iter()
+            .filter(|i| i.opcode == prf_isa::Opcode::Ldg)
+            .count();
+        assert_eq!(loads, 1, "one load in the loop body");
+    }
+
+    #[test]
+    fn shared_tile_has_barrier() {
+        let mut r = basic();
+        r.mem = MemPattern::SharedTile;
+        let k = r.build();
+        assert!(k.instructions().iter().any(|i| i.opcode == prf_isa::Opcode::Bar));
+    }
+
+    #[test]
+    fn pilot_variant_emits_two_paths() {
+        let mut r = basic();
+        r.pilot_variant = Some(PilotVariant { pilot_hot: vec![1, 2, 3], pilot_trips: 5 });
+        let k = r.build();
+        // Both loops exist: at least two backward branches.
+        let backwards = k
+            .instructions()
+            .iter()
+            .enumerate()
+            .filter(|(pc, i)| i.opcode == prf_isa::Opcode::Bra && i.target.unwrap_or(0) < *pc)
+            .count();
+        assert!(backwards >= 2, "expected two loops, got {backwards}");
+    }
+
+    #[test]
+    fn trips_init_is_deterministic_and_bounded() {
+        let (base, a) = KernelRecipe::trips_init(100, 10, 50, 7);
+        let (_, b) = KernelRecipe::trips_init(100, 10, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(base, TRIPS_BASE);
+        assert!(a.iter().all(|&t| (10..50).contains(&t)));
+    }
+
+    #[test]
+    #[should_panic(expected = "both hot and decoy")]
+    fn overlapping_roles_rejected() {
+        let mut r = basic();
+        r.decoys = vec![5];
+        r.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming needs 2 operand registers")]
+    fn streaming_needs_operands() {
+        let mut r = KernelRecipe::basic("t", 8, vec![1, 2, 3], 10);
+        r.mem = MemPattern::Streaming { stride: 1 };
+        r.build();
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the binary kernel codec and the pipeline trace.
+
+use pilot_rf::isa::{
+    decode_kernel, encode_kernel, parse_kernel, CmpOp, GridConfig, KernelBuilder, PredReg, Reg,
+};
+use pilot_rf::sim::{BaselineRf, Gpu, GpuConfig, TraceEvent};
+use proptest::prelude::*;
+
+#[test]
+fn suite_kernels_roundtrip_through_the_codec() {
+    for w in pilot_rf::workloads::suite() {
+        for launch in &w.launches {
+            let words = encode_kernel(&launch.kernel);
+            let decoded = decode_kernel(launch.kernel.name(), &words).unwrap();
+            assert_eq!(
+                launch.kernel.instructions(),
+                decoded.instructions(),
+                "{} failed to round-trip",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn assembled_kernel_roundtrips_through_the_codec() {
+    let k = parse_kernel(
+        r"
+        .kernel mixed
+        mov     R0, %gtid
+        mov     R1, #3.25f
+        ldg     R2, [R0 + 64]
+    spin:
+        imad    R3, R2, R2, R3
+        iadd    R4, R4, #1
+        setp.ult P2, R4, #7
+        @P2 bra spin
+        @!P0 stg [R0], R3
+        exit
+    ",
+    )
+    .unwrap();
+    let k2 = decode_kernel("mixed", &encode_kernel(&k)).unwrap();
+    assert_eq!(k.instructions(), k2.instructions());
+}
+
+proptest! {
+    /// Randomly generated straight-line kernels always round-trip.
+    #[test]
+    fn random_kernels_roundtrip(
+        instrs in proptest::collection::vec(
+            (0u8..30, 0u8..30, 0u8..30, any::<u32>()),
+            1..40,
+        ),
+    ) {
+        let mut kb = KernelBuilder::new("prop");
+        for (d, a, b, imm) in &instrs {
+            kb.iadd(Reg(*d), Reg(*a), Reg(*b));
+            kb.mov_imm(Reg(*d), *imm);
+        }
+        kb.setp_imm(PredReg(0), CmpOp::Ne, Reg(instrs[0].0), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let k2 = decode_kernel("prop", &encode_kernel(&k)).unwrap();
+        prop_assert_eq!(k.instructions(), k2.instructions());
+    }
+}
+
+#[test]
+fn trace_records_full_warp_lifecycle() {
+    let mut kb = KernelBuilder::new("traced");
+    kb.mov_imm(Reg(0), 1);
+    kb.bar();
+    kb.iadd_imm(Reg(1), Reg(0), 2);
+    kb.exit();
+    let k = kb.build().unwrap();
+
+    let config = GpuConfig {
+        trace_capacity: 4096,
+        global_mem_words: 1 << 12,
+        ..GpuConfig::kepler_single_sm()
+    };
+    let mut gpu = Gpu::new(config);
+    let r = gpu
+        .run(k, GridConfig::new(2, 64), &|_| Box::new(BaselineRf::stv(24)))
+        .unwrap();
+
+    let dispatches = r.trace.iter().filter(|e| matches!(e, TraceEvent::CtaDispatch { .. })).count();
+    let issues = r.trace.iter().filter(|e| matches!(e, TraceEvent::Issue { .. })).count();
+    let barriers = r.trace.iter().filter(|e| matches!(e, TraceEvent::BarrierWait { .. })).count();
+    let finishes = r.trace.iter().filter(|e| matches!(e, TraceEvent::WarpFinish { .. })).count();
+
+    assert_eq!(dispatches, 2, "two CTAs dispatched");
+    assert_eq!(issues as u64, r.stats.instructions, "every issue traced");
+    assert_eq!(barriers, 4, "each of 4 warps hits the barrier once");
+    assert_eq!(finishes, 4, "each warp finish traced");
+    // Sorted by cycle.
+    assert!(r.trace.windows(2).all(|w| w[0].cycle() <= w[1].cycle()));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let mut kb = KernelBuilder::new("quiet");
+    kb.mov_imm(Reg(0), 1);
+    kb.exit();
+    let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+    let mut gpu = Gpu::new(config);
+    let r = gpu
+        .run(kb.build().unwrap(), GridConfig::new(1, 32), &|_| {
+            Box::new(BaselineRf::stv(24))
+        })
+        .unwrap();
+    assert!(r.trace.is_empty());
+}
