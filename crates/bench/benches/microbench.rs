@@ -10,19 +10,20 @@ use prf_core::{run_experiment, PartitionedRfConfig, RfKind, SwappingTable};
 use prf_finfet::array::{characterize, ArraySpec};
 use prf_finfet::montecarlo::snm_yield;
 use prf_finfet::{BackGate, SramCell, NTV};
-use prf_isa::{Reg, ReconvergenceTable, StaticRegisterProfile};
+use prf_isa::{ReconvergenceTable, Reg, StaticRegisterProfile};
 use prf_sim::GpuConfig;
 
 fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation");
     g.sample_size(10);
-    let gpu = GpuConfig { global_mem_words: 1 << 18, ..GpuConfig::kepler_single_sm() };
+    let gpu = GpuConfig {
+        global_mem_words: 1 << 18,
+        ..GpuConfig::kepler_single_sm()
+    };
     for name in ["backprop", "srad"] {
         let w = prf_workloads::by_name(name).unwrap();
         g.bench_function(format!("{name}/mrf_stv"), |b| {
-            b.iter(|| {
-                run_experiment(&gpu, &RfKind::MrfStv, &w.launches, &w.mem_init).unwrap()
-            })
+            b.iter(|| run_experiment(&gpu, &RfKind::MrfStv, &w.launches, &w.mem_init).unwrap())
         });
         let part = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
         g.bench_function(format!("{name}/partitioned"), |b| {

@@ -2,7 +2,7 @@
 //! the GTO and the fetch group schedulers. Our technique shows a
 //! consistent performance across all the schedulers."
 
-use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -15,19 +15,43 @@ fn main() {
     let policies = [
         SchedulerPolicy::Gto,
         SchedulerPolicy::Lrr,
-        SchedulerPolicy::TwoLevel { active_per_scheduler: 8 },
+        SchedulerPolicy::TwoLevel {
+            active_per_scheduler: 8,
+        },
         SchedulerPolicy::FetchGroup { group_size: 8 },
     ];
-    println!("{:<8} {:>16} {:>14}", "sched", "geomean overhead", "dyn saving");
-    for policy in policies {
-        let gpu = experiment_gpu(policy);
-        let part = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
+
+    // 4 schedulers × suite × {baseline, partitioned} as one matrix.
+    let suite = prf_workloads::suite();
+    let cells: Vec<Cell> = policies
+        .iter()
+        .flat_map(|&policy| {
+            let gpu = experiment_gpu(policy);
+            let part = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
+            suite
+                .iter()
+                .flat_map(move |w| {
+                    [
+                        Cell::new(w, &gpu, &RfKind::MrfStv),
+                        Cell::new(w, &gpu, &part),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let (results, report) = run_cells_averaged(&cells, SEEDS);
+
+    println!(
+        "{:<8} {:>16} {:>14}",
+        "sched", "geomean overhead", "dyn saving"
+    );
+    let per_policy = suite.len() * 2;
+    for (policy, block) in policies.iter().zip(results.chunks(per_policy)) {
         let mut norms = Vec::new();
         let mut savings = Vec::new();
-        for w in prf_workloads::suite() {
-            let base = run_workload_averaged(&w, &gpu, &RfKind::MrfStv, SEEDS);
-            let p = run_workload_averaged(&w, &gpu, &part, SEEDS);
-            norms.push(p.normalized_time(&base));
+        for r in block.chunks(2) {
+            let (base, p) = (&r[0], &r[1]);
+            norms.push(p.normalized_time(base));
             savings.push(p.dynamic_saving());
         }
         println!(
@@ -40,4 +64,6 @@ fn main() {
     println!();
     println!("The saving column is scheduler-independent by construction; the overhead");
     println!("column shows the consistency claim of §V.");
+    println!();
+    println!("{}", report.footer());
 }

@@ -28,8 +28,7 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "workload", "drowsy dyn", "part dyn", "drowsy time", "part time"
     );
-    let (mut d_dyn, mut p_dyn, mut d_t, mut p_t) =
-        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut d_dyn, mut p_dyn, mut d_t, mut p_t) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for w in prf_workloads::suite() {
         let base = run_workload_averaged(&w, &gpu, &RfKind::MrfStv, SEEDS);
         let d = run_workload_averaged(&w, &gpu, &drowsy, SEEDS);

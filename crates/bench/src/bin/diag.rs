@@ -39,7 +39,10 @@ fn main() {
             (
                 "part-alwayshigh",
                 RfKind::Partitioned(PartitionedRfConfig {
-                    adaptive: Some(prf_core::AdaptiveFrfConfig { epoch_length: 50, threshold: 0 }),
+                    adaptive: Some(prf_core::AdaptiveFrfConfig {
+                        epoch_length: 50,
+                        threshold: 0,
+                    }),
                     ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
                 }),
             ),

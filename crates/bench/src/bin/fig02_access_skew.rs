@@ -16,7 +16,10 @@ fn main() {
         "top-3 = 62%, top-4 = 72%, top-5 = 77% on average",
     );
     let gpu = experiment_gpu(SchedulerPolicy::Gto);
-    println!("{:<12} {:>8} {:>8} {:>8}", "workload", "top-3", "top-4", "top-5");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "workload", "top-3", "top-4", "top-5"
+    );
     let (mut t3, mut t4, mut t5) = (Vec::new(), Vec::new(), Vec::new());
     let mut csv = CsvTable::new(["workload", "top3_pct", "top4_pct", "top5_pct"]);
     for w in prf_workloads::suite() {

@@ -8,9 +8,7 @@
 //! * Fig. 7 — the swapping-table contents at each phase.
 
 use prf_bench::{experiment_gpu, header, run_workload};
-use prf_core::{
-    compiler_hot_registers, PartitionedRfConfig, RfKind, SwappingTable,
-};
+use prf_core::{compiler_hot_registers, PartitionedRfConfig, RfKind, SwappingTable};
 use prf_isa::Reg;
 use prf_sim::SchedulerPolicy;
 
@@ -21,9 +19,17 @@ fn render_table(t: &SwappingTable, label: &str) {
         println!("    (identity — no valid CAM entries)");
         return;
     }
-    println!("    {:^6} | {:^10} | {:^10}", "valid", "arch reg", "mapped to");
+    println!(
+        "    {:^6} | {:^10} | {:^10}",
+        "valid", "arch reg", "mapped to"
+    );
     for (arch, phys) in entries {
-        println!("    {:^6} | {:^10} | {:^10}", 1, arch.to_string(), phys.to_string());
+        println!(
+            "    {:^6} | {:^10} | {:^10}",
+            1,
+            arch.to_string(),
+            phys.to_string()
+        );
     }
 }
 
@@ -103,7 +109,12 @@ fn main() {
     println!();
     println!(
         "outcome: {:.1}% of this run's accesses were serviced by the FRF",
-        100.0 * (r.stats.partition_accesses.fraction(prf_sim::RfPartition::FrfHigh)
-            + r.stats.partition_accesses.fraction(prf_sim::RfPartition::FrfLow))
+        100.0
+            * (r.stats
+                .partition_accesses
+                .fraction(prf_sim::RfPartition::FrfHigh)
+                + r.stats
+                    .partition_accesses
+                    .fraction(prf_sim::RfPartition::FrfLow))
     );
 }

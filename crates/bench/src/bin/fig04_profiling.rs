@@ -54,7 +54,12 @@ fn profile_coverages(w: &Workload, gpu: &prf_sim::GpuConfig) -> (f64, f64, f64, 
         hybrid += weight * h_cov;
         optimal += weight * o_cov;
     }
-    (comp / totals, pilot / totals, hybrid / totals, optimal / totals)
+    (
+        comp / totals,
+        pilot / totals,
+        hybrid / totals,
+        optimal / totals,
+    )
 }
 
 fn main() {

@@ -6,7 +6,7 @@
 //! all the benchmarks"; a monolithic RF at NTV saves only 47%; leakage
 //! saving is 39% (FRF 21.5% + SRF 39.7% of MRF leakage).
 
-use prf_bench::{experiment_gpu, header, mean, run_workload};
+use prf_bench::{experiment_gpu, header, mean, run_cells_averaged, Cell};
 use prf_core::{LeakageModel, PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -20,15 +20,22 @@ fn main() {
     let adaptive = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
     let ntv = RfKind::MrfNtv { latency: 3 };
 
+    // The whole figure as one parallel matrix: 3 RF organisations per
+    // workload, results chunked back per workload below.
+    let suite = prf_workloads::suite();
+    let cells: Vec<Cell> = suite
+        .iter()
+        .flat_map(|w| [&plain, &adaptive, &ntv].map(|rf| Cell::new(w, &gpu, rf)))
+        .collect();
+    let (results, report) = run_cells_averaged(&cells, 1);
+
     println!(
         "{:<12} {:>12} {:>14} {:>10}",
         "workload", "partitioned", "part+adaptive", "MRF@NTV"
     );
     let (mut s_plain, mut s_adapt, mut s_ntv) = (Vec::new(), Vec::new(), Vec::new());
-    for w in prf_workloads::suite() {
-        let rp = run_workload(&w, &gpu, &plain);
-        let ra = run_workload(&w, &gpu, &adaptive);
-        let rn = run_workload(&w, &gpu, &ntv);
+    for (w, r) in suite.iter().zip(results.chunks(3)) {
+        let (rp, ra, rn) = (&r[0], &r[1], &r[2]);
         println!(
             "{:<12} {:>11.1}% {:>13.1}% {:>9.1}%",
             w.name,
@@ -68,4 +75,6 @@ fn main() {
         "  partitioned leakage saving {:.1}%  (paper 39%)",
         100.0 * l.partitioned_saving()
     );
+    println!();
+    println!("{}", report.footer());
 }

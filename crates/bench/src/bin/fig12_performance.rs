@@ -6,7 +6,7 @@
 //! 7.1%; hybrid profiling beats compiler-only profiling by ~2%.
 
 use prf_bench::report::CsvTable;
-use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
 use prf_core::{PartitionedRfConfig, ProfilingStrategy, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -15,7 +15,38 @@ fn main() {
         "Figure 12: normalised execution time (lower is better)",
         "partitioned <2% overhead (GTO); MRF@NTV 7.1%; hybrid ~2% better than compiler",
     );
-    let tl = SchedulerPolicy::TwoLevel { active_per_scheduler: 8 };
+    let tl = SchedulerPolicy::TwoLevel {
+        active_per_scheduler: 8,
+    };
+    let gpu_gto = experiment_gpu(SchedulerPolicy::Gto);
+    let gpu_tl = experiment_gpu(tl);
+    let hybrid = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu_gto.num_rf_banks));
+    let compiler = RfKind::Partitioned(PartitionedRfConfig {
+        strategy: ProfilingStrategy::Compiler,
+        ..PartitionedRfConfig::paper_default(gpu_gto.num_rf_banks)
+    });
+    let ntv = RfKind::MrfNtv { latency: 3 };
+
+    // 6 cells per workload (2 baselines + 4 designs), every seed of every
+    // cell fanned out through one matrix.
+    const SEEDS: u64 = 5;
+    const CELLS_PER_W: usize = 6;
+    let suite = prf_workloads::suite();
+    let cells: Vec<Cell> = suite
+        .iter()
+        .flat_map(|w| {
+            [
+                Cell::new(w, &gpu_gto, &RfKind::MrfStv),
+                Cell::new(w, &gpu_tl, &RfKind::MrfStv),
+                Cell::new(w, &gpu_gto, &hybrid),
+                Cell::new(w, &gpu_tl, &hybrid),
+                Cell::new(w, &gpu_gto, &compiler),
+                Cell::new(w, &gpu_gto, &ntv),
+            ]
+        })
+        .collect();
+    let (results, report) = run_cells_averaged(&cells, SEEDS);
+
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "workload", "part/GTO", "part/TL", "compiler", "MRF@NTV"
@@ -23,26 +54,12 @@ fn main() {
     let (mut gto_n, mut tl_n, mut comp_n, mut ntv_n) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     let mut csv = CsvTable::new(["workload", "part_gto", "part_tl", "compiler", "mrf_ntv"]);
-    for w in prf_workloads::suite() {
-        let gpu_gto = experiment_gpu(SchedulerPolicy::Gto);
-        let gpu_tl = experiment_gpu(tl);
-
-        const SEEDS: u64 = 5;
-        let base_gto = run_workload_averaged(&w, &gpu_gto, &RfKind::MrfStv, SEEDS);
-        let base_tl = run_workload_averaged(&w, &gpu_tl, &RfKind::MrfStv, SEEDS);
-
-        let hybrid = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu_gto.num_rf_banks));
-        let compiler = RfKind::Partitioned(PartitionedRfConfig {
-            strategy: ProfilingStrategy::Compiler,
-            ..PartitionedRfConfig::paper_default(gpu_gto.num_rf_banks)
-        });
-
-        let p_gto = run_workload_averaged(&w, &gpu_gto, &hybrid, SEEDS).normalized_time(&base_gto);
-        let p_tl = run_workload_averaged(&w, &gpu_tl, &hybrid, SEEDS).normalized_time(&base_tl);
-        let p_comp =
-            run_workload_averaged(&w, &gpu_gto, &compiler, SEEDS).normalized_time(&base_gto);
-        let p_ntv = run_workload_averaged(&w, &gpu_gto, &RfKind::MrfNtv { latency: 3 }, SEEDS)
-            .normalized_time(&base_gto);
+    for (w, r) in suite.iter().zip(results.chunks(CELLS_PER_W)) {
+        let (base_gto, base_tl) = (&r[0], &r[1]);
+        let p_gto = r[2].normalized_time(base_gto);
+        let p_tl = r[3].normalized_time(base_tl);
+        let p_comp = r[4].normalized_time(base_gto);
+        let p_ntv = r[5].normalized_time(base_gto);
 
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
@@ -70,4 +87,6 @@ fn main() {
         geomean(&comp_n),
         geomean(&ntv_n)
     );
+    println!();
+    println!("{}", report.footer());
 }

@@ -3,7 +3,7 @@
 //! Paper: with the threshold held at the same 20%-of-issue-slots ratio,
 //! "the epoch length has a small impact on performance".
 
-use prf_bench::{experiment_gpu, geomean, header, mean, run_workload_averaged};
+use prf_bench::{experiment_gpu, geomean, header, mean, run_cells_averaged, Cell};
 use prf_core::{AdaptiveFrfConfig, PartitionedRfConfig, RfKind};
 use prf_sim::{RfPartition, SchedulerPolicy};
 
@@ -16,19 +16,32 @@ fn main() {
     let issue_width = gpu.issue_width() as u32;
     const SEEDS: u64 = 3;
     let epochs = [25u64, 50, 100, 200];
+
+    // 4 epoch lengths × suite as one matrix.
+    let suite = prf_workloads::suite();
+    let cells: Vec<Cell> = epochs
+        .iter()
+        .flat_map(|&ep| {
+            let cfg = PartitionedRfConfig {
+                adaptive: Some(AdaptiveFrfConfig::with_epoch(ep, issue_width)),
+                ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
+            };
+            suite
+                .iter()
+                .map(|w| Cell::new(w, &gpu, &RfKind::Partitioned(cfg.clone())))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let (results, report) = run_cells_averaged(&cells, SEEDS);
+
     println!(
         "{:<10} {:>12} {:>14} {:>16}",
         "epoch", "geomean time", "energy saving", "FRF_low share"
     );
     let mut reference: Option<f64> = None;
-    for &ep in &epochs {
-        let cfg = PartitionedRfConfig {
-            adaptive: Some(AdaptiveFrfConfig::with_epoch(ep, issue_width)),
-            ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
-        };
+    for (&ep, block) in epochs.iter().zip(results.chunks(suite.len())) {
         let (mut cycles, mut savings, mut low) = (Vec::new(), Vec::new(), Vec::new());
-        for w in prf_workloads::suite() {
-            let r = run_workload_averaged(&w, &gpu, &RfKind::Partitioned(cfg.clone()), SEEDS);
+        for r in block {
             cycles.push(r.cycles as f64);
             savings.push(r.dynamic_saving());
             let pa = &r.stats.partition_accesses;
@@ -57,4 +70,6 @@ fn main() {
     }
     println!();
     println!("paper: performance is insensitive to the epoch length at a fixed threshold ratio");
+    println!();
+    println!("{}", report.footer());
 }

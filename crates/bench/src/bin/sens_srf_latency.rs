@@ -4,7 +4,7 @@
 //! when the access delay to the SRF is 4 cycles and 5 cycles,
 //! respectively" (relative to the 3-cycle design).
 
-use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -15,19 +15,31 @@ fn main() {
     );
     let gpu = experiment_gpu(SchedulerPolicy::Gto);
     const SEEDS: u64 = 5;
-    println!("{:<12} {:>10} {:>10} {:>10}", "workload", "srf=3", "srf=4", "srf=5");
-    let mut norms: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
-    for w in prf_workloads::suite() {
-        let runs: Vec<f64> = [3u32, 4, 5]
-            .iter()
-            .map(|&lat| {
+    const LATENCIES: [u32; 3] = [3, 4, 5];
+
+    // suite × 3 latencies as one matrix.
+    let suite = prf_workloads::suite();
+    let cells: Vec<Cell> = suite
+        .iter()
+        .flat_map(|w| {
+            LATENCIES.map(|lat| {
                 let cfg = PartitionedRfConfig {
                     srf_latency: lat,
                     ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
                 };
-                run_workload_averaged(&w, &gpu, &RfKind::Partitioned(cfg), SEEDS).cycles as f64
+                Cell::new(w, &gpu, &RfKind::Partitioned(cfg))
             })
-            .collect();
+        })
+        .collect();
+    let (results, report) = run_cells_averaged(&cells, SEEDS);
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "workload", "srf=3", "srf=4", "srf=5"
+    );
+    let mut norms: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for (w, r) in suite.iter().zip(results.chunks(LATENCIES.len())) {
+        let runs: Vec<f64> = r.iter().map(|a| a.cycles as f64).collect();
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>10.3}",
             w.name,
@@ -35,8 +47,8 @@ fn main() {
             runs[1] / runs[0],
             runs[2] / runs[0]
         );
-        for (i, r) in runs.iter().enumerate() {
-            norms[i].push(r / runs[0]);
+        for (i, run) in runs.iter().enumerate() {
+            norms[i].push(run / runs[0]);
         }
     }
     println!("{:-<46}", "");
@@ -47,4 +59,6 @@ fn main() {
         geomean(&norms[1]),
         geomean(&norms[2])
     );
+    println!();
+    println!("{}", report.footer());
 }

@@ -31,11 +31,7 @@ fn main() {
             .pilot_runtime_fraction()
             .map(|f| 100.0 * f)
             .unwrap_or(f64::NAN);
-        let occ = prf_sim::Occupancy::compute(
-            &gpu,
-            &w.launches[0].grid,
-            w.regs_per_thread(),
-        );
+        let occ = prf_sim::Occupancy::compute(&gpu, &w.launches[0].grid, w.regs_per_thread());
         println!(
             "{:<12} {:>6} {:>8} {:>11.1}% {:>12.2}% {:>14} ({})",
             w.name,

@@ -36,7 +36,10 @@ fn main() {
     );
     println!();
     println!("All SRAM cells, nominal SNM (V):");
-    println!("{:<6} {:>10} {:>10} {:>12}", "cell", "STV", "NTV", "area (rel)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12}",
+        "cell", "STV", "NTV", "area (rel)"
+    );
     for cell in SramCell::ALL {
         println!(
             "{:<6} {:>10.3} {:>10.3} {:>12.2}",

@@ -39,7 +39,10 @@ fn main() {
 
     println!();
     println!("Swapping-table CAM (2n = 8 entries x 13 bits = 104 bits):");
-    println!("{:<12} {:>12} {:>14} {:>16}", "node", "delay ps", "paper ps", "search energy fJ");
+    println!(
+        "{:<12} {:>12} {:>14} {:>16}",
+        "node", "delay ps", "paper ps", "search energy fJ"
+    );
     let paper = [105.0, 95.0, 55.0];
     for (node, p) in TechNode::ALL.iter().zip(paper) {
         let cam = SwapTableCam::reference(*node);

@@ -9,7 +9,7 @@
 //! consumes 13.4% and 17.2% of the GTX-480 and Quadro FX5600 chips
 //! power").
 
-use prf_bench::{header, run_workload};
+use prf_bench::{header, run_cells_averaged, Cell};
 use prf_core::{ChipProfile, PartitionedRfConfig, RfKind};
 use prf_sim::{GpuConfig, RfPartition, SchedulerPolicy};
 
@@ -19,26 +19,43 @@ fn main() {
         "per-SM RF statistics should match; chip-level saving = RF share x RF saving",
     );
     let names = ["backprop", "srad", "kmeans", "LIB"];
+
+    // 4 workloads × {1 SM, 15 SMs} as one matrix — the 15-SM runs are the
+    // heavyweight jobs this binary exists to parallelise.
+    let workloads: Vec<_> = names
+        .iter()
+        .map(|name| prf_workloads::by_name(name).expect("known workload"))
+        .collect();
+    let cells: Vec<Cell> = workloads
+        .iter()
+        .flat_map(|w| {
+            [1usize, 15].map(|sms| {
+                let gpu = GpuConfig {
+                    num_sms: sms,
+                    scheduler: SchedulerPolicy::Gto,
+                    ..GpuConfig::kepler_gtx780()
+                };
+                let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
+                Cell::new(w, &gpu, &rf)
+            })
+        })
+        .collect();
+    let (results, report) = run_cells_averaged(&cells, 1);
+
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "workload", "1-SM FRF%", "15-SM FRF%", "1-SM save", "15-SM save"
     );
     let mut savings = Vec::new();
-    for name in names {
-        let w = prf_workloads::by_name(name).expect("known workload");
-        let mut row = Vec::new();
-        for sms in [1usize, 15] {
-            let gpu = GpuConfig {
-                num_sms: sms,
-                scheduler: SchedulerPolicy::Gto,
-                ..GpuConfig::kepler_gtx780()
-            };
-            let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
-            let r = run_workload(&w, &gpu, &rf);
-            let pa = &r.stats.partition_accesses;
-            let frf = pa.fraction(RfPartition::FrfHigh) + pa.fraction(RfPartition::FrfLow);
-            row.push((frf, r.dynamic_saving()));
-        }
+    for (name, r) in names.iter().zip(results.chunks(2)) {
+        let row: Vec<(f64, f64)> = r
+            .iter()
+            .map(|res| {
+                let pa = &res.stats.partition_accesses;
+                let frf = pa.fraction(RfPartition::FrfHigh) + pa.fraction(RfPartition::FrfLow);
+                (frf, res.dynamic_saving())
+            })
+            .collect();
         println!(
             "{:<12} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
             name,
@@ -60,4 +77,6 @@ fn main() {
             100.0 * chip.chip_saving(mean_saving.clamp(0.0, 1.0))
         );
     }
+    println!();
+    println!("{}", report.footer());
 }

@@ -3,7 +3,7 @@
 //! paper's choice of the 8T cell.
 
 use prf_bench::header;
-use prf_finfet::montecarlo::{snm_yield, sigma_vth_total};
+use prf_finfet::montecarlo::{sigma_vth_total, snm_yield};
 use prf_finfet::{BackGate, SramCell, NTV, STV};
 
 fn main() {

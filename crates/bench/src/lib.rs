@@ -23,15 +23,23 @@
 //! | `yield_mc` | §IV-A — SRAM Monte Carlo yield study |
 
 pub mod report;
+pub mod runner;
+
+use std::ops::Deref;
 
 use prf_core::{run_experiment, ExperimentResult, RfKind};
 use prf_sim::{GpuConfig, SchedulerPolicy};
 use prf_workloads::Workload;
 
+use crate::runner::Job;
+
 /// The single-SM Kepler configuration used by the workload experiments
 /// (register-file behaviour is per-SM; see DESIGN.md).
 pub fn experiment_gpu(scheduler: SchedulerPolicy) -> GpuConfig {
-    GpuConfig { scheduler, ..GpuConfig::kepler_single_sm() }
+    GpuConfig {
+        scheduler,
+        ..GpuConfig::kepler_single_sm()
+    }
 }
 
 /// Runs one workload (all its launches) under an RF organisation.
@@ -41,36 +49,157 @@ pub fn experiment_gpu(scheduler: SchedulerPolicy) -> GpuConfig {
 /// Panics if the simulation exceeds the cycle safety limit — workloads in
 /// this repository are sized to terminate quickly.
 pub fn run_workload(w: &Workload, gpu: &GpuConfig, rf: &RfKind) -> ExperimentResult {
-    run_experiment(gpu, rf, &w.launches, &w.mem_init)
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    run_experiment(gpu, rf, &w.launches, &w.mem_init).unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
-/// Runs one workload under an RF organisation with several jitter seeds
-/// and returns the mean cycle count — the simulation analogue of
-/// averaging repeated hardware runs, washing out timing-resonance noise.
-/// Other statistics (access counts, energy) are seed-independent up to
-/// noise; the first seed's result is returned with its cycle count
-/// replaced by the mean.
+/// A seed-averaged experiment outcome.
+///
+/// Derefs to the mean [`ExperimentResult`] so it drops into code written
+/// for a single run, and additionally reports the cycle spread across
+/// seeds so tables can show run-to-run timing noise.
+#[derive(Debug, Clone)]
+pub struct AveragedResult {
+    /// Mean result: every counter and energy figure is the per-seed mean
+    /// (integer counters round down).
+    pub result: ExperimentResult,
+    /// Fewest cycles any seed took.
+    pub cycles_min: u64,
+    /// Most cycles any seed took.
+    pub cycles_max: u64,
+    /// Number of seeds averaged.
+    pub seeds: u64,
+}
+
+impl AveragedResult {
+    /// Max-minus-min cycle spread as a fraction of the mean — a quick
+    /// "how noisy was this timing" figure for report footers.
+    pub fn cycle_spread(&self) -> f64 {
+        (self.cycles_max - self.cycles_min) as f64 / self.result.cycles.max(1) as f64
+    }
+}
+
+impl Deref for AveragedResult {
+    type Target = ExperimentResult;
+
+    fn deref(&self) -> &ExperimentResult {
+        &self.result
+    }
+}
+
+/// Averages per-seed runs of one workload×RF cell into an
+/// [`AveragedResult`]. Panics if `results` is empty.
+pub fn average_seed_results(results: &[ExperimentResult]) -> AveragedResult {
+    assert!(!results.is_empty(), "averaging zero seed results");
+    let seeds = results.len() as u64;
+    let mut merged = results[0].clone();
+    for r in &results[1..] {
+        merged.cycles += r.cycles;
+        merged.stats.merge(&r.stats);
+        merged.telemetry.merge(&r.telemetry);
+        merged.dynamic_energy_pj += r.dynamic_energy_pj;
+        merged.baseline_dynamic_energy_pj += r.baseline_dynamic_energy_pj;
+        merged.leakage_energy_pj += r.leakage_energy_pj;
+        merged.baseline_leakage_energy_pj += r.baseline_leakage_energy_pj;
+        merged.per_launch.extend(r.per_launch.iter().cloned());
+    }
+    merged.cycles /= seeds;
+    merged.stats.scale_down(seeds);
+    merged.telemetry.scale_down(seeds);
+    merged.dynamic_energy_pj /= seeds as f64;
+    merged.baseline_dynamic_energy_pj /= seeds as f64;
+    merged.leakage_energy_pj /= seeds as f64;
+    merged.baseline_leakage_energy_pj /= seeds as f64;
+    AveragedResult {
+        result: merged,
+        cycles_min: results.iter().map(|r| r.cycles).min().unwrap(),
+        cycles_max: results.iter().map(|r| r.cycles).max().unwrap(),
+        seeds,
+    }
+}
+
+/// Builds the per-seed job list for one workload×RF cell, for batching
+/// many averaged cells into a single [`runner::run_matrix`] call.
+pub fn seed_jobs(w: &Workload, gpu: &GpuConfig, rf: &RfKind, seeds: u64) -> Vec<Job> {
+    assert!(seeds >= 1);
+    (0..seeds)
+        .map(|seed| {
+            let cfg = GpuConfig {
+                jitter_seed: seed,
+                ..gpu.clone()
+            };
+            Job::new(format!("{}/{}/seed{seed}", w.name, rf.name()), w, &cfg, rf)
+        })
+        .collect()
+}
+
+/// Runs one workload under an RF organisation with several jitter seeds —
+/// the simulation analogue of averaging repeated hardware runs, washing
+/// out timing-resonance noise — and returns the per-seed mean of *every*
+/// statistic plus the cycle min/max spread. Seeds are fanned out across
+/// the worker pool (see [`runner`]).
 pub fn run_workload_averaged(
     w: &Workload,
     gpu: &GpuConfig,
     rf: &RfKind,
     seeds: u64,
-) -> ExperimentResult {
-    assert!(seeds >= 1);
-    let mut first: Option<ExperimentResult> = None;
-    let mut total_cycles = 0u64;
-    for seed in 0..seeds {
-        let cfg = GpuConfig { jitter_seed: seed, ..gpu.clone() };
-        let r = run_workload(w, &cfg, rf);
-        total_cycles += r.cycles;
-        if first.is_none() {
-            first = Some(r);
+) -> AveragedResult {
+    let results: Vec<ExperimentResult> = runner::run_matrix(&seed_jobs(w, gpu, rf, seeds))
+        .into_iter()
+        .map(|jr| jr.result)
+        .collect();
+    average_seed_results(&results)
+}
+
+/// One workload×configuration cell of an evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The workload to run.
+    pub workload: Workload,
+    /// GPU configuration (scheduler, SM count, pipelining, ...). The
+    /// jitter seed is overwritten per seed job.
+    pub gpu: GpuConfig,
+    /// Register-file organisation under test.
+    pub rf: RfKind,
+}
+
+impl Cell {
+    /// Builds a cell (clones its pieces; kernels are `Arc`-shared).
+    pub fn new(workload: &Workload, gpu: &GpuConfig, rf: &RfKind) -> Self {
+        Cell {
+            workload: workload.clone(),
+            gpu: gpu.clone(),
+            rf: rf.clone(),
         }
     }
-    let mut r = first.expect("at least one seed");
-    r.cycles = total_cycles / seeds;
-    r
+}
+
+/// Runs a whole matrix of cells, each averaged over `seeds` jitter seeds,
+/// through one parallel [`runner::run_matrix_timed`] call. Returns the
+/// per-cell means in input order plus the wall-clock report for the
+/// binary's throughput footer.
+///
+/// This is the workhorse of the figure binaries: building every cell of a
+/// figure up front (rather than running cells one by one) lets the worker
+/// pool chew the entire figure concurrently.
+pub fn run_cells_averaged(
+    cells: &[Cell],
+    seeds: u64,
+) -> (Vec<AveragedResult>, runner::MatrixReport) {
+    assert!(seeds >= 1);
+    let jobs: Vec<Job> = cells
+        .iter()
+        .flat_map(|c| seed_jobs(&c.workload, &c.gpu, &c.rf, seeds))
+        .collect();
+    let (results, report) = runner::run_matrix_timed(&jobs);
+    let mut results = results.into_iter().map(|jr| jr.result);
+    let averaged = cells
+        .iter()
+        .map(|_| {
+            let per_seed: Vec<ExperimentResult> = results.by_ref().take(seeds as usize).collect();
+            average_seed_results(&per_seed)
+        })
+        .collect();
+    (averaged, report)
 }
 
 /// Geometric mean of a non-empty slice.

@@ -1,0 +1,270 @@
+//! Parallel experiment engine: fans a matrix of independent simulation
+//! jobs (workload × RF organisation × scheduler × jitter seed) across a
+//! bounded pool of worker threads.
+//!
+//! Every job owns its configuration, its telemetry sink, and its RNG seed
+//! (`GpuConfig::jitter_seed`), so runs share nothing mutable and the
+//! parallel results are bit-identical to a serial sweep — the pool only
+//! changes *when* a job runs, never what it computes. Results come back in
+//! the input order regardless of completion order, so report tables are
+//! deterministic too.
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can
+//! be overridden with the `PRF_THREADS` environment variable (`PRF_THREADS=1`
+//! gives a serial run for debugging or timing baselines).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use prf_core::{run_experiment, ExperimentResult, RfKind};
+use prf_sim::GpuConfig;
+use prf_workloads::Workload;
+
+/// One cell of an evaluation matrix: a workload to run under a GPU
+/// configuration (which carries the scheduler and jitter seed) and an RF
+/// organisation.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Report/diagnostic label, e.g. `"BFS/partitioned/seed2"`.
+    pub name: String,
+    /// The workload (launches + memory image). Cloning is cheap — kernels
+    /// are behind `Arc`.
+    pub workload: Workload,
+    /// Full GPU configuration, including `scheduler` and `jitter_seed`.
+    pub gpu: GpuConfig,
+    /// Register-file organisation under test.
+    pub rf: RfKind,
+}
+
+impl Job {
+    /// Builds a job with an explicit label.
+    pub fn new(name: impl Into<String>, workload: &Workload, gpu: &GpuConfig, rf: &RfKind) -> Self {
+        Job {
+            name: name.into(),
+            workload: workload.clone(),
+            gpu: gpu.clone(),
+            rf: rf.clone(),
+        }
+    }
+
+    /// Builds a job labelled `"<workload>/<rf>"`.
+    pub fn labeled(workload: &Workload, gpu: &GpuConfig, rf: &RfKind) -> Self {
+        Job::new(
+            format!("{}/{}", workload.name, rf.name()),
+            workload,
+            gpu,
+            rf,
+        )
+    }
+
+    fn run(&self) -> ExperimentResult {
+        run_experiment(
+            &self.gpu,
+            &self.rf,
+            &self.workload.launches,
+            &self.workload.mem_init,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", self.name))
+    }
+}
+
+/// One completed matrix cell, in the same position as its input [`Job`].
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job's label, copied through for reports.
+    pub name: String,
+    /// The experiment outcome.
+    pub result: ExperimentResult,
+}
+
+/// Wall-clock accounting for one matrix run, for the throughput footer.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixReport {
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for the whole matrix.
+    pub elapsed: Duration,
+}
+
+impl MatrixReport {
+    /// One-line throughput footer, e.g.
+    /// `[matrix] 45 jobs on 8 threads in 12.3 s (3.7 jobs/s)`.
+    pub fn footer(&self) -> String {
+        let secs = self.elapsed.as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.jobs as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        format!(
+            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s)",
+            self.jobs, self.threads, secs, rate
+        )
+    }
+}
+
+/// Worker-pool size: `PRF_THREADS` if set and positive, else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var("PRF_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("PRF_THREADS={v:?} is not a positive integer; using default"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs the matrix on [`threads_from_env`] workers. See
+/// [`run_matrix_with_threads`].
+pub fn run_matrix(jobs: &[Job]) -> Vec<JobResult> {
+    run_matrix_with_threads(jobs, threads_from_env())
+}
+
+/// Runs the matrix and returns the results together with a wall-clock
+/// [`MatrixReport`] for the binary's throughput footer.
+pub fn run_matrix_timed(jobs: &[Job]) -> (Vec<JobResult>, MatrixReport) {
+    let threads = threads_from_env();
+    let t0 = Instant::now();
+    let results = run_matrix_with_threads(jobs, threads);
+    let report = MatrixReport {
+        jobs: jobs.len(),
+        threads: threads.min(jobs.len().max(1)),
+        elapsed: t0.elapsed(),
+    };
+    (results, report)
+}
+
+/// Runs every job on a pool of at most `threads` scoped worker threads and
+/// returns the results **in input order**.
+///
+/// Workers pull jobs from a shared atomic cursor (dynamic load balancing:
+/// long simulations don't serialise behind short ones). A panicking job
+/// does not poison the pool — remaining jobs still run — and the panic is
+/// re-raised on the caller's thread after the pool drains, prefixed with
+/// the failing job's name.
+///
+/// # Panics
+///
+/// Re-raises the first (in input order) job panic.
+pub fn run_matrix_with_threads(jobs: &[Job], threads: usize) -> Vec<JobResult> {
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<std::thread::Result<ExperimentResult>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let outcome = catch_unwind(AssertUnwindSafe(|| job.run()));
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .zip(jobs)
+        .map(|(slot, job)| {
+            let outcome = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| panic!("job `{}` was never executed", job.name));
+            match outcome {
+                Ok(result) => JobResult {
+                    name: job.name.clone(),
+                    result,
+                },
+                Err(payload) => {
+                    eprintln!("experiment job `{}` panicked; re-raising", job.name);
+                    resume_unwind(payload)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_sim::SchedulerPolicy;
+
+    fn tiny_jobs(n: usize) -> Vec<Job> {
+        let w = prf_workloads::suite::bfs();
+        let gpu = crate::experiment_gpu(SchedulerPolicy::Gto);
+        (0..n as u64)
+            .map(|seed| {
+                let gpu = GpuConfig {
+                    jitter_seed: seed,
+                    ..gpu.clone()
+                };
+                Job::new(format!("BFS/seed{seed}"), &w, &gpu, &RfKind::MrfStv)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let jobs = tiny_jobs(4);
+        let results = run_matrix_with_threads(&jobs, 3);
+        assert_eq!(results.len(), 4);
+        for (j, r) in jobs.iter().zip(&results) {
+            assert_eq!(j.name, r.name);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let jobs = tiny_jobs(3);
+        let serial = run_matrix_with_threads(&jobs, 1);
+        let parallel = run_matrix_with_threads(&jobs, 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.result.cycles, b.result.cycles);
+            assert_eq!(a.result.dynamic_energy_pj, b.result.dynamic_energy_pj);
+            assert_eq!(
+                a.result.stats.partition_accesses,
+                b.result.stats.partition_accesses
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_job_reports_its_name() {
+        let mut jobs = tiny_jobs(2);
+        // An impossible cycle limit forces a SimError, which Job::run
+        // turns into a panic carrying the job name.
+        jobs[1].gpu.max_cycles = 1;
+        jobs[1].name = "doomed".into();
+        let err = std::panic::catch_unwind(|| run_matrix_with_threads(&jobs, 2));
+        let payload = err.expect_err("doomed job must propagate its panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| payload.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("doomed"),
+            "panic message should name the job: {msg}"
+        );
+    }
+
+    #[test]
+    fn footer_formats() {
+        let r = MatrixReport {
+            jobs: 10,
+            threads: 4,
+            elapsed: Duration::from_secs(2),
+        };
+        let f = r.footer();
+        assert!(f.contains("10 jobs"), "{f}");
+        assert!(f.contains("4 threads"), "{f}");
+        assert!(f.contains("5.0 jobs/s"), "{f}");
+    }
+}

@@ -1,0 +1,88 @@
+//! The load-bearing guarantee of the parallel experiment engine: fanning
+//! the evaluation matrix across threads changes *when* each simulation
+//! runs, never what it computes. A serial sweep and a 4-worker sweep of
+//! the same matrix must agree bit-for-bit on every statistic a figure
+//! binary reads.
+
+use prf_bench::runner::{run_matrix_with_threads, Job};
+use prf_bench::{experiment_gpu, run_workload_averaged};
+use prf_core::{PartitionedRfConfig, RfKind, RfcConfig};
+use prf_sim::SchedulerPolicy;
+
+/// 3 workloads (one per Table I category) × 3 RF organisations, each with
+/// its own jitter seed — the shape of a real figure matrix.
+fn matrix() -> Vec<Job> {
+    let gpu = experiment_gpu(SchedulerPolicy::Gto);
+    let kinds = [
+        RfKind::MrfStv,
+        RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks)),
+        RfKind::Rfc(RfcConfig::paper_default(
+            gpu.num_rf_banks,
+            gpu.max_warps_per_sm,
+        )),
+    ];
+    ["BFS", "MUM", "LIB"]
+        .iter()
+        .flat_map(|name| {
+            let w = prf_workloads::by_name(name).unwrap();
+            kinds
+                .iter()
+                .enumerate()
+                .map(|(i, rf)| {
+                    let mut gpu = gpu.clone();
+                    gpu.jitter_seed = i as u64;
+                    Job::labeled(&w, &gpu, rf)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_matrix_is_bit_identical_to_serial() {
+    let jobs = matrix();
+    let serial = run_matrix_with_threads(&jobs, 1);
+    let parallel = run_matrix_with_threads(&jobs, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "results must come back in input order");
+        let (a, b) = (&s.result, &p.result);
+        assert_eq!(a.cycles, b.cycles, "{}: cycles differ", s.name);
+        assert_eq!(
+            a.dynamic_energy_pj, b.dynamic_energy_pj,
+            "{}: dynamic energy differs",
+            s.name
+        );
+        assert_eq!(
+            a.stats.partition_accesses, b.stats.partition_accesses,
+            "{}: partition access counts differ",
+            s.name
+        );
+        assert_eq!(a.stats.instructions, b.stats.instructions);
+        assert_eq!(a.telemetry, b.telemetry, "{}: telemetry differs", s.name);
+    }
+}
+
+#[test]
+fn seed_averaging_is_thread_count_independent() {
+    let gpu = experiment_gpu(SchedulerPolicy::Gto);
+    let w = prf_workloads::by_name("BFS").unwrap();
+    let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
+    // run_workload_averaged reads PRF_THREADS through the runner; pin the
+    // pool size per call by setting the env var around each sweep.
+    // (Env mutation is safe here: Rust tests in one binary share a
+    // process, but this test file has no other env users.)
+    std::env::set_var("PRF_THREADS", "1");
+    let serial = run_workload_averaged(&w, &gpu, &rf, 3);
+    std::env::set_var("PRF_THREADS", "4");
+    let parallel = run_workload_averaged(&w, &gpu, &rf, 3);
+    std::env::remove_var("PRF_THREADS");
+    assert_eq!(serial.cycles, parallel.cycles);
+    assert_eq!(serial.cycles_min, parallel.cycles_min);
+    assert_eq!(serial.cycles_max, parallel.cycles_max);
+    assert_eq!(serial.dynamic_energy_pj, parallel.dynamic_energy_pj);
+    assert_eq!(
+        serial.stats.partition_accesses,
+        parallel.stats.partition_accesses
+    );
+}

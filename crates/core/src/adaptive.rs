@@ -40,7 +40,10 @@ pub struct AdaptiveFrfConfig {
 impl AdaptiveFrfConfig {
     /// The paper's design point: 50-cycle epochs, threshold 85.
     pub fn paper_default() -> Self {
-        AdaptiveFrfConfig { epoch_length: 50, threshold: 85 }
+        AdaptiveFrfConfig {
+            epoch_length: 50,
+            threshold: 85,
+        }
     }
 
     /// A config with the same 20% threshold *ratio* at a different epoch
@@ -52,7 +55,10 @@ impl AdaptiveFrfConfig {
     pub fn with_epoch(epoch_length: u64, issue_width: u32) -> Self {
         assert!(epoch_length > 0, "epoch length must be positive");
         let slots = epoch_length as u32 * issue_width;
-        AdaptiveFrfConfig { epoch_length, threshold: slots / 5 + slots * 5 / 400 }
+        AdaptiveFrfConfig {
+            epoch_length,
+            threshold: slots / 5 + slots * 5 / 400,
+        }
     }
 }
 
@@ -163,7 +169,11 @@ mod tests {
         let mut a = AdaptiveFrf::new(AdaptiveFrfConfig::paper_default());
         for i in 0..49 {
             a.tick(1);
-            assert_eq!(a.mode(), FrfMode::High, "mode holds within epoch (cycle {i})");
+            assert_eq!(
+                a.mode(),
+                FrfMode::High,
+                "mode holds within epoch (cycle {i})"
+            );
         }
         a.tick(1); // epoch ends with 50 < 85
         assert_eq!(a.mode(), FrfMode::Low, "next epoch runs in low mode");
@@ -186,7 +196,10 @@ mod tests {
 
     #[test]
     fn counter_saturates_at_9_bits() {
-        let mut a = AdaptiveFrf::new(AdaptiveFrfConfig { epoch_length: 100, threshold: 600 });
+        let mut a = AdaptiveFrf::new(AdaptiveFrfConfig {
+            epoch_length: 100,
+            threshold: 600,
+        });
         for _ in 0..100 {
             a.tick(8); // raw total 800, saturates at 511
         }

@@ -18,12 +18,18 @@ pub struct ChipProfile {
 impl ChipProfile {
     /// NVIDIA GTX-480 (GPUWattch): RF = 13.4 % of chip power.
     pub fn gtx480() -> Self {
-        ChipProfile { name: "GTX-480", rf_power_share: 0.134 }
+        ChipProfile {
+            name: "GTX-480",
+            rf_power_share: 0.134,
+        }
     }
 
     /// NVIDIA Quadro FX5600 (GPUWattch): RF = 17.2 % of chip power.
     pub fn quadro_fx5600() -> Self {
-        ChipProfile { name: "Quadro FX5600", rf_power_share: 0.172 }
+        ChipProfile {
+            name: "Quadro FX5600",
+            rf_power_share: 0.172,
+        }
     }
 
     /// Whole-chip power saving implied by a register-file-level saving,
@@ -33,7 +39,10 @@ impl ChipProfile {
     ///
     /// Panics if `rf_saving` is outside `[0, 1]`.
     pub fn chip_saving(&self, rf_saving: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&rf_saving), "saving must be a fraction");
+        assert!(
+            (0.0..=1.0).contains(&rf_saving),
+            "saving must be a fraction"
+        );
         self.rf_power_share * rf_saving
     }
 }
@@ -102,8 +111,14 @@ mod tests {
 
     #[test]
     fn edp_math() {
-        let base = EnergyDelay { energy_pj: 100.0, cycles: 1000 };
-        let improved = EnergyDelay { energy_pj: 50.0, cycles: 1020 };
+        let base = EnergyDelay {
+            energy_pj: 100.0,
+            cycles: 1000,
+        };
+        let improved = EnergyDelay {
+            energy_pj: 50.0,
+            cycles: 1020,
+        };
         assert_eq!(base.edp(), 100_000.0);
         assert_eq!(base.ed2p(), 100_000_000.0);
         // Halving energy for 2% slowdown is a clear EDP win.

@@ -15,9 +15,7 @@
 //!   for partitioning over drowsing.
 
 use prf_isa::{Kernel, Reg, MAX_ARCH_REGS};
-use prf_sim::rf::{
-    default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle,
-};
+use prf_sim::rf::{default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle};
 use prf_sim::RfPartition;
 
 use crate::telemetry::SharedTelemetry;
@@ -264,7 +262,14 @@ mod tests {
         kb.mov_imm(Reg(7), 0);
         kb.exit();
         m.on_kernel_launch(&kb.build().unwrap(), 0);
-        m.on_warp_start(WarpLifecycle { slot: 0, cta: 0, warp_in_cta: 0 }, 0);
+        m.on_warp_start(
+            WarpLifecycle {
+                slot: 0,
+                cta: 0,
+                warp_in_cta: 0,
+            },
+            0,
+        );
         m.resolve(0, Reg(0), AccessKind::Write, 0);
         // Tick far past the drowsy window without further accesses.
         for c in 1..=512u64 {

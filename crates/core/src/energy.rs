@@ -39,7 +39,9 @@ impl EnergyModel {
         // energy") — slightly worse than pure V² scaling of the array
         // model, because the full-size NTV array needs stronger upsizing.
         // Calibrate to the paper's number directly (DESIGN.md §2.3).
-        let mrf_ntv = characterize(&ArraySpec::mrf_ntv()).access_energy_pj.max(mrf_stv * 0.53);
+        let mrf_ntv = characterize(&ArraySpec::mrf_ntv())
+            .access_energy_pj
+            .max(mrf_stv * 0.53);
         let frf_high = characterize(&ArraySpec::frf_high()).access_energy_pj;
         let frf_low = characterize(&ArraySpec::frf_low()).access_energy_pj;
         let srf = characterize(&ArraySpec::srf()).access_energy_pj;
@@ -59,7 +61,10 @@ impl EnergyModel {
         per_access_pj[RfPartition::RfcMiss.index()] = rfc_mrf + rfc;
         per_access_pj[RfPartition::RfcWriteback.index()] = rfc_mrf + rfc;
 
-        EnergyModel { per_access_pj, rfc_writeback_pj: rfc_mrf + rfc }
+        EnergyModel {
+            per_access_pj,
+            rfc_writeback_pj: rfc_mrf + rfc,
+        }
     }
 
     /// A model without an RFC (the common case).
@@ -214,8 +219,8 @@ mod tests {
         // §V-B: "when the monolithic RF operates at NTV it saves 47% of
         // the RF energy".
         let m = EnergyModel::without_rfc();
-        let saving = 1.0
-            - m.access_energy_pj(RfPartition::MrfNtv) / m.access_energy_pj(RfPartition::MrfStv);
+        let saving =
+            1.0 - m.access_energy_pj(RfPartition::MrfNtv) / m.access_energy_pj(RfPartition::MrfStv);
         assert!((saving - 0.47).abs() < 0.06, "saving {saving}");
     }
 
@@ -246,7 +251,11 @@ mod tests {
         assert!((l.frf_mw - 7.28).abs() < 0.1);
         assert!((l.srf_mw - 13.4).abs() < 0.2);
         // "our proposed RF is able to save 39% of the RF leakage power".
-        assert!((l.partitioned_saving() - 0.39).abs() < 0.02, "{}", l.partitioned_saving());
+        assert!(
+            (l.partitioned_saving() - 0.39).abs() < 0.02,
+            "{}",
+            l.partitioned_saving()
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! launches) under a chosen register-file organisation and report
 //! performance plus energy.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use prf_finfet::array::ArraySpec;
 use prf_isa::{GridConfig, Kernel};
@@ -13,7 +13,7 @@ use crate::drowsy::{DrowsyConfig, DrowsyRf};
 use crate::energy::{EnergyModel, LeakageModel};
 use crate::partitioned::{PartitionedRf, PartitionedRfConfig};
 use crate::rfc::{RfcConfig, RfcModel};
-use crate::telemetry::{shared_telemetry, RfTelemetry};
+use crate::telemetry::{shared_telemetry, snapshot, RfTelemetry, SharedTelemetry};
 
 /// The register-file organisation under test.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,12 +48,26 @@ impl RfKind {
 }
 
 /// One kernel launch of a workload.
+///
+/// The kernel is reference-counted so a `Launch` can be cloned — and whole
+/// workloads fanned out across worker threads — without deep-copying the
+/// instruction stream.
 #[derive(Debug, Clone)]
 pub struct Launch {
     /// The kernel.
-    pub kernel: Kernel,
+    pub kernel: Arc<Kernel>,
     /// Its launch geometry.
     pub grid: GridConfig,
+}
+
+impl Launch {
+    /// Wraps a kernel (owned or already `Arc`ed) with its launch geometry.
+    pub fn new(kernel: impl Into<Arc<Kernel>>, grid: GridConfig) -> Self {
+        Launch {
+            kernel: kernel.into(),
+            grid,
+        }
+    }
 }
 
 /// Result of running a workload under one RF organisation.
@@ -129,6 +143,31 @@ impl std::fmt::Display for ExperimentResult {
     }
 }
 
+/// Builds the per-SM register-file model factory for an [`RfKind`].
+///
+/// The returned closure is `Send + Sync` so a whole experiment — factory
+/// included — can run on a worker thread of the parallel experiment engine.
+/// Models report into `telemetry`, which the caller snapshots after the run.
+pub fn rf_model_factory(
+    rf: &RfKind,
+    banks: usize,
+    telemetry: &SharedTelemetry,
+) -> impl Fn(usize) -> Box<dyn RegisterFileModel> + Send + Sync + 'static {
+    let rf_kind = rf.clone();
+    let t = Arc::clone(telemetry);
+    move |sm: usize| -> Box<dyn RegisterFileModel> {
+        match &rf_kind {
+            RfKind::MrfStv => Box::new(BaselineRf::stv(banks)),
+            RfKind::MrfNtv { latency } => Box::new(BaselineRf::ntv(banks, *latency)),
+            RfKind::Partitioned(cfg) => {
+                Box::new(PartitionedRf::new(sm, cfg.clone(), Arc::clone(&t)))
+            }
+            RfKind::Rfc(cfg) => Box::new(RfcModel::new(*cfg, Arc::clone(&t))),
+            RfKind::Drowsy(cfg) => Box::new(DrowsyRf::new(*cfg, Arc::clone(&t))),
+        }
+    }
+}
+
 /// Runs `launches` back-to-back (sharing global memory, like a real
 /// multi-kernel workload) under the given RF organisation.
 ///
@@ -150,23 +189,11 @@ pub fn run_experiment(
         gpu.global_mem().load(*base, words);
     }
 
-    let banks = gpu_config.num_rf_banks;
+    let factory = rf_model_factory(rf, gpu_config.num_rf_banks, &telemetry);
     let mut per_launch = Vec::with_capacity(launches.len());
     for launch in launches {
-        let t = Rc::clone(&telemetry);
-        let rf_kind = rf.clone();
-        let factory = move |sm: usize| -> Box<dyn RegisterFileModel> {
-            match &rf_kind {
-                RfKind::MrfStv => Box::new(BaselineRf::stv(banks)),
-                RfKind::MrfNtv { latency } => Box::new(BaselineRf::ntv(banks, *latency)),
-                RfKind::Partitioned(cfg) => {
-                    Box::new(PartitionedRf::new(sm, cfg.clone(), Rc::clone(&t)))
-                }
-                RfKind::Rfc(cfg) => Box::new(RfcModel::new(*cfg, Rc::clone(&t))),
-                RfKind::Drowsy(cfg) => Box::new(DrowsyRf::new(*cfg, Rc::clone(&t))),
-            }
-        };
-        let r = gpu.run(launch.kernel.clone(), launch.grid, &factory)?;
+        // `Arc::clone`, not a deep copy of the instruction stream.
+        let r = gpu.run(Arc::clone(&launch.kernel), launch.grid, &factory)?;
         per_launch.push(r);
     }
 
@@ -187,11 +214,15 @@ pub fn run_experiment(
                 1,
                 cfg.crossbar_banks,
             );
-            (EnergyModel::new(Some(spec), cfg.mrf_at_ntv), telemetry.borrow().rfc_writebacks)
+            (
+                EnergyModel::new(Some(spec), cfg.mrf_at_ntv),
+                snapshot(&telemetry).rfc_writebacks,
+            )
         }
         _ => (EnergyModel::without_rfc(), 0),
     };
-    let dynamic_energy_pj = energy_model.dynamic_energy_pj(&stats.partition_accesses, rfc_writebacks);
+    let dynamic_energy_pj =
+        energy_model.dynamic_energy_pj(&stats.partition_accesses, rfc_writebacks);
     let baseline_dynamic_energy_pj =
         energy_model.baseline_dynamic_energy_pj(&stats.partition_accesses);
 
@@ -221,12 +252,12 @@ pub fn run_experiment(
         }
     };
     let per_sm_cycles = cycles; // leakage counted per SM; all SMs run the kernel's span
-    let leakage_energy_pj = LeakageModel::leakage_energy_pj(organisation_mw, per_sm_cycles)
-        * gpu_config.num_sms as f64;
+    let leakage_energy_pj =
+        LeakageModel::leakage_energy_pj(organisation_mw, per_sm_cycles) * gpu_config.num_sms as f64;
     let baseline_leakage_energy_pj =
         LeakageModel::leakage_energy_pj(leak.mrf_stv_mw, per_sm_cycles) * gpu_config.num_sms as f64;
 
-    let telemetry = telemetry.borrow().clone();
+    let telemetry = snapshot(&telemetry);
     Ok(ExperimentResult {
         rf_name: rf.name(),
         cycles,
@@ -268,11 +299,31 @@ mod tests {
     }
 
     fn small_gpu() -> GpuConfig {
-        GpuConfig { global_mem_words: 1 << 14, ..GpuConfig::kepler_single_sm() }
+        GpuConfig {
+            global_mem_words: 1 << 14,
+            ..GpuConfig::kepler_single_sm()
+        }
     }
 
     fn launches() -> Vec<Launch> {
-        vec![Launch { kernel: skewed_kernel(), grid: GridConfig::new(8, 128) }]
+        vec![Launch::new(skewed_kernel(), GridConfig::new(8, 128))]
+    }
+
+    /// Compile-time guarantee that whole experiments can move to worker
+    /// threads: the GPU, the boxed models, the factory, and the result all
+    /// have to be `Send`.
+    #[test]
+    fn simulator_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Gpu>();
+        assert_send::<Box<dyn RegisterFileModel>>();
+        assert_send::<ExperimentResult>();
+        assert_send::<RfKind>();
+        assert_send::<Launch>();
+        fn assert_send_sync_value<T: Send + Sync>(_: &T) {}
+        let telemetry = shared_telemetry();
+        let factory = rf_model_factory(&RfKind::MrfStv, 8, &telemetry);
+        assert_send_sync_value(&factory);
     }
 
     #[test]
@@ -289,7 +340,11 @@ mod tests {
         // Same work executed.
         assert_eq!(base.stats.instructions, part.stats.instructions);
         // Partitioned saves substantial dynamic energy on a skewed kernel.
-        assert!(part.dynamic_saving() > 0.40, "saving {}", part.dynamic_saving());
+        assert!(
+            part.dynamic_saving() > 0.40,
+            "saving {}",
+            part.dynamic_saving()
+        );
         // ...with bounded slowdown.
         let slowdown = part.normalized_time(&base);
         assert!(slowdown < 1.10, "slowdown {slowdown}");
@@ -325,7 +380,9 @@ mod tests {
     #[test]
     fn rfc_experiment_reports_hit_rate() {
         let gpu = GpuConfig {
-            scheduler: prf_sim::SchedulerPolicy::TwoLevel { active_per_scheduler: 2 },
+            scheduler: prf_sim::SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 2,
+            },
             ..small_gpu()
         };
         let rfc = RfcConfig::paper_default(gpu.num_rf_banks, gpu.max_warps_per_sm);
@@ -362,7 +419,7 @@ mod tests {
         kb.ldg(Reg(1), Reg(0), 100);
         kb.stg(Reg(0), Reg(1), 200);
         kb.exit();
-        let launches = vec![Launch { kernel: kb.build().unwrap(), grid: GridConfig::new(1, 32) }];
+        let launches = vec![Launch::new(kb.build().unwrap(), GridConfig::new(1, 32))];
         let gpu = small_gpu();
         let r = run_experiment(
             &gpu,

@@ -31,7 +31,7 @@
 //! kb.iadd_imm(Reg(1), Reg(0), 1);
 //! kb.stg(Reg(0), Reg(1), 0);
 //! kb.exit();
-//! let launches = [Launch { kernel: kb.build()?, grid: GridConfig::new(4, 64) }];
+//! let launches = [Launch::new(kb.build()?, GridConfig::new(4, 64))];
 //!
 //! let gpu = GpuConfig::kepler_single_sm();
 //! let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
@@ -57,10 +57,10 @@ pub use adaptive::{AdaptiveFrf, AdaptiveFrfConfig, FrfMode};
 pub use chip::{ChipProfile, EnergyDelay};
 pub use drowsy::{DrowsyConfig, DrowsyRf, DrowsySummary};
 pub use energy::{EnergyModel, LeakageModel, GPU_CLOCK_GHZ};
-pub use experiment::{run_experiment, ExperimentResult, Launch, RfKind};
+pub use experiment::{rf_model_factory, run_experiment, ExperimentResult, Launch, RfKind};
 pub use indexed_table::IndexedSwapTable;
 pub use partitioned::{PartitionedRf, PartitionedRfConfig};
 pub use profile::{compiler_hot_registers, PilotProfiler, ProfilingStrategy};
 pub use rfc::{RfcConfig, RfcModel};
 pub use swap_table::SwappingTable;
-pub use telemetry::{shared_telemetry, RfTelemetry, SharedTelemetry};
+pub use telemetry::{shared_telemetry, snapshot, RfTelemetry, SharedTelemetry};

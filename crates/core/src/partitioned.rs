@@ -8,9 +8,7 @@
 //! the [`AdaptiveFrf`] epoch detector.
 
 use prf_isa::{Kernel, Reg};
-use prf_sim::rf::{
-    default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle,
-};
+use prf_sim::rf::{default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle};
 use prf_sim::RfPartition;
 
 use crate::adaptive::{AdaptiveFrf, AdaptiveFrfConfig, FrfMode};
@@ -63,7 +61,10 @@ impl PartitionedRfConfig {
 
     /// Same design without the adaptive FRF (always high-power).
     pub fn without_adaptive(num_banks: usize) -> Self {
-        PartitionedRfConfig { adaptive: None, ..Self::paper_default(num_banks) }
+        PartitionedRfConfig {
+            adaptive: None,
+            ..Self::paper_default(num_banks)
+        }
     }
 }
 
@@ -149,7 +150,7 @@ impl RegisterFileModel for PartitionedRf {
         if self.config.adaptive.is_some() {
             self.adaptive.tick(issued);
             if self.is_reporting_sm {
-                let mut t = self.telemetry.borrow_mut();
+                let mut t = self.telemetry.lock().unwrap();
                 t.frf_high_epochs = self.adaptive.high_epochs;
                 t.frf_low_epochs = self.adaptive.low_epochs;
             }
@@ -170,7 +171,7 @@ impl RegisterFileModel for PartitionedRf {
                 if strategy.uses_compiler() {
                     let hot = compiler_hot_registers(kernel, self.config.frf_regs);
                     if self.is_reporting_sm {
-                        self.telemetry.borrow_mut().compiler_hot_regs = hot.clone();
+                        self.telemetry.lock().unwrap().compiler_hot_regs = hot.clone();
                     }
                     self.swap.apply_hot_registers(&hot);
                 }
@@ -195,7 +196,7 @@ impl RegisterFileModel for PartitionedRf {
             // Reset-then-apply, as in Fig. 6c.
             self.swap.apply_hot_registers(&hot);
             if self.is_reporting_sm {
-                let mut t = self.telemetry.borrow_mut();
+                let mut t = self.telemetry.lock().unwrap();
                 t.pilot_hot_regs = hot;
                 t.pilot_done_cycle = Some(cycle - self.launch_cycle);
             }
@@ -225,8 +226,11 @@ mod tests {
 
     fn hybrid_rf() -> (PartitionedRf, SharedTelemetry) {
         let t = shared_telemetry();
-        let rf =
-            PartitionedRf::new(0, PartitionedRfConfig::paper_default(24), std::rc::Rc::clone(&t));
+        let rf = PartitionedRf::new(
+            0,
+            PartitionedRfConfig::paper_default(24),
+            std::sync::Arc::clone(&t),
+        );
         (rf, t)
     }
 
@@ -256,14 +260,18 @@ mod tests {
         // the compiler while the pilot runs).
         let a = rf.resolve(0, Reg(10), AccessKind::Read, 0);
         assert_eq!(a.partition, RfPartition::FrfHigh);
-        assert_eq!(t.borrow().compiler_hot_regs[0], Reg(10));
+        assert_eq!(t.lock().unwrap().compiler_hot_regs[0], Reg(10));
     }
 
     #[test]
     fn pilot_completion_remaps() {
         let (mut rf, t) = hybrid_rf();
         rf.on_kernel_launch(&test_kernel(), 0);
-        let w = WarpLifecycle { slot: 2, cta: 0, warp_in_cta: 0 };
+        let w = WarpLifecycle {
+            slot: 2,
+            cta: 0,
+            warp_in_cta: 0,
+        };
         rf.on_warp_start(w, 5);
         // Pilot accesses R20 far more than anything else.
         for _ in 0..50 {
@@ -271,35 +279,62 @@ mod tests {
         }
         rf.observe_access(2, Reg(10), AccessKind::Read, 6);
         // Before the pilot completes, R20 is still in the SRF.
-        assert_eq!(rf.resolve(0, Reg(20), AccessKind::Read, 7).partition, RfPartition::Srf);
+        assert_eq!(
+            rf.resolve(0, Reg(20), AccessKind::Read, 7).partition,
+            RfPartition::Srf
+        );
         rf.on_warp_finish(w, 100);
         // After: R20 in FRF, and telemetry recorded it.
         assert_eq!(
             rf.resolve(0, Reg(20), AccessKind::Read, 101).partition,
             RfPartition::FrfHigh
         );
-        assert_eq!(t.borrow().pilot_hot_regs[0], Reg(20));
-        assert_eq!(t.borrow().pilot_done_cycle, Some(100));
+        assert_eq!(t.lock().unwrap().pilot_hot_regs[0], Reg(20));
+        assert_eq!(t.lock().unwrap().pilot_done_cycle, Some(100));
     }
 
     #[test]
     fn non_pilot_accesses_do_not_pollute_counters() {
         let (mut rf, _) = hybrid_rf();
         rf.on_kernel_launch(&test_kernel(), 0);
-        rf.on_warp_start(WarpLifecycle { slot: 0, cta: 0, warp_in_cta: 0 }, 0);
-        rf.on_warp_start(WarpLifecycle { slot: 1, cta: 0, warp_in_cta: 1 }, 0);
+        rf.on_warp_start(
+            WarpLifecycle {
+                slot: 0,
+                cta: 0,
+                warp_in_cta: 0,
+            },
+            0,
+        );
+        rf.on_warp_start(
+            WarpLifecycle {
+                slot: 1,
+                cta: 0,
+                warp_in_cta: 1,
+            },
+            0,
+        );
         // Slot 1 (not the pilot) hammers R30.
         for _ in 0..100 {
             rf.observe_access(1, Reg(30), AccessKind::Read, 1);
         }
         rf.observe_access(0, Reg(7), AccessKind::Write, 1);
-        rf.on_warp_finish(WarpLifecycle { slot: 0, cta: 0, warp_in_cta: 0 }, 10);
+        rf.on_warp_finish(
+            WarpLifecycle {
+                slot: 0,
+                cta: 0,
+                warp_in_cta: 0,
+            },
+            10,
+        );
         // Pilot saw only R7.
         assert_eq!(
             rf.resolve(0, Reg(7), AccessKind::Read, 11).partition,
             RfPartition::FrfHigh
         );
-        assert_eq!(rf.resolve(0, Reg(30), AccessKind::Read, 11).partition, RfPartition::Srf);
+        assert_eq!(
+            rf.resolve(0, Reg(30), AccessKind::Read, 11).partition,
+            RfPartition::Srf
+        );
     }
 
     #[test]
@@ -358,7 +393,11 @@ mod tests {
     fn second_kernel_relaunch_resets_mapping() {
         let (mut rf, _) = hybrid_rf();
         rf.on_kernel_launch(&test_kernel(), 0);
-        let w = WarpLifecycle { slot: 0, cta: 0, warp_in_cta: 0 };
+        let w = WarpLifecycle {
+            slot: 0,
+            cta: 0,
+            warp_in_cta: 0,
+        };
         rf.on_warp_start(w, 0);
         for _ in 0..10 {
             rf.observe_access(0, Reg(60), AccessKind::Read, 1);
@@ -371,7 +410,10 @@ mod tests {
         kb.iadd(Reg(40), Reg(40), Reg(40));
         kb.exit();
         rf.on_kernel_launch(&kb.build().unwrap(), 1000);
-        assert!(!rf.swap_table().is_frf(Reg(60)), "old pilot mapping cleared");
+        assert!(
+            !rf.swap_table().is_frf(Reg(60)),
+            "old pilot mapping cleared"
+        );
         assert!(rf.swap_table().is_frf(Reg(40)), "new compiler seed applied");
     }
 }

@@ -27,13 +27,19 @@ pub enum ProfilingStrategy {
 impl ProfilingStrategy {
     /// Whether this strategy runs the pilot-warp machinery.
     pub fn uses_pilot(&self) -> bool {
-        matches!(self, ProfilingStrategy::PilotOnly | ProfilingStrategy::Hybrid)
+        matches!(
+            self,
+            ProfilingStrategy::PilotOnly | ProfilingStrategy::Hybrid
+        )
     }
 
     /// Whether this strategy seeds the mapping from the compiler profile
     /// at kernel launch.
     pub fn uses_compiler(&self) -> bool {
-        matches!(self, ProfilingStrategy::Compiler | ProfilingStrategy::Hybrid)
+        matches!(
+            self,
+            ProfilingStrategy::Compiler | ProfilingStrategy::Hybrid
+        )
     }
 
     /// Short name used in reports.
@@ -71,7 +77,11 @@ pub struct PilotProfiler {
 impl PilotProfiler {
     /// Creates an idle profiler (mask clear — set on kernel launch).
     pub fn new() -> Self {
-        PilotProfiler { counters: [0; MAX_ARCH_REGS], pilot_slot: None, mask: false }
+        PilotProfiler {
+            counters: [0; MAX_ARCH_REGS],
+            pilot_slot: None,
+            mask: false,
+        }
     }
 
     /// Kernel launch: clear the counters, set the mask bit, forget the
@@ -170,7 +180,10 @@ mod tests {
         kb.iadd(Reg(7), Reg(7), Reg(2));
         kb.mov_imm(Reg(2), 0);
         kb.exit();
-        assert_eq!(compiler_hot_registers(&kb.build().unwrap(), 2), vec![Reg(7), Reg(2)]);
+        assert_eq!(
+            compiler_hot_registers(&kb.build().unwrap(), 2),
+            vec![Reg(7), Reg(2)]
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@
 use std::collections::VecDeque;
 
 use prf_isa::{Kernel, Reg};
-use prf_sim::rf::{
-    default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle,
-};
+use prf_sim::rf::{default_bank, AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle};
 use prf_sim::RfPartition;
 
 use crate::telemetry::SharedTelemetry;
@@ -114,7 +112,7 @@ impl RfcModel {
         }
         cache.entries.push_back((reg, dirty));
         if wrote_back {
-            self.telemetry.borrow_mut().rfc_writebacks += 1;
+            self.telemetry.lock().unwrap().rfc_writebacks += 1;
         }
         wrote_back
     }
@@ -128,13 +126,17 @@ impl RfcModel {
             .count() as u64;
         self.caches[warp_slot].entries.clear();
         if dirty > 0 {
-            self.telemetry.borrow_mut().rfc_writebacks += dirty;
+            self.telemetry.lock().unwrap().rfc_writebacks += dirty;
         }
     }
 
     /// Test hook: entries currently cached for a warp.
     pub fn cached_registers(&self, warp_slot: usize) -> Vec<Reg> {
-        self.caches[warp_slot].entries.iter().map(|&(r, _)| r).collect()
+        self.caches[warp_slot]
+            .entries
+            .iter()
+            .map(|&(r, _)| r)
+            .collect()
     }
 }
 
@@ -152,7 +154,7 @@ impl RegisterFileModel for RfcModel {
                 if let Some(i) = self.caches[warp_slot].find(reg) {
                     // Refresh nothing: FIFO, not LRU, as in the RFC paper.
                     let _ = i;
-                    let mut t = self.telemetry.borrow_mut();
+                    let mut t = self.telemetry.lock().unwrap();
                     t.rfc_hits += 1;
                     t.rfc_read_hits += 1;
                     ResolvedAccess {
@@ -161,7 +163,7 @@ impl RegisterFileModel for RfcModel {
                         partition: RfPartition::RfcHit,
                     }
                 } else {
-                    self.telemetry.borrow_mut().rfc_misses += 1;
+                    self.telemetry.lock().unwrap().rfc_misses += 1;
                     self.fill(warp_slot, reg, false);
                     ResolvedAccess {
                         bank,
@@ -174,9 +176,9 @@ impl RegisterFileModel for RfcModel {
                 // Write-allocate into the RFC; dirty until evicted.
                 if let Some(i) = self.caches[warp_slot].find(reg) {
                     self.caches[warp_slot].entries[i].1 = true;
-                    self.telemetry.borrow_mut().rfc_hits += 1;
+                    self.telemetry.lock().unwrap().rfc_hits += 1;
                 } else {
-                    self.telemetry.borrow_mut().rfc_hits += 1;
+                    self.telemetry.lock().unwrap().rfc_hits += 1;
                     self.fill(warp_slot, reg, true);
                 }
                 ResolvedAccess {
@@ -224,7 +226,7 @@ mod tests {
 
     fn model() -> (RfcModel, SharedTelemetry) {
         let t = shared_telemetry();
-        let m = RfcModel::new(RfcConfig::paper_default(24, 64), std::rc::Rc::clone(&t));
+        let m = RfcModel::new(RfcConfig::paper_default(24, 64), std::sync::Arc::clone(&t));
         (m, t)
     }
 
@@ -237,8 +239,8 @@ mod tests {
         let b = m.resolve(0, Reg(5), AccessKind::Read, 1);
         assert_eq!(b.partition, RfPartition::RfcHit);
         assert_eq!(b.latency, 1);
-        assert_eq!(t.borrow().rfc_hits, 1);
-        assert_eq!(t.borrow().rfc_misses, 1);
+        assert_eq!(t.lock().unwrap().rfc_hits, 1);
+        assert_eq!(t.lock().unwrap().rfc_misses, 1);
     }
 
     #[test]
@@ -248,7 +250,7 @@ mod tests {
         assert_eq!(a.partition, RfPartition::RfcHit);
         let b = m.resolve(0, Reg(7), AccessKind::Read, 1);
         assert_eq!(b.partition, RfPartition::RfcHit);
-        assert_eq!(t.borrow().rfc_misses, 0);
+        assert_eq!(t.lock().unwrap().rfc_misses, 0);
     }
 
     #[test]
@@ -272,7 +274,11 @@ mod tests {
         for r in 1..=6u8 {
             m.resolve(0, Reg(r), AccessKind::Read, 0);
         }
-        assert_eq!(t.borrow().rfc_writebacks, 1, "dirty R0 written back on eviction");
+        assert_eq!(
+            t.lock().unwrap().rfc_writebacks,
+            1,
+            "dirty R0 written back on eviction"
+        );
     }
 
     #[test]
@@ -290,7 +296,7 @@ mod tests {
         m.resolve(3, Reg(2), AccessKind::Read, 0);
         m.on_warp_deactivated(3, 5);
         assert!(m.cached_registers(3).is_empty());
-        assert_eq!(t.borrow().rfc_writebacks, 1);
+        assert_eq!(t.lock().unwrap().rfc_writebacks, 1);
         // Re-activation misses again — the TL/RFC interplay that limits
         // hit rate as warp counts grow.
         let a = m.resolve(3, Reg(1), AccessKind::Read, 6);
@@ -301,9 +307,16 @@ mod tests {
     fn warp_finish_flushes() {
         let (mut m, t) = model();
         m.resolve(2, Reg(9), AccessKind::Write, 0);
-        m.on_warp_finish(WarpLifecycle { slot: 2, cta: 0, warp_in_cta: 0 }, 9);
+        m.on_warp_finish(
+            WarpLifecycle {
+                slot: 2,
+                cta: 0,
+                warp_in_cta: 0,
+            },
+            9,
+        );
         assert!(m.cached_registers(2).is_empty());
-        assert_eq!(t.borrow().rfc_writebacks, 1);
+        assert_eq!(t.lock().unwrap().rfc_writebacks, 1);
     }
 
     #[test]
@@ -324,6 +337,6 @@ mod tests {
         m.resolve(0, Reg(0), AccessKind::Read, 0); // miss
         m.resolve(0, Reg(0), AccessKind::Read, 1); // hit
         m.resolve(0, Reg(0), AccessKind::Read, 2); // hit
-        assert!((t.borrow().rfc_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.lock().unwrap().rfc_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 }

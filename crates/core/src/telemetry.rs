@@ -3,9 +3,15 @@
 //! The simulator owns the per-SM model instances and drops them when a run
 //! finishes, so models report their internal statistics into a shared
 //! [`RfTelemetry`] cell that the experiment driver keeps.
+//!
+//! The handle is `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`: each
+//! experiment run owns its *own* telemetry instance (nothing is shared
+//! between runs), but the handle must be [`Send`] so whole simulations can
+//! be fanned out across worker threads by the parallel experiment engine.
+//! Within one run the mutex is uncontended — all SMs of a run are stepped
+//! by one thread — so the locking cost is a bare atomic.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use prf_isa::Reg;
 
@@ -65,14 +71,59 @@ impl RfTelemetry {
             self.frf_low_epochs as f64 / total as f64
         }
     }
+
+    /// Accumulates another run's (or seed's) counters into this one. Vector
+    /// and option fields keep the first non-empty value — they describe the
+    /// run's structure (hot sets, pilot completion), which repeats across
+    /// seeds, rather than accumulate.
+    pub fn merge(&mut self, other: &RfTelemetry) {
+        self.rfc_hits += other.rfc_hits;
+        self.rfc_read_hits += other.rfc_read_hits;
+        self.rfc_misses += other.rfc_misses;
+        self.rfc_writebacks += other.rfc_writebacks;
+        self.frf_high_epochs += other.frf_high_epochs;
+        self.frf_low_epochs += other.frf_low_epochs;
+        if self.compiler_hot_regs.is_empty() {
+            self.compiler_hot_regs = other.compiler_hot_regs.clone();
+        }
+        if self.pilot_hot_regs.is_empty() {
+            self.pilot_hot_regs = other.pilot_hot_regs.clone();
+        }
+        if self.pilot_done_cycle.is_none() {
+            self.pilot_done_cycle = other.pilot_done_cycle;
+        }
+    }
+
+    /// Divides the accumulated counters by `n`, turning a [`merge`] of `n`
+    /// per-seed telemetries into a per-seed mean.
+    ///
+    /// [`merge`]: RfTelemetry::merge
+    pub fn scale_down(&mut self, n: u64) {
+        assert!(n >= 1);
+        self.rfc_hits /= n;
+        self.rfc_read_hits /= n;
+        self.rfc_misses /= n;
+        self.rfc_writebacks /= n;
+        self.frf_high_epochs /= n;
+        self.frf_low_epochs /= n;
+    }
 }
 
 /// Shared handle to a telemetry sink.
-pub type SharedTelemetry = Rc<RefCell<RfTelemetry>>;
+///
+/// `Send + Sync`: whole simulation runs move across threads in the parallel
+/// experiment engine. See the module docs for why this is a mutex and why
+/// it is uncontended in practice.
+pub type SharedTelemetry = Arc<Mutex<RfTelemetry>>;
 
 /// Creates a fresh shared telemetry sink.
 pub fn shared_telemetry() -> SharedTelemetry {
-    Rc::new(RefCell::new(RfTelemetry::default()))
+    Arc::new(Mutex::new(RfTelemetry::default()))
+}
+
+/// Clones the current telemetry out of a shared handle.
+pub fn snapshot(t: &SharedTelemetry) -> RfTelemetry {
+    t.lock().expect("telemetry mutex poisoned").clone()
 }
 
 #[cfg(test)]
@@ -100,8 +151,47 @@ mod tests {
     #[test]
     fn shared_cell_is_shared() {
         let t = shared_telemetry();
-        let t2 = Rc::clone(&t);
-        t.borrow_mut().rfc_hits = 7;
-        assert_eq!(t2.borrow().rfc_hits, 7);
+        let t2 = Arc::clone(&t);
+        t.lock().unwrap().rfc_hits = 7;
+        assert_eq!(t2.lock().unwrap().rfc_hits, 7);
+        assert_eq!(snapshot(&t2).rfc_hits, 7);
+    }
+
+    #[test]
+    fn shared_handle_crosses_threads() {
+        let t = shared_telemetry();
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            t2.lock().unwrap().rfc_misses = 3;
+        })
+        .join()
+        .unwrap();
+        assert_eq!(t.lock().unwrap().rfc_misses, 3);
+    }
+
+    #[test]
+    fn merge_and_scale_down_average_counters() {
+        let mut a = RfTelemetry {
+            rfc_hits: 10,
+            rfc_misses: 2,
+            pilot_done_cycle: Some(5),
+            pilot_hot_regs: vec![Reg(1)],
+            ..RfTelemetry::default()
+        };
+        let b = RfTelemetry {
+            rfc_hits: 14,
+            rfc_misses: 4,
+            pilot_done_cycle: Some(9),
+            pilot_hot_regs: vec![Reg(2)],
+            ..RfTelemetry::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rfc_hits, 24);
+        // Structural fields keep the first run's values.
+        assert_eq!(a.pilot_done_cycle, Some(5));
+        assert_eq!(a.pilot_hot_regs, vec![Reg(1)]);
+        a.scale_down(2);
+        assert_eq!(a.rfc_hits, 12);
+        assert_eq!(a.rfc_misses, 3);
     }
 }

@@ -2,8 +2,8 @@
 //! common kernel through the full experiment pipeline.
 
 use prf_core::{
-    run_experiment, DrowsyConfig, EnergyDelay, Launch, PartitionedRfConfig,
-    ProfilingStrategy, RfKind, RfcConfig,
+    run_experiment, DrowsyConfig, EnergyDelay, Launch, PartitionedRfConfig, ProfilingStrategy,
+    RfKind, RfcConfig,
 };
 use prf_isa::{CmpOp, GridConfig, KernelBuilder, PredReg, Reg, SpecialReg};
 use prf_sim::{GpuConfig, SchedulerPolicy};
@@ -34,7 +34,7 @@ fn gpu(policy: SchedulerPolicy) -> GpuConfig {
 }
 
 fn launches() -> Vec<Launch> {
-    vec![Launch { kernel: skewed_kernel(), grid: GridConfig::new(8, 128) }]
+    vec![Launch::new(skewed_kernel(), GridConfig::new(8, 128))]
 }
 
 fn all_kinds(config: &GpuConfig) -> Vec<RfKind> {
@@ -46,7 +46,10 @@ fn all_kinds(config: &GpuConfig) -> Vec<RfKind> {
             strategy: ProfilingStrategy::Compiler,
             ..PartitionedRfConfig::without_adaptive(config.num_rf_banks)
         }),
-        RfKind::Rfc(RfcConfig::paper_default(config.num_rf_banks, config.max_warps_per_sm)),
+        RfKind::Rfc(RfcConfig::paper_default(
+            config.num_rf_banks,
+            config.max_warps_per_sm,
+        )),
         RfKind::Drowsy(DrowsyConfig::paper_adjacent(
             config.num_rf_banks,
             config.max_warps_per_sm,
@@ -56,7 +59,9 @@ fn all_kinds(config: &GpuConfig) -> Vec<RfKind> {
 
 #[test]
 fn all_models_complete_with_identical_work() {
-    let config = gpu(SchedulerPolicy::TwoLevel { active_per_scheduler: 8 });
+    let config = gpu(SchedulerPolicy::TwoLevel {
+        active_per_scheduler: 8,
+    });
     let mut instrs = Vec::new();
     for kind in all_kinds(&config) {
         let r = run_experiment(&config, &kind, &launches(), &[]).unwrap();
@@ -87,7 +92,10 @@ fn energy_ordering_across_models() {
 
     assert!(part.dynamic_saving() > ntv.dynamic_saving());
     assert!(ntv.dynamic_saving() > 0.40);
-    assert!(drowsy.dynamic_saving().abs() < 1e-9, "drowsy saves no dynamic energy");
+    assert!(
+        drowsy.dynamic_saving().abs() < 1e-9,
+        "drowsy saves no dynamic energy"
+    );
     assert!(stv.dynamic_saving().abs() < 1e-9);
 }
 
@@ -145,10 +153,15 @@ fn oracle_profiling_upper_bounds_hybrid_capture() {
 
 #[test]
 fn rfc_telemetry_consistency() {
-    let config = gpu(SchedulerPolicy::TwoLevel { active_per_scheduler: 4 });
+    let config = gpu(SchedulerPolicy::TwoLevel {
+        active_per_scheduler: 4,
+    });
     let r = run_experiment(
         &config,
-        &RfKind::Rfc(RfcConfig::paper_default(config.num_rf_banks, config.max_warps_per_sm)),
+        &RfKind::Rfc(RfcConfig::paper_default(
+            config.num_rf_banks,
+            config.max_warps_per_sm,
+        )),
         &launches(),
         &[],
     )

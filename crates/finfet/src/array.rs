@@ -136,12 +136,17 @@ impl ArraySpec {
 
     /// The 32 KB FRF in high-power mode (back gate = Vdd).
     pub fn frf_high() -> Self {
-        ArraySpec { ..Self::rf(32.0, VoltageMode::Stv) }
+        ArraySpec {
+            ..Self::rf(32.0, VoltageMode::Stv)
+        }
     }
 
     /// The 32 KB FRF in low-power mode (back gate grounded).
     pub fn frf_low() -> Self {
-        ArraySpec { back_gate: BackGate::Grounded, ..Self::rf(32.0, VoltageMode::Stv) }
+        ArraySpec {
+            back_gate: BackGate::Grounded,
+            ..Self::rf(32.0, VoltageMode::Stv)
+        }
     }
 
     /// A register-file cache holding `entries_per_warp` registers for
@@ -161,8 +166,7 @@ impl ArraySpec {
         write_ports: u32,
         crossbar_banks: u32,
     ) -> Self {
-        let total_kb =
-            f64::from(entries_per_warp) * f64::from(active_warps) * 32.0 * 4.0 / 1024.0;
+        let total_kb = f64::from(entries_per_warp) * f64::from(active_warps) * 32.0 * 4.0 / 1024.0;
         ArraySpec {
             size_kb: total_kb / f64::from(crossbar_banks.max(1)),
             voltage: VoltageMode::Stv,
@@ -212,7 +216,10 @@ fn leak_scale(vdd: f64) -> f64 {
 /// Panics if the size is not positive or a port count is zero.
 pub fn characterize(spec: &ArraySpec) -> ArrayCharacteristics {
     assert!(spec.size_kb > 0.0, "array size must be positive");
-    assert!(spec.read_ports >= 1 && spec.write_ports >= 1, "need at least R1W1");
+    assert!(
+        spec.read_ports >= 1 && spec.write_ports >= 1,
+        "need at least R1W1"
+    );
     let v = spec.voltage.volts();
     let sqrt_kb = spec.size_kb.sqrt();
     let cell_area = spec.cell.area_rel();
@@ -237,12 +244,16 @@ pub fn characterize(spec: &ArraySpec) -> ArrayCharacteristics {
     leak *= cell_area;
 
     // Access time.
-    let dev = FinFet { back_gate: BackGate::Vdd };
+    let dev = FinFet {
+        back_gate: BackGate::Vdd,
+    };
     let mut time = (TIME_A_NS + TIME_B_NS * sqrt_kb) * dev.inverter_delay_rel(v);
     if spec.back_gate == BackGate::Grounded {
         // Only the BG-controlled fraction of the path slows down; the
         // controlled devices lose drive but also half their capacitance.
-        let bg_dev = FinFet { back_gate: BackGate::Grounded };
+        let bg_dev = FinFet {
+            back_gate: BackGate::Grounded,
+        };
         let slow = bg_dev.inverter_delay_rel(v) / dev.inverter_delay_rel(v);
         time *= 1.0 - BG_PATH_FRACTION + BG_PATH_FRACTION * slow;
     }
@@ -307,16 +318,26 @@ impl VoltagePoint {
 /// Panics if the range is inverted or `steps < 2`.
 pub fn sweep_voltage(size_kb: f64, v_lo: f64, v_hi: f64, steps: usize) -> Vec<VoltagePoint> {
     assert!(steps >= 2, "need at least two sweep points");
-    assert!(v_hi > v_lo && v_lo > 0.0, "voltage range must be increasing and positive");
+    assert!(
+        v_hi > v_lo && v_lo > 0.0,
+        "voltage range must be increasing and positive"
+    );
     let sqrt_kb = size_kb.sqrt();
-    let dev = FinFet { back_gate: BackGate::Vdd };
+    let dev = FinFet {
+        back_gate: BackGate::Vdd,
+    };
     (0..steps)
         .map(|i| {
             let vdd = v_lo + (v_hi - v_lo) * i as f64 / (steps - 1) as f64;
             let energy = (ENERGY_A_PJ + ENERGY_B_PJ * sqrt_kb) * (vdd / STV).powi(2);
             let leak = (LEAK_A_MW + LEAK_B_MW * size_kb) * leak_scale(vdd);
             let time = (TIME_A_NS + TIME_B_NS * sqrt_kb) * dev.inverter_delay_rel(vdd);
-            VoltagePoint { vdd, access_energy_pj: energy, leakage_mw: leak, access_time_ns: time }
+            VoltagePoint {
+                vdd,
+                access_energy_pj: energy,
+                leakage_mw: leak,
+                access_time_ns: time,
+            }
         })
         .collect()
 }
@@ -325,7 +346,10 @@ pub fn sweep_voltage(size_kb: f64, v_lo: f64, v_hi: f64, steps: usize) -> Vec<Vo
 /// plus FRF (back-gate controlled). The paper reports 0.214 mm² vs the
 /// 0.2 mm² baseline — "less than 10% area overhead".
 pub fn partitioned_rf_area_mm2() -> f64 {
-    let srf = ArraySpec { back_gate: BackGate::Vdd, ..ArraySpec::srf() };
+    let srf = ArraySpec {
+        back_gate: BackGate::Vdd,
+        ..ArraySpec::srf()
+    };
     // Note the FRF area includes back-gate wiring even in high mode —
     // the wiring exists regardless of the mode signal's value.
     let frf = ArraySpec::frf_low();
@@ -343,14 +367,22 @@ mod tests {
     #[test]
     fn table4_mrf_stv() {
         let c = characterize(&ArraySpec::mrf_stv());
-        assert!(close(c.access_energy_pj, 14.9, 0.005), "{}", c.access_energy_pj);
+        assert!(
+            close(c.access_energy_pj, 14.9, 0.005),
+            "{}",
+            c.access_energy_pj
+        );
         assert!(close(c.leakage_mw, 33.8, 0.005), "{}", c.leakage_mw);
     }
 
     #[test]
     fn table4_srf() {
         let c = characterize(&ArraySpec::srf());
-        assert!(close(c.access_energy_pj, 7.03, 0.01), "{}", c.access_energy_pj);
+        assert!(
+            close(c.access_energy_pj, 7.03, 0.01),
+            "{}",
+            c.access_energy_pj
+        );
         assert!(close(c.leakage_mw, 13.4, 0.01), "{}", c.leakage_mw);
     }
 
@@ -358,8 +390,16 @@ mod tests {
     fn table4_frf_high_and_low() {
         let hi = characterize(&ArraySpec::frf_high());
         let lo = characterize(&ArraySpec::frf_low());
-        assert!(close(hi.access_energy_pj, 7.65, 0.01), "{}", hi.access_energy_pj);
-        assert!(close(lo.access_energy_pj, 5.25, 0.01), "{}", lo.access_energy_pj);
+        assert!(
+            close(hi.access_energy_pj, 7.65, 0.01),
+            "{}",
+            hi.access_energy_pj
+        );
+        assert!(
+            close(lo.access_energy_pj, 5.25, 0.01),
+            "{}",
+            lo.access_energy_pj
+        );
         assert!(close(hi.leakage_mw, 7.28, 0.01), "{}", hi.leakage_mw);
         // Table IV lists the same leakage for both FRF modes.
         assert!(close(lo.leakage_mw, hi.leakage_mw, 1e-12));
@@ -383,7 +423,11 @@ mod tests {
     fn frf_access_time_meets_cycle_time() {
         // §V-B: "the FRF_high access time is 0.08ns".
         let hi = characterize(&ArraySpec::frf_high());
-        assert!(close(hi.access_time_ns, 0.08, 0.01), "{}", hi.access_time_ns);
+        assert!(
+            close(hi.access_time_ns, 0.08, 0.01),
+            "{}",
+            hi.access_time_ns
+        );
         // FRF_low is the 2-cycle design point: ~2x FRF_high.
         let lo = characterize(&ArraySpec::frf_low());
         assert!(close(lo.access_time_ns / hi.access_time_ns, 2.0, 0.02));
@@ -395,7 +439,10 @@ mod tests {
         let mrf = characterize(&ArraySpec::mrf_stv());
         // NTV tripling on top of the size effect.
         assert!(srf.access_time_ns > 2.0 * mrf.access_time_ns);
-        assert!(srf.access_time_ns < 3.0 * 1.111, "must fit in 3 cycles at 900 MHz");
+        assert!(
+            srf.access_time_ns < 3.0 * 1.111,
+            "must fit in 3 cycles at 900 MHz"
+        );
     }
 
     #[test]
@@ -471,9 +518,15 @@ mod tests {
         let pts = sweep_voltage(256.0, 0.2, 0.6, 41);
         assert_eq!(pts.len(), 41);
         for w in pts.windows(2) {
-            assert!(w[1].access_energy_pj > w[0].access_energy_pj, "energy rises with V");
+            assert!(
+                w[1].access_energy_pj > w[0].access_energy_pj,
+                "energy rises with V"
+            );
             assert!(w[1].leakage_mw > w[0].leakage_mw, "leakage rises with V");
-            assert!(w[1].access_time_ns < w[0].access_time_ns, "delay falls with V");
+            assert!(
+                w[1].access_time_ns < w[0].access_time_ns,
+                "delay falls with V"
+            );
         }
     }
 
@@ -481,7 +534,11 @@ mod tests {
     fn voltage_sweep_matches_calibration_points() {
         let pts = sweep_voltage(256.0, 0.30, 0.45, 16);
         let stv = pts.last().unwrap();
-        assert!(close(stv.access_energy_pj, 14.9, 0.01), "{}", stv.access_energy_pj);
+        assert!(
+            close(stv.access_energy_pj, 14.9, 0.01),
+            "{}",
+            stv.access_energy_pj
+        );
         assert!(close(stv.leakage_mw, 33.8, 0.01), "{}", stv.leakage_mw);
     }
 

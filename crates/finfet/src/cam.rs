@@ -76,7 +76,10 @@ pub struct SwapTableCam {
 impl SwapTableCam {
     /// The paper's reference design: 8 entries at the given node.
     pub fn reference(node: TechNode) -> Self {
-        SwapTableCam { entries: REFERENCE_ENTRIES, node }
+        SwapTableCam {
+            entries: REFERENCE_ENTRIES,
+            node,
+        }
     }
 
     /// Total storage bits.
@@ -109,9 +112,18 @@ mod tests {
 
     #[test]
     fn reference_delays_match_paper_rtl() {
-        assert_eq!(SwapTableCam::reference(TechNode::Cmos22).search_delay_ps(), 105.0);
-        assert_eq!(SwapTableCam::reference(TechNode::Cmos16).search_delay_ps(), 95.0);
-        assert_eq!(SwapTableCam::reference(TechNode::FinFet7).search_delay_ps(), 55.0);
+        assert_eq!(
+            SwapTableCam::reference(TechNode::Cmos22).search_delay_ps(),
+            105.0
+        );
+        assert_eq!(
+            SwapTableCam::reference(TechNode::Cmos16).search_delay_ps(),
+            95.0
+        );
+        assert_eq!(
+            SwapTableCam::reference(TechNode::FinFet7).search_delay_ps(),
+            55.0
+        );
     }
 
     #[test]
@@ -136,8 +148,14 @@ mod tests {
 
     #[test]
     fn delay_grows_slowly_with_entries() {
-        let small = SwapTableCam { entries: 8, node: TechNode::FinFet7 };
-        let big = SwapTableCam { entries: 16, node: TechNode::FinFet7 };
+        let small = SwapTableCam {
+            entries: 8,
+            node: TechNode::FinFet7,
+        };
+        let big = SwapTableCam {
+            entries: 16,
+            node: TechNode::FinFet7,
+        };
         assert!(big.search_delay_ps() > small.search_delay_ps());
         assert!(big.search_delay_ps() < 1.5 * small.search_delay_ps());
     }
@@ -147,7 +165,11 @@ mod tests {
         // Orders of magnitude below a single RF access (7-15 pJ): the
         // paper's justification for ignoring the table in the energy math.
         let cam = SwapTableCam::reference(TechNode::FinFet7);
-        assert!(cam.search_energy_fj() < 100.0, "{} fJ", cam.search_energy_fj());
+        assert!(
+            cam.search_energy_fj() < 100.0,
+            "{} fJ",
+            cam.search_energy_fj()
+        );
     }
 
     #[test]

@@ -104,7 +104,11 @@ mod tests {
         let low = fo4_stage_delay_ns(STV, BackGate::Grounded);
         let ntv = fo4_stage_delay_ns(NTV, BackGate::Vdd);
         assert!(low > ntv, "full BG-off is slower than NTV");
-        assert!(low / high > 5.0 && low / high < 12.0, "ratio {}", low / high);
+        assert!(
+            low / high > 5.0 && low / high < 12.0,
+            "ratio {}",
+            low / high
+        );
     }
 
     #[test]

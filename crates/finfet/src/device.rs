@@ -92,12 +92,16 @@ pub struct FinFet {
 impl FinFet {
     /// A device with the back gate enabled (normal dual-gate operation).
     pub fn dual_gate() -> Self {
-        FinFet { back_gate: BackGate::Vdd }
+        FinFet {
+            back_gate: BackGate::Vdd,
+        }
     }
 
     /// A device with the back gate grounded (low-power mode).
     pub fn front_gate_only() -> Self {
-        FinFet { back_gate: BackGate::Grounded }
+        FinFet {
+            back_gate: BackGate::Grounded,
+        }
     }
 
     /// Effective threshold voltage, including the back-gate shift.
@@ -240,7 +244,10 @@ mod tests {
         let on = FinFet::dual_gate();
         let off = FinFet::front_gate_only();
         assert_eq!(off.gate_cap_rel(), 0.5);
-        assert!(off.ioff(STV) < on.ioff(STV) / 10.0, "grounded back gate slashes leakage");
+        assert!(
+            off.ioff(STV) < on.ioff(STV) / 10.0,
+            "grounded back gate slashes leakage"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod device;
 pub mod montecarlo;
 pub mod sram;
 
-pub use array::{characterize, sweep_voltage, ArrayCharacteristics, ArraySpec, VoltagePoint, VoltageMode};
+pub use array::{
+    characterize, sweep_voltage, ArrayCharacteristics, ArraySpec, VoltageMode, VoltagePoint,
+};
 pub use cam::{SwapTableCam, TechNode};
 pub use delay::{chain_delay_ns, fig1_sweep, DelayPoint};
 pub use device::{BackGate, FinFet, NTV, STV, VTH};

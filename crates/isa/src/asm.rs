@@ -55,12 +55,18 @@ impl std::error::Error for ParseError {}
 
 impl From<KernelError> for ParseError {
     fn from(e: KernelError) -> Self {
-        ParseError { line: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
@@ -239,7 +245,10 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
             } else {
                 (true, &g[1..])
             };
-            guard = Some(PredGuard { pred: parse_pred(body, line)?, expected });
+            guard = Some(PredGuard {
+                pred: parse_pred(body, line)?,
+                expected,
+            });
             rest = tail.trim_start();
         }
         let (mnemonic, operand_text) = match rest.split_once(char::is_whitespace) {
@@ -249,7 +258,10 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
         let ops: Vec<String> = if operand_text.is_empty() {
             Vec::new()
         } else {
-            operand_text.split(',').map(|t| t.trim().to_string()).collect()
+            operand_text
+                .split(',')
+                .map(|t| t.trim().to_string())
+                .collect()
         };
         let ops = &ops;
 
@@ -257,7 +269,10 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
             }
         };
 
@@ -268,8 +283,8 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
                     .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
                     .with_srcs(&[parse_operand(&ops[1], line)?])
             }
-            "iadd" | "isub" | "imul" | "imin" | "imax" | "and" | "or" | "xor" | "shl"
-            | "shr" | "fadd" | "fmul" => {
+            "iadd" | "isub" | "imul" | "imin" | "imax" | "and" | "or" | "xor" | "shl" | "shr"
+            | "fadd" | "fmul" => {
                 need(3)?;
                 let op = match mnemonic.as_str() {
                     "iadd" => Opcode::IAdd,
@@ -287,14 +302,15 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
                 };
                 Instruction::new(op)
                     .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
-                    .with_srcs(&[
-                        parse_operand(&ops[1], line)?,
-                        parse_operand(&ops[2], line)?,
-                    ])
+                    .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
             }
             "imad" | "ffma" => {
                 need(4)?;
-                let op = if mnemonic == "imad" { Opcode::IMad } else { Opcode::FFma };
+                let op = if mnemonic == "imad" {
+                    Opcode::IMad
+                } else {
+                    Opcode::FFma
+                };
                 Instruction::new(op)
                     .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
                     .with_srcs(&[
@@ -319,25 +335,26 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
                 need(3)?;
                 Instruction::new(Opcode::Shfl)
                     .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
-                    .with_srcs(&[
-                        parse_operand(&ops[1], line)?,
-                        parse_operand(&ops[2], line)?,
-                    ])
+                    .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
             }
             "selp" => {
                 need(4)?;
                 Instruction::new(Opcode::Selp)
                     .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
-                    .with_srcs(&[
-                        parse_operand(&ops[1], line)?,
-                        parse_operand(&ops[2], line)?,
-                    ])
-                    .with_guard(PredGuard { pred: parse_pred(&ops[3], line)?, expected: true })
+                    .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
+                    .with_guard(PredGuard {
+                        pred: parse_pred(&ops[3], line)?,
+                        expected: true,
+                    })
             }
             "ldg" | "lds" => {
                 need(2)?;
                 let (addr, off) = parse_mem(&ops[1], line)?;
-                let opcode = if mnemonic == "ldg" { Opcode::Ldg } else { Opcode::Lds };
+                let opcode = if mnemonic == "ldg" {
+                    Opcode::Ldg
+                } else {
+                    Opcode::Lds
+                };
                 let mut i = Instruction::new(opcode)
                     .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
                     .with_srcs(&[Operand::Reg(addr)]);
@@ -347,11 +364,13 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
             "stg" | "sts" => {
                 need(2)?;
                 let (addr, off) = parse_mem(&ops[0], line)?;
-                let opcode = if mnemonic == "stg" { Opcode::Stg } else { Opcode::Sts };
-                let mut i = Instruction::new(opcode).with_srcs(&[
-                    Operand::Reg(addr),
-                    Operand::Reg(parse_reg(&ops[1], line)?),
-                ]);
+                let opcode = if mnemonic == "stg" {
+                    Opcode::Stg
+                } else {
+                    Opcode::Sts
+                };
+                let mut i = Instruction::new(opcode)
+                    .with_srcs(&[Operand::Reg(addr), Operand::Reg(parse_reg(&ops[1], line)?)]);
                 i.mem_offset = off;
                 i
             }
@@ -383,10 +402,7 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
                 let cmp = parse_cmp(&m[5..], line)?;
                 Instruction::new(Opcode::Setp(cmp))
                     .with_dst(Dst::Pred(parse_pred(&ops[0], line)?))
-                    .with_srcs(&[
-                        parse_operand(&ops[1], line)?,
-                        parse_operand(&ops[2], line)?,
-                    ])
+                    .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
             }
             other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
         };

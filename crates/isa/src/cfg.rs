@@ -393,11 +393,7 @@ mod tests {
                 Some(d) if d < n => Some(d),
                 _ => None,
             };
-            assert_eq!(
-                rt.reconvergence_pc(v),
-                expected,
-                "mismatch at pc {v}"
-            );
+            assert_eq!(rt.reconvergence_pc(v), expected, "mismatch at pc {v}");
         }
     }
 }

@@ -351,7 +351,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(decode_kernel("x", &[0, 0, 0]).unwrap_err(), CodecError::BadMagic);
+        assert_eq!(
+            decode_kernel("x", &[0, 0, 0]).unwrap_err(),
+            CodecError::BadMagic
+        );
     }
 
     #[test]
@@ -359,8 +362,14 @@ mod tests {
         let k = sample_kernel();
         let mut words = encode_kernel(&k);
         words.pop();
-        assert_eq!(decode_kernel("x", &words).unwrap_err(), CodecError::Truncated);
-        assert_eq!(decode_kernel("x", &[MAGIC]).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            decode_kernel("x", &words).unwrap_err(),
+            CodecError::Truncated
+        );
+        assert_eq!(
+            decode_kernel("x", &[MAGIC]).unwrap_err(),
+            CodecError::Truncated
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl GridConfig {
     pub fn new(num_ctas: u32, threads_per_cta: u32) -> Self {
         assert!(num_ctas > 0, "grid must have at least one CTA");
         assert!(threads_per_cta > 0, "CTA must have at least one thread");
-        GridConfig { num_ctas, threads_per_cta }
+        GridConfig {
+            num_ctas,
+            threads_per_cta,
+        }
     }
 
     /// Warps per CTA (ceiling division; the last warp may be partial).
@@ -178,7 +181,10 @@ mod tests {
 
     #[test]
     fn thread_coord_lane_and_warp() {
-        let t = ThreadCoord { cta: CtaId(2), tid: 70 };
+        let t = ThreadCoord {
+            cta: CtaId(2),
+            tid: 70,
+        };
         assert_eq!(t.lane(), 6);
         assert_eq!(t.warp_in_cta(), 2);
     }

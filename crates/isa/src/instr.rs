@@ -226,8 +226,8 @@ mod tests {
 
     #[test]
     fn store_has_no_write() {
-        let st = Instruction::new(Opcode::Stg)
-            .with_srcs(&[Operand::Reg(Reg(0)), Operand::Reg(Reg(1))]);
+        let st =
+            Instruction::new(Opcode::Stg).with_srcs(&[Operand::Reg(Reg(0)), Operand::Reg(Reg(1))]);
         assert_eq!(st.reg_write(), None);
         assert_eq!(st.rf_access_count(), 2);
     }
@@ -244,7 +244,10 @@ mod tests {
     #[test]
     fn display_renders_guard_and_target() {
         let bra = Instruction::new(Opcode::Bra)
-            .with_guard(PredGuard { pred: PredReg(0), expected: false })
+            .with_guard(PredGuard {
+                pred: PredReg(0),
+                expected: false,
+            })
             .with_target(5);
         let s = bra.to_string();
         assert!(s.contains("@!P0"), "{s}");

@@ -43,7 +43,10 @@ impl fmt::Display for KernelError {
                 write!(f, "register {r} exceeds the {MAX_ARCH_REGS}-register limit")
             }
             KernelError::PredicateOutOfRange(p) => {
-                write!(f, "predicate {p} exceeds the {NUM_PRED_REGS}-predicate limit")
+                write!(
+                    f,
+                    "predicate {p} exceeds the {NUM_PRED_REGS}-predicate limit"
+                )
             }
             KernelError::Empty => write!(f, "kernel has no instructions"),
             KernelError::NoExit => write!(f, "kernel has no exit instruction"),
@@ -403,7 +406,10 @@ impl KernelBuilder {
             Instruction::new(Opcode::Selp)
                 .with_dst(Dst::Reg(dst))
                 .with_srcs(&[a.into(), b.into()])
-                .with_guard(PredGuard { pred: p, expected: true }),
+                .with_guard(PredGuard {
+                    pred: p,
+                    expected: true,
+                }),
         )
     }
 
@@ -631,7 +637,10 @@ mod tests {
         let k = kb.build().unwrap();
         assert_eq!(
             k.fetch(0).guard,
-            Some(PredGuard { pred: PredReg(1), expected: false })
+            Some(PredGuard {
+                pred: PredReg(1),
+                expected: false
+            })
         );
         assert_eq!(k.fetch(1).guard, None);
     }

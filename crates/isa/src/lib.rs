@@ -45,8 +45,8 @@ pub mod reg;
 
 pub use analysis::StaticRegisterProfile;
 pub use asm::{parse_kernel, ParseError};
-pub use encode::{decode_kernel, encode_kernel, CodecError};
 pub use cfg::ReconvergenceTable;
+pub use encode::{decode_kernel, encode_kernel, CodecError};
 pub use grid::{CtaId, Dim3, GridConfig, ThreadCoord, WARP_SIZE};
 pub use instr::{Dst, Instruction, Operand, PredGuard};
 pub use kernel::{Kernel, KernelBuilder, KernelError, Label};

@@ -198,11 +198,7 @@ impl Opcode {
     pub fn eval(self, srcs: [u32; 3]) -> u32 {
         use Opcode::*;
         let [a, b, c] = srcs;
-        let (fa, fb, fc) = (
-            f32::from_bits(a),
-            f32::from_bits(b),
-            f32::from_bits(c),
-        );
+        let (fa, fb, fc) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
         match self {
             Mov => a,
             IAdd => a.wrapping_add(b),
@@ -328,7 +324,10 @@ mod tests {
         assert_eq!(f32::from_bits(Opcode::FSqrt.eval([x, 0, 0])), 2.0);
         assert_eq!(f32::from_bits(Opcode::FRcp.eval([x, 0, 0])), 0.25);
         assert_eq!(f32::from_bits(Opcode::FLog2.eval([x, 0, 0])), 2.0);
-        assert_eq!(f32::from_bits(Opcode::FExp2.eval([2.0f32.to_bits(), 0, 0])), 4.0);
+        assert_eq!(
+            f32::from_bits(Opcode::FExp2.eval([2.0f32.to_bits(), 0, 0])),
+            4.0
+        );
     }
 
     #[test]

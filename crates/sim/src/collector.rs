@@ -173,7 +173,10 @@ impl OperandCollector {
             warp_slot,
             reads: reads
                 .iter()
-                .map(|&access| PendingRead { access, ready_at: None })
+                .map(|&access| PendingRead {
+                    access,
+                    ready_at: None,
+                })
                 .collect(),
             dest,
             seq,
@@ -193,8 +196,13 @@ impl OperandCollector {
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.writeback_queue
-            .push_back(WritebackRequest { warp_slot, reg, access, seq, token });
+        self.writeback_queue.push_back(WritebackRequest {
+            warp_slot,
+            reg,
+            access,
+            seq,
+            token,
+        });
     }
 
     /// Advances the collector by one cycle.
@@ -282,7 +290,9 @@ impl OperandCollector {
         let mut collected = Vec::new();
         for unit in self.units.iter_mut() {
             let ready = unit.as_ref().is_some_and(|e| {
-                e.reads.iter().all(|r| r.ready_at.is_some_and(|t| t <= cycle))
+                e.reads
+                    .iter()
+                    .all(|r| r.ready_at.is_some_and(|t| t <= cycle))
             });
             if ready {
                 let e = unit.take().expect("checked is_some");
@@ -309,7 +319,11 @@ mod tests {
     use super::*;
 
     fn acc(bank: usize, latency: u32, partition: RfPartition) -> ResolvedAccess {
-        ResolvedAccess { bank, latency, partition }
+        ResolvedAccess {
+            bank,
+            latency,
+            partition,
+        }
     }
 
     fn stv(bank: usize) -> ResolvedAccess {
@@ -344,7 +358,15 @@ mod tests {
     #[test]
     fn single_read_completes_after_latency() {
         let mut oc = OperandCollector::new(4, 24, true);
-        oc.allocate(0, &[stv(3)], CollectDest::Execute { latency: 4, writeback: Some(Reg(5)) }, 7);
+        oc.allocate(
+            0,
+            &[stv(3)],
+            CollectDest::Execute {
+                latency: 4,
+                writeback: Some(Reg(5)),
+            },
+            7,
+        );
         // Cycle 0: read granted, ready at 1. Cycle 1: entry releases.
         let (c0, _) = oc.tick(0, |_, _| {});
         assert!(c0.is_empty());
@@ -357,7 +379,15 @@ mod tests {
     #[test]
     fn zero_read_instruction_releases_immediately() {
         let mut oc = OperandCollector::new(4, 24, true);
-        oc.allocate(0, &[], CollectDest::Execute { latency: 1, writeback: None }, 9);
+        oc.allocate(
+            0,
+            &[],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            9,
+        );
         let (c, _) = oc.tick(0, |_, _| {});
         assert_eq!(c.len(), 1);
     }
@@ -368,8 +398,24 @@ mod tests {
         // bank are granted on consecutive cycles; data still takes 3 cycles.
         let mut oc = OperandCollector::new(4, 24, true);
         let slow = acc(0, 3, RfPartition::Srf);
-        oc.allocate(0, &[slow], CollectDest::Execute { latency: 1, writeback: None }, 1);
-        oc.allocate(0, &[slow], CollectDest::Execute { latency: 1, writeback: None }, 2);
+        oc.allocate(
+            0,
+            &[slow],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            1,
+        );
+        oc.allocate(
+            0,
+            &[slow],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            2,
+        );
         // Grants at cycles 0 and 1; data at 3 and 4; releases at 3 and 4.
         let (c, _) = run_cycles(&mut oc, 0, 4);
         assert_eq!(c.len(), 1);
@@ -384,7 +430,10 @@ mod tests {
         oc.allocate(
             0,
             &[stv(0), stv(0)],
-            CollectDest::Execute { latency: 1, writeback: None },
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
             1,
         );
         let (c, _) = run_cycles(&mut oc, 0, 2);
@@ -400,12 +449,32 @@ mod tests {
         // its bank for the full 3 cycles.
         let mut oc = OperandCollector::new(4, 24, false);
         let slow = acc(0, 3, RfPartition::Srf); // SRF: 3-cycle access
-        oc.allocate(0, &[slow], CollectDest::Execute { latency: 1, writeback: None }, 1);
-        oc.allocate(0, &[slow], CollectDest::Execute { latency: 1, writeback: None }, 2);
+        oc.allocate(
+            0,
+            &[slow],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            1,
+        );
+        oc.allocate(
+            0,
+            &[slow],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            2,
+        );
         // First read: granted cycle 0, data at 3; second read can only be
         // granted at cycle 3, data at 6.
         let (c, _) = run_cycles(&mut oc, 0, 6);
-        assert_eq!(c.len(), 1, "only the first instruction should finish by cycle 5");
+        assert_eq!(
+            c.len(),
+            1,
+            "only the first instruction should finish by cycle 5"
+        );
         let (c, _) = run_cycles(&mut oc, 6, 7);
         assert_eq!(c.len(), 1);
     }
@@ -414,7 +483,15 @@ mod tests {
     fn writeback_has_priority_over_reads() {
         let mut oc = OperandCollector::new(4, 24, true);
         // Read and write targeting the same bank.
-        oc.allocate(0, &[stv(0)], CollectDest::Execute { latency: 1, writeback: None }, 1);
+        oc.allocate(
+            0,
+            &[stv(0)],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            1,
+        );
         oc.request_writeback(0, Reg(0), stv(0), 99);
         let mut kinds = Vec::new();
         let (_, w) = oc.tick(0, |_, k| kinds.push(k));
@@ -457,7 +534,10 @@ mod tests {
         oc.allocate(
             0,
             &[acc(0, 1, RfPartition::FrfHigh), acc(1, 3, RfPartition::Srf)],
-            CollectDest::Execute { latency: 1, writeback: None },
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
             1,
         );
         let (c, _) = run_cycles(&mut oc, 0, 3);

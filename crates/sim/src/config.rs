@@ -158,7 +158,10 @@ impl GpuConfig {
     /// with its share of CTAs produces the same RF statistics faster (the
     /// standard methodology for RF studies).
     pub fn kepler_single_sm() -> Self {
-        GpuConfig { num_sms: 1, ..Self::kepler_gtx780() }
+        GpuConfig {
+            num_sms: 1,
+            ..Self::kepler_gtx780()
+        }
     }
 
     /// Maximum issue width per SM per cycle (8 for the default config —
@@ -192,7 +195,10 @@ impl GpuConfig {
         assert!(self.issue_per_scheduler > 0);
         assert!(self.num_rf_banks > 0);
         assert!(self.num_collectors > 0);
-        assert!(self.global_mem_words.is_power_of_two(), "global memory must be a power of two for address wrapping");
+        assert!(
+            self.global_mem_words.is_power_of_two(),
+            "global memory must be a power of two for address wrapping"
+        );
     }
 }
 
@@ -207,9 +213,21 @@ impl fmt::Display for GpuConfig {
         writeln!(f, "GPU configuration (Table II):")?;
         writeln!(f, "  SMs                      {}", self.num_sms)?;
         writeln!(f, "  warps/SM                 {}", self.max_warps_per_sm)?;
-        writeln!(f, "  schedulers x issue       {} x {}", self.num_schedulers, self.issue_per_scheduler)?;
-        writeln!(f, "  RF banks / collectors    {} / {}", self.num_rf_banks, self.num_collectors)?;
-        writeln!(f, "  RF size                  {} KB", self.rf_registers * 4 / 1024)?;
+        writeln!(
+            f,
+            "  schedulers x issue       {} x {}",
+            self.num_schedulers, self.issue_per_scheduler
+        )?;
+        writeln!(
+            f,
+            "  RF banks / collectors    {} / {}",
+            self.num_rf_banks, self.num_collectors
+        )?;
+        writeln!(
+            f,
+            "  RF size                  {} KB",
+            self.rf_registers * 4 / 1024
+        )?;
         writeln!(f, "  scheduler                {}", self.scheduler)?;
         Ok(())
     }
@@ -249,7 +267,13 @@ mod tests {
     #[test]
     fn scheduler_names() {
         assert_eq!(SchedulerPolicy::Gto.name(), "GTO");
-        assert_eq!(SchedulerPolicy::TwoLevel { active_per_scheduler: 8 }.name(), "TL");
+        assert_eq!(
+            SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 8
+            }
+            .name(),
+            "TL"
+        );
         assert_eq!(SchedulerPolicy::FetchGroup { group_size: 8 }.name(), "FG");
         assert_eq!(SchedulerPolicy::Lrr.to_string(), "LRR");
     }
@@ -257,7 +281,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn validate_rejects_non_pow2_memory() {
-        let c = GpuConfig { global_mem_words: 1000, ..GpuConfig::kepler_gtx780() };
+        let c = GpuConfig {
+            global_mem_words: 1000,
+            ..GpuConfig::kepler_gtx780()
+        };
         c.validate();
     }
 

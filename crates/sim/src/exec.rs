@@ -8,9 +8,7 @@
 //! flight, so the functional-first shortcut cannot produce value anomalies
 //! visible to the timing model.
 
-use prf_isa::{
-    Dst, Instruction, Opcode, Operand, ReconvergenceTable, SpecialReg, WARP_SIZE,
-};
+use prf_isa::{Dst, Instruction, Opcode, Operand, ReconvergenceTable, SpecialReg, WARP_SIZE};
 
 use crate::mem::{GlobalMemory, SharedMemory};
 use crate::warp::WarpContext;
@@ -144,7 +142,11 @@ pub fn execute_warp_instruction(
 
     // Selp's guard is a value selector, not an execution mask: it runs in
     // every active lane and picks src0/src1 by the predicate value.
-    let exec_mask = if instr.opcode == Opcode::Selp { active } else { guard_mask };
+    let exec_mask = if instr.opcode == Opcode::Selp {
+        active
+    } else {
+        guard_mask
+    };
 
     // Shuffle needs a snapshot of the source register across lanes.
     let shfl_snapshot: Option<Vec<u32>> = if instr.opcode == Opcode::Shfl {
@@ -160,9 +162,8 @@ pub fn execute_warp_instruction(
         if exec_mask & (1 << lane) == 0 {
             continue;
         }
-        let fetch = |i: usize| -> u32 {
-            instr.srcs[i].map_or(0, |o| lane_operand(warp, env, lane, o))
-        };
+        let fetch =
+            |i: usize| -> u32 { instr.srcs[i].map_or(0, |o| lane_operand(warp, env, lane, o)) };
         let result: Option<u32> = match instr.opcode {
             Opcode::Ldg => {
                 let addr = fetch(0).wrapping_add(instr.mem_offset);
@@ -193,7 +194,10 @@ pub fn execute_warp_instruction(
                 // built with a guard, so lanes reaching here select src0;
                 // but we want value selection, not squashing. Handle via
                 // direct eval with the guard value.
-                let g = instr.guard.as_ref().expect("selp carries its predicate as guard");
+                let g = instr
+                    .guard
+                    .as_ref()
+                    .expect("selp carries its predicate as guard");
                 let pv = warp.preds[lane][g.pred.index()] == g.expected;
                 Some(Opcode::Selp.eval([fetch(0), fetch(1), u32::from(pv)]))
             }
@@ -230,7 +234,10 @@ mod tests {
     use prf_isa::{CmpOp, CtaId, KernelBuilder, PredReg, Reg};
 
     fn env() -> ExecEnv {
-        ExecEnv { threads_per_cta: 64, num_ctas: 4 }
+        ExecEnv {
+            threads_per_cta: 64,
+            num_ctas: 4,
+        }
     }
 
     fn fresh_warp(regs: usize) -> WarpContext {
@@ -433,7 +440,8 @@ mod tests {
         let mut w = fresh_warp(1);
         let mut g = GlobalMemory::new(1024);
         let mut s = SharedMemory::new(64);
-        let out = execute_warp_instruction(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
+        let out =
+            execute_warp_instruction(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
         assert!(out.hit_barrier);
         assert_eq!(w.stack.pc(), Some(1));
     }

@@ -1,7 +1,7 @@
 //! The whole-GPU simulation driver: CTA dispatch across SMs and the main
 //! cycle loop.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use prf_isa::{CtaId, GridConfig, Kernel};
 
@@ -76,7 +76,11 @@ impl Gpu {
     pub fn new(config: GpuConfig) -> Self {
         config.validate();
         let global = GlobalMemory::new(config.global_mem_words);
-        Gpu { config, global, cycle: 0 }
+        Gpu {
+            config,
+            global,
+            cycle: 0,
+        }
     }
 
     /// The configuration in use.
@@ -105,14 +109,15 @@ impl Gpu {
     /// finish within `GpuConfig::max_cycles` cycles.
     pub fn run(
         &mut self,
-        kernel: Kernel,
+        kernel: impl Into<Arc<Kernel>>,
         grid: GridConfig,
         rf_factory: &dyn Fn(usize) -> Box<dyn RegisterFileModel>,
     ) -> Result<SimResult, SimError> {
+        let kernel = kernel.into();
         let name = kernel.name().to_string();
-        let image = Rc::new(KernelImage::new(kernel, grid));
+        let image = Arc::new(KernelImage::new(kernel, grid));
         let mut sms: Vec<Sm> = (0..self.config.num_sms)
-            .map(|i| Sm::new(i, &self.config, Rc::clone(&image), rf_factory(i)))
+            .map(|i| Sm::new(i, &self.config, Arc::clone(&image), rf_factory(i)))
             .collect();
         let start_cycle = self.cycle;
         for sm in &mut sms {
@@ -160,7 +165,9 @@ impl Gpu {
                 break;
             }
             if self.cycle >= limit {
-                return Err(SimError::CycleLimitExceeded { limit: self.config.max_cycles });
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.max_cycles,
+                });
             }
         }
 
@@ -254,7 +261,9 @@ mod tests {
             ..GpuConfig::kepler_single_sm()
         });
         let err = gpu
-            .run(k, GridConfig::new(1, 32), &|_| Box::new(BaselineRf::stv(24)))
+            .run(k, GridConfig::new(1, 32), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
             .unwrap_err();
         assert_eq!(err, SimError::CycleLimitExceeded { limit: 5_000 });
     }

@@ -18,8 +18,14 @@ impl GlobalMemory {
     ///
     /// Panics if `num_words` is not a power of two.
     pub fn new(num_words: usize) -> Self {
-        assert!(num_words.is_power_of_two(), "memory size must be a power of two");
-        GlobalMemory { words: vec![0; num_words], mask: num_words - 1 }
+        assert!(
+            num_words.is_power_of_two(),
+            "memory size must be a power of two"
+        );
+        GlobalMemory {
+            words: vec![0; num_words],
+            mask: num_words - 1,
+        }
     }
 
     /// Reads the word at `addr` (word address, wraps).
@@ -59,7 +65,9 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// Allocates `num_words` zeroed words.
     pub fn new(num_words: usize) -> Self {
-        SharedMemory { words: vec![0; num_words.max(1)] }
+        SharedMemory {
+            words: vec![0; num_words.max(1)],
+        }
     }
 
     /// Reads the word at `addr` (wraps).
@@ -93,7 +101,12 @@ pub struct L1Cache {
 impl L1Cache {
     /// Creates a cache with `capacity` lines.
     pub fn new(capacity: usize) -> Self {
-        L1Cache { lines: VecDeque::new(), capacity: capacity.max(1), hits: 0, misses: 0 }
+        L1Cache {
+            lines: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Accesses the line containing word address `addr`; returns `true` on
@@ -173,7 +186,10 @@ impl LoadStoreUnit {
     pub fn tick(&mut self, cycle: u64) -> Vec<u64> {
         // One instruction enters service per cycle.
         if let Some((token, lat)) = self.accept_queue.pop_front() {
-            self.inflight.push(LsuOp { token, finish_at: cycle + u64::from(lat) });
+            self.inflight.push(LsuOp {
+                token,
+                finish_at: cycle + u64::from(lat),
+            });
         }
         let mut done = Vec::new();
         self.inflight.retain(|op| {

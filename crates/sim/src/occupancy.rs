@@ -66,14 +66,16 @@ impl Occupancy {
             "a single CTA ({warps_per_cta} warps) exceeds the SM's {} warp slots",
             config.max_warps_per_sm
         );
-        let regs_per_cta =
-            grid.threads_per_cta as usize * regs_per_thread.max(1) as usize;
+        let regs_per_cta = grid.threads_per_cta as usize * regs_per_thread.max(1) as usize;
 
         let by_ctas = config.max_ctas_per_sm;
         let by_warps = config.max_warps_per_sm / warps_per_cta;
         let by_regs = config.rf_registers / regs_per_cta.max(1);
 
-        let resident = by_ctas.min(by_warps).min(by_regs).min(grid.num_ctas as usize);
+        let resident = by_ctas
+            .min(by_warps)
+            .min(by_regs)
+            .min(grid.num_ctas as usize);
         let limiter = if resident == by_regs && by_regs <= by_warps && by_regs <= by_ctas {
             OccupancyLimiter::Registers
         } else if resident == by_warps && by_warps <= by_ctas {
@@ -171,7 +173,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds the SM")]
     fn oversized_cta_rejected() {
-        let c = GpuConfig { max_warps_per_sm: 8, ..kepler() };
+        let c = GpuConfig {
+            max_warps_per_sm: 8,
+            ..kepler()
+        };
         Occupancy::compute(&c, &GridConfig::new(1, 1024), 8);
     }
 

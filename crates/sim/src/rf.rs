@@ -118,14 +118,22 @@ pub struct WarpLifecycle {
 /// One model instance exists *per SM*, matching the paper where profiling
 /// counters, the swapping table, and the FRF mode signal are per-SM
 /// structures.
-pub trait RegisterFileModel: fmt::Debug {
+///
+/// `Send` is a supertrait so whole simulations (SMs own their models) can
+/// be fanned out across worker threads by the parallel experiment engine.
+pub trait RegisterFileModel: fmt::Debug + Send {
     /// Resolves one access: physical bank, latency, and energy partition.
     ///
     /// Called once per register read/write when the access is granted by
     /// the bank arbiter. `warp_slot` is the hardware warp slot (bank
     /// swizzling is slot-based, as in GPGPU-Sim).
-    fn resolve(&mut self, warp_slot: usize, reg: Reg, kind: AccessKind, cycle: u64)
-        -> ResolvedAccess;
+    fn resolve(
+        &mut self,
+        warp_slot: usize,
+        reg: Reg,
+        kind: AccessKind,
+        cycle: u64,
+    ) -> ResolvedAccess;
 
     /// Observes one *architectural* register access at issue time (before
     /// bank arbitration). The pilot-warp profiler counts accesses here —

@@ -40,7 +40,10 @@ pub enum SchedulerEvent {
 }
 
 /// A warp scheduler for one scheduler lane of an SM.
-pub trait WarpScheduler: fmt::Debug {
+///
+/// `Send` is a supertrait so whole simulations (SMs own their schedulers)
+/// can move to worker threads of the parallel experiment engine.
+pub trait WarpScheduler: fmt::Debug + Send {
     /// Returns the candidate warp slots in priority order for this cycle.
     /// The SM tries them in order and issues to the ready ones.
     fn prioritize(&mut self, warps: &[WarpView], cycle: u64, out: &mut Vec<usize>);
@@ -68,9 +71,9 @@ pub fn build_scheduler(policy: SchedulerPolicy) -> Box<dyn WarpScheduler> {
     match policy {
         SchedulerPolicy::Gto => Box::new(GtoScheduler::new()),
         SchedulerPolicy::Lrr => Box::new(LrrScheduler::new()),
-        SchedulerPolicy::TwoLevel { active_per_scheduler } => {
-            Box::new(TwoLevelScheduler::new(active_per_scheduler))
-        }
+        SchedulerPolicy::TwoLevel {
+            active_per_scheduler,
+        } => Box::new(TwoLevelScheduler::new(active_per_scheduler)),
         SchedulerPolicy::FetchGroup { group_size } => {
             Box::new(FetchGroupScheduler::new(group_size))
         }
@@ -148,7 +151,11 @@ impl LrrScheduler {
 impl WarpScheduler for LrrScheduler {
     fn prioritize(&mut self, warps: &[WarpView], _cycle: u64, out: &mut Vec<usize>) {
         out.clear();
-        let mut slots: Vec<usize> = warps.iter().filter(|w| w.resident).map(|w| w.slot).collect();
+        let mut slots: Vec<usize> = warps
+            .iter()
+            .filter(|w| w.resident)
+            .map(|w| w.slot)
+            .collect();
         slots.sort_unstable();
         if slots.is_empty() {
             return;
@@ -250,7 +257,11 @@ impl WarpScheduler for TwoLevelScheduler {
         // Round-robin within the active pool.
         let n = self.active.len();
         let start = self.rr % n;
-        out.extend(self.active[start..].iter().chain(self.active[..start].iter()));
+        out.extend(
+            self.active[start..]
+                .iter()
+                .chain(self.active[..start].iter()),
+        );
     }
 
     fn on_issue(&mut self, slot: usize, _cycle: u64) {
@@ -298,7 +309,10 @@ pub struct FetchGroupScheduler {
 impl FetchGroupScheduler {
     /// New fetch-group scheduler with the given warps-per-group.
     pub fn new(group_size: usize) -> Self {
-        FetchGroupScheduler { group_size: group_size.max(1), current_group: 0 }
+        FetchGroupScheduler {
+            group_size: group_size.max(1),
+            current_group: 0,
+        }
     }
 }
 
@@ -452,7 +466,11 @@ mod tests {
         ];
         let mut out = Vec::new();
         s.prioritize(&w, 0, &mut out);
-        assert_eq!(out, vec![4], "warp 4 must be promoted so it can reach the barrier");
+        assert_eq!(
+            out,
+            vec![4],
+            "warp 4 must be promoted so it can reach the barrier"
+        );
     }
 
     #[test]
@@ -488,7 +506,10 @@ mod tests {
         assert_eq!(build_scheduler(SchedulerPolicy::Gto).name(), "GTO");
         assert_eq!(build_scheduler(SchedulerPolicy::Lrr).name(), "LRR");
         assert_eq!(
-            build_scheduler(SchedulerPolicy::TwoLevel { active_per_scheduler: 6 }).name(),
+            build_scheduler(SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 6
+            })
+            .name(),
             "TL"
         );
         assert_eq!(

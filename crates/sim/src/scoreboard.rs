@@ -121,12 +121,18 @@ mod tests {
         sb.reserve(&setp);
         // A guarded branch on P0 must wait.
         let bra = Instruction::new(Opcode::Bra)
-            .with_guard(PredGuard { pred: PredReg(0), expected: true })
+            .with_guard(PredGuard {
+                pred: PredReg(0),
+                expected: true,
+            })
             .with_target(0);
         assert!(sb.blocked(&bra));
         // A branch on P1 is free.
         let bra2 = Instruction::new(Opcode::Bra)
-            .with_guard(PredGuard { pred: PredReg(1), expected: true })
+            .with_guard(PredGuard {
+                pred: PredReg(1),
+                expected: true,
+            })
             .with_target(0);
         assert!(!sb.blocked(&bra2));
         sb.release_pred(PredReg(0));

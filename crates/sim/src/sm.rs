@@ -8,7 +8,7 @@
 //! adaptive-FRF epoch detector counts issued instructions here).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use prf_isa::{CtaId, GridConfig, Kernel, PredReg, ReconvergenceTable, Reg};
 
@@ -24,10 +24,14 @@ use crate::trace::{TraceEvent, TraceRing};
 use crate::warp::{WarpBlock, WarpContext};
 
 /// Everything the SM needs to know about the running kernel.
+///
+/// The kernel is held behind an [`Arc`] so a launch never deep-copies the
+/// instruction stream: all SMs of a run — and all concurrent runs of a
+/// parallel experiment matrix — share one immutable image.
 #[derive(Debug)]
 pub struct KernelImage {
     /// The kernel itself.
-    pub kernel: Kernel,
+    pub kernel: Arc<Kernel>,
     /// IPDOM reconvergence table.
     pub rt: ReconvergenceTable,
     /// Launch geometry.
@@ -36,7 +40,9 @@ pub struct KernelImage {
 
 impl KernelImage {
     /// Prepares a kernel for execution (computes the reconvergence table).
-    pub fn new(kernel: Kernel, grid: GridConfig) -> Self {
+    /// Accepts an owned [`Kernel`] or an existing `Arc<Kernel>`.
+    pub fn new(kernel: impl Into<Arc<Kernel>>, grid: GridConfig) -> Self {
+        let kernel = kernel.into();
         let rt = ReconvergenceTable::compute(&kernel);
         KernelImage { kernel, rt, grid }
     }
@@ -69,7 +75,7 @@ pub struct Sm {
     /// SM index (0-based).
     pub id: usize,
     config: GpuConfig,
-    image: Rc<KernelImage>,
+    image: Arc<KernelImage>,
     warps: Vec<Option<WarpContext>>,
     scoreboards: Vec<Scoreboard>,
     pending_loads: Vec<u32>,
@@ -98,7 +104,10 @@ impl std::fmt::Debug for Sm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sm")
             .field("id", &self.id)
-            .field("resident_warps", &self.warps.iter().filter(|w| w.is_some()).count())
+            .field(
+                "resident_warps",
+                &self.warps.iter().filter(|w| w.is_some()).count(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -108,7 +117,7 @@ impl Sm {
     pub fn new(
         id: usize,
         config: &GpuConfig,
-        image: Rc<KernelImage>,
+        image: Arc<KernelImage>,
         rf: Box<dyn RegisterFileModel>,
     ) -> Self {
         let schedulers = (0..config.num_schedulers)
@@ -118,7 +127,9 @@ impl Sm {
             id,
             config: config.clone(),
             warps: (0..config.max_warps_per_sm).map(|_| None).collect(),
-            scoreboards: (0..config.max_warps_per_sm).map(|_| Scoreboard::new()).collect(),
+            scoreboards: (0..config.max_warps_per_sm)
+                .map(|_| Scoreboard::new())
+                .collect(),
             pending_loads: vec![0; config.max_warps_per_sm],
             schedulers,
             collector: OperandCollector::new(
@@ -208,16 +219,26 @@ impl Sm {
             let nsched = self.schedulers.len();
             self.schedulers[slot % nsched].on_warp_start(slot);
             self.rf.on_warp_start(
-                WarpLifecycle { slot, cta: cta.0, warp_in_cta: w as u32 },
+                WarpLifecycle {
+                    slot,
+                    cta: cta.0,
+                    warp_in_cta: w as u32,
+                },
                 cycle,
             );
             self.warps[slot] = Some(warp);
         }
-        self.cta_slots[cta_slot] = Some(CtaState { warp_slots: free_slots });
+        self.cta_slots[cta_slot] = Some(CtaState {
+            warp_slots: free_slots,
+        });
         // Fresh shared memory for the CTA.
         self.shared_mem[cta_slot] = SharedMemory::new(self.config.shared_mem_words);
         self.next_dispatch_allowed = cycle + self.config.cta_dispatch_interval;
-        self.trace.record(TraceEvent::CtaDispatch { cycle, sm: self.id, cta: cta.0 });
+        self.trace.record(TraceEvent::CtaDispatch {
+            cycle,
+            sm: self.id,
+            cta: cta.0,
+        });
         true
     }
 
@@ -228,7 +249,9 @@ impl Sm {
     }
 
     fn retire(&mut self, token: u64, cycle: u64) {
-        let Some(info) = self.inflight.remove(&token) else { return };
+        let Some(info) = self.inflight.remove(&token) else {
+            return;
+        };
         if let Some(p) = info.pred_dst {
             self.scoreboards[info.warp_slot].release_pred(p);
         }
@@ -251,11 +274,19 @@ impl Sm {
             return;
         }
         let w = self.warps[slot].take().expect("checked above");
-        self.trace.record(TraceEvent::WarpFinish { cycle, sm: self.id, warp: slot });
+        self.trace.record(TraceEvent::WarpFinish {
+            cycle,
+            sm: self.id,
+            warp: slot,
+        });
         let nsched = self.schedulers.len();
         self.schedulers[slot % nsched].on_warp_finish(slot);
         self.rf.on_warp_finish(
-            WarpLifecycle { slot, cta: w.cta.0, warp_in_cta: w.warp_in_cta },
+            WarpLifecycle {
+                slot,
+                cta: w.cta.0,
+                warp_in_cta: w.warp_in_cta,
+            },
             cycle,
         );
         self.finished_warps.push((w.cta.0, w.warp_in_cta, cycle));
@@ -271,7 +302,9 @@ impl Sm {
 
     fn release_barriers(&mut self) {
         for cta_slot in 0..self.cta_slots.len() {
-            let Some(c) = self.cta_slots[cta_slot].as_ref() else { continue };
+            let Some(c) = self.cta_slots[cta_slot].as_ref() else {
+                continue;
+            };
             let mut waiting = 0usize;
             let mut live = 0usize;
             for &s in &c.warp_slots {
@@ -327,7 +360,9 @@ impl Sm {
 
     /// Returns true when the warp at `slot` can issue its next instruction.
     fn can_issue(&self, slot: usize) -> bool {
-        let Some(w) = self.warps[slot].as_ref() else { return false };
+        let Some(w) = self.warps[slot].as_ref() else {
+            return false;
+        };
         if w.exited() || w.block != WarpBlock::None {
             return false;
         }
@@ -337,8 +372,7 @@ impl Sm {
             return false;
         }
         // Needs a collector unit unless it touches no registers at all.
-        let needs_collector =
-            instr.num_reg_src_operands() > 0 || instr.reg_write().is_some();
+        let needs_collector = instr.num_reg_src_operands() > 0 || instr.reg_write().is_some();
         if needs_collector && !self.collector.has_free_unit() {
             return false;
         }
@@ -348,8 +382,10 @@ impl Sm {
     /// Issues the next instruction of warp `slot`. Caller must have checked
     /// [`Sm::can_issue`].
     fn issue(&mut self, slot: usize, cycle: u64, global: &mut GlobalMemory) {
-        let image = Rc::clone(&self.image);
-        let w = self.warps[slot].as_mut().expect("can_issue checked residency");
+        let image = Arc::clone(&self.image);
+        let w = self.warps[slot]
+            .as_mut()
+            .expect("can_issue checked residency");
         let pc = w.stack.pc().expect("can_issue checked pc");
         let instr = image.kernel.fetch(pc).clone();
         let env = image.env();
@@ -379,9 +415,18 @@ impl Sm {
             }
         }
         if self.trace.enabled() {
-            self.trace.record(TraceEvent::Issue { cycle, sm: self.id, warp: slot, pc: trace_pc });
+            self.trace.record(TraceEvent::Issue {
+                cycle,
+                sm: self.id,
+                warp: slot,
+                pc: trace_pc,
+            });
             if outcome.hit_barrier {
-                self.trace.record(TraceEvent::BarrierWait { cycle, sm: self.id, warp: slot });
+                self.trace.record(TraceEvent::BarrierWait {
+                    cycle,
+                    sm: self.id,
+                    warp: slot,
+                });
             }
         }
 
@@ -430,7 +475,10 @@ impl Sm {
                     prf_isa::ExecClass::Sfu => self.config.sfu_latency,
                     _ => self.config.alu_latency,
                 };
-                CollectDest::Execute { latency, writeback: dst_reg }
+                CollectDest::Execute {
+                    latency,
+                    writeback: dst_reg,
+                }
             };
             let ok = self.collector.allocate(slot, &resolved_reads, dest, token);
             debug_assert!(ok, "can_issue checked for a free unit");
@@ -517,7 +565,8 @@ impl Sm {
             match c.dest {
                 CollectDest::Execute { latency, writeback } => {
                     if writeback.is_some() || self.inflight.contains_key(&c.token) {
-                        self.exec_completions.push((cycle + u64::from(latency), c.token));
+                        self.exec_completions
+                            .push((cycle + u64::from(latency), c.token));
                     }
                 }
                 CollectDest::Memory => {
@@ -525,14 +574,18 @@ impl Sm {
                     if info.shared_access {
                         // Shared memory has its own pipeline, separate from
                         // the global-memory LSU (as on real SMs).
-                        self.shared_unit.submit(c.token, self.config.shared_mem_latency, 1);
+                        self.shared_unit
+                            .submit(c.token, self.config.shared_mem_latency, 1);
                         continue;
                     }
                     let (latency, transactions) = {
                         let txns = LoadStoreUnit::coalesce(&info.global_addrs).max(1);
                         let mut any_miss = false;
-                        let mut segs: Vec<u32> =
-                            info.global_addrs.iter().map(|a| a / crate::mem::LINE_WORDS).collect();
+                        let mut segs: Vec<u32> = info
+                            .global_addrs
+                            .iter()
+                            .map(|a| a / crate::mem::LINE_WORDS)
+                            .collect();
                         segs.sort_unstable();
                         segs.dedup();
                         for s in segs {
@@ -619,7 +672,9 @@ impl Sm {
             // Classify the zero-issue cycle by the dominant blocker.
             let (mut mem, mut barrier, mut coll, mut alu) = (0u32, 0u32, 0u32, 0u32);
             for slot in 0..self.warps.len() {
-                let Some(w) = self.warps[slot].as_ref() else { continue };
+                let Some(w) = self.warps[slot].as_ref() else {
+                    continue;
+                };
                 if w.exited() {
                     continue;
                 }
@@ -682,8 +737,13 @@ mod tests {
     }
 
     fn run_sm(kernel: Kernel, grid: GridConfig, config: &GpuConfig) -> (Sm, u64, GlobalMemory) {
-        let image = Rc::new(KernelImage::new(kernel, grid));
-        let mut sm = Sm::new(0, config, Rc::clone(&image), Box::new(BaselineRf::stv(config.num_rf_banks)));
+        let image = Arc::new(KernelImage::new(kernel, grid));
+        let mut sm = Sm::new(
+            0,
+            config,
+            Arc::clone(&image),
+            Box::new(BaselineRf::stv(config.num_rf_banks)),
+        );
         sm.notify_kernel_launch(0);
         let mut global = GlobalMemory::new(config.global_mem_words);
         let mut next_cta = 0u32;
@@ -704,30 +764,39 @@ mod tests {
 
     #[test]
     fn single_warp_kernel_completes_with_correct_memory() {
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let grid = GridConfig::new(1, 32);
         let (sm, cycles, global) = run_sm(simple_kernel(), grid, &config);
         assert!(cycles > 0);
         assert_eq!(sm.stats.instructions, 5); // 5 instrs x 1 warp
-        // tid 7: (7+5)*3 = 36 at address 7.
+                                              // tid 7: (7+5)*3 = 36 at address 7.
         assert_eq!(global.read(7), 36);
         assert_eq!(global.read(31), (31 + 5) * 3);
     }
 
     #[test]
     fn multi_cta_kernel_all_ctas_complete() {
-        let config = GpuConfig { global_mem_words: 1 << 14, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 14,
+            ..GpuConfig::kepler_single_sm()
+        };
         let grid = GridConfig::new(6, 64);
         let (sm, _, global) = run_sm(simple_kernel(), grid, &config);
         assert_eq!(sm.stats.instructions, 5 * 6 * 2); // 6 CTAs x 2 warps
-        // Last thread: tid = 6*64-1 = 383 -> (383+5)*3.
+                                                      // Last thread: tid = 6*64-1 = 383 -> (383+5)*3.
         assert_eq!(global.read(383), (383 + 5) * 3);
         assert_eq!(sm.finished_warps.len(), 12);
     }
 
     #[test]
     fn rf_access_counts_match_instruction_mix() {
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let grid = GridConfig::new(1, 32);
         let (sm, _, _) = run_sm(simple_kernel(), grid, &config);
         // Per warp: mov (W R0), iadd (R R0, W R1), imul (R R1, W R2),
@@ -758,11 +827,18 @@ mod tests {
         kb.stg(Reg(0), Reg(3), 0);
         kb.exit();
         let k = kb.build().unwrap();
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let grid = GridConfig::new(1, 128);
         let (_, _, global) = run_sm(k, grid, &config);
         for tid in [0u32, 33, 127] {
-            assert_eq!(global.read(tid), 123, "tid {tid} must observe warp 0's store");
+            assert_eq!(
+                global.read(tid),
+                123,
+                "tid {tid} must observe warp 0's store"
+            );
         }
     }
 
@@ -778,7 +854,10 @@ mod tests {
         kb.bra_if(PredReg(0), true, top);
         kb.exit();
         let k = kb.build().unwrap();
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let (sm, _, _) = run_sm(k, GridConfig::new(1, 32), &config);
         // 1 + 10*3 + 1 = 32 dynamic instructions.
         assert_eq!(sm.stats.instructions, 32);
@@ -788,7 +867,10 @@ mod tests {
 
     #[test]
     fn ntv_rf_slows_execution() {
-        let config = GpuConfig { global_mem_words: 1 << 14, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 14,
+            ..GpuConfig::kepler_single_sm()
+        };
         let grid = GridConfig::new(4, 256);
         let kernel = || {
             let mut kb = KernelBuilder::new("alu");
@@ -801,9 +883,9 @@ mod tests {
             kb.exit();
             kb.build().unwrap()
         };
-        let image = Rc::new(KernelImage::new(kernel(), grid));
+        let image = Arc::new(KernelImage::new(kernel(), grid));
         let run = |rf: Box<dyn RegisterFileModel>| -> u64 {
-            let mut sm = Sm::new(0, &config, Rc::clone(&image), rf);
+            let mut sm = Sm::new(0, &config, Arc::clone(&image), rf);
             let mut global = GlobalMemory::new(config.global_mem_words);
             let mut next_cta = 0u32;
             let mut cycle = 0u64;
@@ -837,10 +919,13 @@ mod tests {
         let k = kb.build().unwrap();
         let config = GpuConfig::kepler_single_sm();
         let grid = GridConfig::new(4, 1024);
-        let image = Rc::new(KernelImage::new(k, grid));
+        let image = Arc::new(KernelImage::new(k, grid));
         let mut sm = Sm::new(0, &config, image, Box::new(BaselineRf::stv(24)));
         assert!(sm.try_dispatch_cta(CtaId(0), 0));
-        assert!(!sm.try_dispatch_cta(CtaId(1), 0), "register capacity exceeded");
+        assert!(
+            !sm.try_dispatch_cta(CtaId(1), 0),
+            "register capacity exceeded"
+        );
     }
 
     #[test]
@@ -860,10 +945,16 @@ mod tests {
         kb.place_label(join);
         kb.exit();
         let k = kb.build().unwrap();
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let (sm, _, _) = run_sm(k, GridConfig::new(1, 64), &config);
         assert_eq!(sm.stats.total_branches, 4, "2 warps x 2 branches");
-        assert_eq!(sm.stats.divergent_branches, 2, "only the guarded branch diverges");
+        assert_eq!(
+            sm.stats.divergent_branches, 2,
+            "only the guarded branch diverges"
+        );
         assert!((sm.stats.divergence_rate() - 0.5).abs() < 1e-12);
         // SIMD efficiency below 1 because the diamond halves the masks.
         let eff = sm.stats.simd_efficiency();
@@ -872,7 +963,10 @@ mod tests {
 
     #[test]
     fn uniform_kernel_has_full_simd_efficiency() {
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let (sm, _, _) = run_sm(simple_kernel(), GridConfig::new(1, 64), &config);
         assert!((sm.stats.simd_efficiency() - 1.0).abs() < 1e-12);
         assert_eq!(sm.stats.divergence_rate(), 0.0);
@@ -880,7 +974,10 @@ mod tests {
 
     #[test]
     fn partial_warp_cta_completes() {
-        let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+        let config = GpuConfig {
+            global_mem_words: 1 << 12,
+            ..GpuConfig::kepler_single_sm()
+        };
         let grid = GridConfig::new(1, 61); // sad-like
         let (sm, _, global) = run_sm(simple_kernel(), grid, &config);
         assert_eq!(sm.finished_warps.len(), 2);

@@ -18,7 +18,9 @@ pub struct RegisterAccessHistogram {
 
 impl Default for RegisterAccessHistogram {
     fn default() -> Self {
-        RegisterAccessHistogram { counts: [0; MAX_ARCH_REGS] }
+        RegisterAccessHistogram {
+            counts: [0; MAX_ARCH_REGS],
+        }
     }
 }
 
@@ -88,6 +90,15 @@ impl RegisterAccessHistogram {
             *a += b;
         }
     }
+
+    /// Divides every count by `n`, turning a merge of `n` runs into a
+    /// per-run mean.
+    pub fn scale_down(&mut self, n: u64) {
+        assert!(n >= 1);
+        for c in self.counts.iter_mut() {
+            *c /= n;
+        }
+    }
 }
 
 /// Access counts per physical partition and access kind — the energy
@@ -147,6 +158,16 @@ impl PartitionAccessCounts {
         for i in 0..8 {
             self.reads[i] += other.reads[i];
             self.writes[i] += other.writes[i];
+        }
+    }
+
+    /// Divides every count by `n`, turning a merge of `n` runs into a
+    /// per-run mean.
+    pub fn scale_down(&mut self, n: u64) {
+        assert!(n >= 1);
+        for i in 0..8 {
+            self.reads[i] /= n;
+            self.writes[i] /= n;
         }
     }
 }
@@ -240,6 +261,33 @@ impl SmStats {
         self.divergent_branches += other.divergent_branches;
         self.total_branches += other.total_branches;
         self.active_lane_sum += other.active_lane_sum;
+    }
+
+    /// Divides every counter by `n`, turning a merge of `n` runs into a
+    /// per-run mean. Per-warp histograms are scaled element-wise.
+    pub fn scale_down(&mut self, n: u64) {
+        assert!(n >= 1);
+        self.instructions /= n;
+        self.active_cycles /= n;
+        self.issue_cycles /= n;
+        self.reg_accesses.scale_down(n);
+        self.partition_accesses.scale_down(n);
+        self.bank_conflict_waits /= n;
+        self.collector_stalls /= n;
+        for h in self.per_warp.values_mut() {
+            h.scale_down(n);
+        }
+        self.l1_hits /= n;
+        self.l1_misses /= n;
+        self.mem_transactions /= n;
+        self.mem_instructions /= n;
+        self.stall_mem /= n;
+        self.stall_barrier /= n;
+        self.stall_collector /= n;
+        self.stall_alu_dep /= n;
+        self.divergent_branches /= n;
+        self.total_branches /= n;
+        self.active_lane_sum /= n;
     }
 
     /// Mean SIMD efficiency: active lanes per issued instruction over the
@@ -375,7 +423,10 @@ mod tests {
         let r = SimResult {
             kernel: "k".into(),
             cycles: 100,
-            stats: SmStats { instructions: 250, ..SmStats::new() },
+            stats: SmStats {
+                instructions: 250,
+                ..SmStats::new()
+            },
             pilot_warp_finish: Some(30),
             per_sm_instructions: vec![250],
             trace: Vec::new(),
@@ -390,7 +441,8 @@ mod tests {
         a.instructions = 10;
         let mut b = SmStats::new();
         b.instructions = 5;
-        b.partition_accesses.record(RfPartition::MrfStv, AccessKind::Read);
+        b.partition_accesses
+            .record(RfPartition::MrfStv, AccessKind::Read);
         b.per_warp.entry((0, 0)).or_default().record(Reg(0));
         a.merge(&b);
         assert_eq!(a.instructions, 15);

@@ -68,7 +68,12 @@ impl fmt::Display for TraceEvent {
             TraceEvent::CtaDispatch { cycle, sm, cta } => {
                 write!(f, "[{cycle:>8}] sm{sm} dispatch cta{cta}")
             }
-            TraceEvent::Issue { cycle, sm, warp, pc } => {
+            TraceEvent::Issue {
+                cycle,
+                sm,
+                warp,
+                pc,
+            } => {
                 write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} issue #{pc}")
             }
             TraceEvent::BarrierWait { cycle, sm, warp } => {
@@ -134,7 +139,12 @@ mod tests {
     use super::*;
 
     fn issue(cycle: u64) -> TraceEvent {
-        TraceEvent::Issue { cycle, sm: 0, warp: 1, pc: 2 }
+        TraceEvent::Issue {
+            cycle,
+            sm: 0,
+            warp: 1,
+            pc: 2,
+        }
     }
 
     #[test]
@@ -168,12 +178,24 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = TraceEvent::CtaDispatch { cycle: 12, sm: 0, cta: 3 };
+        let e = TraceEvent::CtaDispatch {
+            cycle: 12,
+            sm: 0,
+            cta: 3,
+        };
         assert!(e.to_string().contains("dispatch cta3"));
         assert!(issue(9).to_string().contains("issue #2"));
-        let b = TraceEvent::BarrierWait { cycle: 1, sm: 0, warp: 5 };
+        let b = TraceEvent::BarrierWait {
+            cycle: 1,
+            sm: 0,
+            warp: 5,
+        };
         assert!(b.to_string().contains("barrier"));
-        let w = TraceEvent::WarpFinish { cycle: 1, sm: 0, warp: 5 };
+        let w = TraceEvent::WarpFinish {
+            cycle: 1,
+            sm: 0,
+            warp: 5,
+        };
         assert!(w.to_string().contains("finish"));
     }
 }

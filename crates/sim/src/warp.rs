@@ -38,7 +38,11 @@ impl SimtStack {
     /// Creates a stack with all lanes in `mask` starting at pc 0.
     pub fn new(mask: u32) -> Self {
         SimtStack {
-            entries: vec![SimtEntry { pc: 0, rpc: RPC_EXIT, mask }],
+            entries: vec![SimtEntry {
+                pc: 0,
+                rpc: RPC_EXIT,
+                mask,
+            }],
         }
     }
 
@@ -95,13 +99,7 @@ impl SimtStack {
     /// # Panics
     ///
     /// Panics if `taken` contains lanes that are not active.
-    pub fn branch(
-        &mut self,
-        pc: usize,
-        target: usize,
-        taken: u32,
-        rt: &ReconvergenceTable,
-    ) {
+    pub fn branch(&mut self, pc: usize, target: usize, taken: u32, rt: &ReconvergenceTable) {
         let active = self.active_mask();
         assert_eq!(taken & !active, 0, "taken lanes must be active");
         let not_taken = active & !taken;
@@ -116,8 +114,16 @@ impl SimtStack {
             let rpc = rt.reconvergence_pc(pc).unwrap_or(RPC_EXIT);
             let top = self.entries.last_mut().expect("branch on empty stack");
             top.pc = rpc;
-            self.entries.push(SimtEntry { pc: pc + 1, rpc, mask: not_taken });
-            self.entries.push(SimtEntry { pc: target, rpc, mask: taken });
+            self.entries.push(SimtEntry {
+                pc: pc + 1,
+                rpc,
+                mask: not_taken,
+            });
+            self.entries.push(SimtEntry {
+                pc: target,
+                rpc,
+                mask: taken,
+            });
         }
     }
 
@@ -199,7 +205,9 @@ impl WarpContext {
             cta,
             warp_in_cta,
             stack: SimtStack::new(active_mask),
-            regs: (0..WARP_SIZE).map(|_| vec![0u32; regs_per_thread]).collect(),
+            regs: (0..WARP_SIZE)
+                .map(|_| vec![0u32; regs_per_thread])
+                .collect(),
             preds: vec![[false; prf_isa::NUM_PRED_REGS]; WARP_SIZE],
             block: WarpBlock::None,
             dispatch_cycle,

@@ -3,9 +3,7 @@
 //! and the unpipelined-bank ablation mode.
 
 use prf_isa::{CmpOp, GridConfig, KernelBuilder, PredReg, Reg, SpecialReg};
-use prf_sim::{
-    BaselineRf, Gpu, GpuConfig, Occupancy, OccupancyLimiter, SchedulerPolicy,
-};
+use prf_sim::{BaselineRf, Gpu, GpuConfig, Occupancy, OccupancyLimiter, SchedulerPolicy};
 
 fn alu_kernel(trips: u32) -> prf_isa::Kernel {
     let mut kb = KernelBuilder::new("alu");
@@ -38,7 +36,9 @@ fn every_scheduler_completes_the_alu_kernel() {
     for policy in [
         SchedulerPolicy::Gto,
         SchedulerPolicy::Lrr,
-        SchedulerPolicy::TwoLevel { active_per_scheduler: 4 },
+        SchedulerPolicy::TwoLevel {
+            active_per_scheduler: 4,
+        },
         SchedulerPolicy::FetchGroup { group_size: 4 },
     ] {
         let mut gpu = Gpu::new(small_config(policy));
@@ -96,9 +96,14 @@ fn live_residency_respects_hardware_limits() {
     // Instrument by stepping the SM manually.
     use prf_isa::CtaId;
     use prf_sim::{GlobalMemory, KernelImage, Sm};
-    use std::rc::Rc;
-    let image = Rc::new(KernelImage::new(kernel, grid));
-    let mut sm = Sm::new(0, &config, Rc::clone(&image), Box::new(BaselineRf::stv(24)));
+    use std::sync::Arc;
+    let image = Arc::new(KernelImage::new(kernel, grid));
+    let mut sm = Sm::new(
+        0,
+        &config,
+        Arc::clone(&image),
+        Box::new(BaselineRf::stv(24)),
+    );
     sm.notify_kernel_launch(0);
     let mut global = GlobalMemory::new(config.global_mem_words);
     let mut next = 0u32;
@@ -130,7 +135,10 @@ fn live_residency_respects_hardware_limits() {
 fn jitter_seeds_change_timing_but_not_results() {
     let grid = GridConfig::new(4, 128);
     let run = |seed: u64| {
-        let config = GpuConfig { jitter_seed: seed, ..small_config(SchedulerPolicy::Gto) };
+        let config = GpuConfig {
+            jitter_seed: seed,
+            ..small_config(SchedulerPolicy::Gto)
+        };
         let mut gpu = Gpu::new(config);
         let r = gpu
             .run(alu_kernel(10), grid, &|_| Box::new(BaselineRf::stv(24)))
@@ -141,14 +149,20 @@ fn jitter_seeds_change_timing_but_not_results() {
     let (c0, i0, out0) = run(0);
     let (c1, i1, out1) = run(1);
     assert_eq!(i0, i1, "same instructions regardless of jitter");
-    assert_eq!(out0, out1, "same architectural results regardless of jitter");
+    assert_eq!(
+        out0, out1,
+        "same architectural results regardless of jitter"
+    );
     // Timing generally differs (not strictly guaranteed, but these seeds do).
     assert_ne!(c0, c1, "jitter seeds should perturb timing");
 }
 
 #[test]
 fn per_warp_stats_sum_to_global_histogram() {
-    let config = GpuConfig { per_warp_stats: true, ..small_config(SchedulerPolicy::Gto) };
+    let config = GpuConfig {
+        per_warp_stats: true,
+        ..small_config(SchedulerPolicy::Gto)
+    };
     let mut gpu = Gpu::new(config);
     let r = gpu
         .run(alu_kernel(8), GridConfig::new(4, 128), &|_| {

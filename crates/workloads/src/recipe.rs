@@ -18,9 +18,7 @@
 //!   or shared-memory tiles with barriers) that creates the low-compute
 //!   phases the adaptive FRF exploits.
 
-use prf_isa::{
-    CmpOp, GridConfig, Kernel, KernelBuilder, PredReg, Reg, SpecialReg,
-};
+use prf_isa::{CmpOp, GridConfig, Kernel, KernelBuilder, PredReg, Reg, SpecialReg};
 
 /// Base word address of the per-thread trip-count array used by
 /// data-dependent recipes.
@@ -104,37 +102,73 @@ impl KernelRecipe {
     }
 
     fn check(&self) {
-        assert!(self.hot.len() >= 3, "{}: need at least 3 hot registers", self.name);
+        assert!(
+            self.hot.len() >= 3,
+            "{}: need at least 3 hot registers",
+            self.name
+        );
         assert!(self.regs >= 4, "{}: need at least 4 registers", self.name);
         for &r in self.hot.iter().chain(&self.decoys) {
-            assert!(r < self.regs, "{}: register R{r} exceeds budget {}", self.name, self.regs);
+            assert!(
+                r < self.regs,
+                "{}: register R{r} exceeds budget {}",
+                self.name,
+                self.regs
+            );
         }
         for &d in &self.decoys {
-            assert!(!self.hot.contains(&d), "{}: R{d} is both hot and decoy", self.name);
+            assert!(
+                !self.hot.contains(&d),
+                "{}: R{d} is both hot and decoy",
+                self.name
+            );
         }
         if matches!(self.mem, MemPattern::SharedTile) {
-            assert!(!self.data_dependent, "{}: shared tiles need uniform trips", self.name);
+            assert!(
+                !self.data_dependent,
+                "{}: shared tiles need uniform trips",
+                self.name
+            );
         }
         let operands = self.hot.len() - 2 - usize::from(self.data_dependent);
         match self.mem {
             MemPattern::Streaming { .. } => {
-                assert!(operands >= 2, "{}: streaming needs 2 operand registers", self.name)
+                assert!(
+                    operands >= 2,
+                    "{}: streaming needs 2 operand registers",
+                    self.name
+                )
             }
             MemPattern::Chase => {
-                assert!(operands >= 1, "{}: chasing needs 1 operand register", self.name)
+                assert!(
+                    operands >= 1,
+                    "{}: chasing needs 1 operand register",
+                    self.name
+                )
             }
             _ => {}
         }
         if let Some(pv) = &self.pilot_variant {
-            assert!(pv.pilot_hot.len() >= 3, "{}: pilot path needs 3 hot registers", self.name);
+            assert!(
+                pv.pilot_hot.len() >= 3,
+                "{}: pilot path needs 3 hot registers",
+                self.name
+            );
             for &r in &pv.pilot_hot {
-                assert!(r < self.regs, "{}: pilot register R{r} out of budget", self.name);
+                assert!(
+                    r < self.regs,
+                    "{}: pilot register R{r} out of budget",
+                    self.name
+                );
             }
         }
         // The builder needs a gtid register plus at least one scratch
         // outside the designated roles (decoys can double as scratch).
         let roles: usize = self.hot.len()
-            + self.pilot_variant.as_ref().map_or(0, |pv| pv.pilot_hot.len());
+            + self
+                .pilot_variant
+                .as_ref()
+                .map_or(0, |pv| pv.pilot_hot.len());
         let free = (self.regs as usize).saturating_sub(roles);
         assert!(
             free + self.decoys.len() >= 2,
@@ -371,7 +405,10 @@ impl KernelRecipe {
         free.sort_unstable_by(|a, b| b.cmp(a));
         // Keep at least one low-index free register for scratch duty.
         let warm: Vec<Reg> = if free.len() >= 3 {
-            free[..(free.len() - 1).min(3)].iter().map(|&r| Reg(r)).collect()
+            free[..(free.len() - 1).min(3)]
+                .iter()
+                .map(|&r| Reg(r))
+                .collect()
         } else {
             Vec::new()
         };
@@ -527,7 +564,10 @@ mod tests {
         let p = StaticRegisterProfile::analyze(&k);
         let top = p.top_n(4);
         for r in [5u8, 6] {
-            assert!(top.contains(&Reg(r)), "R{r} should be statically hot: {top:?}");
+            assert!(
+                top.contains(&Reg(r)),
+                "R{r} should be statically hot: {top:?}"
+            );
         }
     }
 
@@ -579,13 +619,19 @@ mod tests {
         let mut r = basic();
         r.mem = MemPattern::SharedTile;
         let k = r.build();
-        assert!(k.instructions().iter().any(|i| i.opcode == prf_isa::Opcode::Bar));
+        assert!(k
+            .instructions()
+            .iter()
+            .any(|i| i.opcode == prf_isa::Opcode::Bar));
     }
 
     #[test]
     fn pilot_variant_emits_two_paths() {
         let mut r = basic();
-        r.pilot_variant = Some(PilotVariant { pilot_hot: vec![1, 2, 3], pilot_trips: 5 });
+        r.pilot_variant = Some(PilotVariant {
+            pilot_hot: vec![1, 2, 3],
+            pilot_trips: 5,
+        });
         let k = r.build();
         // Both loops exist: at least two backward branches.
         let backwards = k

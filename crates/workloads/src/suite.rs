@@ -24,11 +24,15 @@ use crate::recipe::{grid, KernelRecipe, MemPattern, PilotVariant};
 use crate::spec::{Category, Table1Row, Workload};
 
 fn row(regs: u8, threads: u32, pilot_pct: f64) -> Table1Row {
-    Table1Row { regs_per_thread: regs, threads_per_cta: threads, pilot_cta_pct: pilot_pct }
+    Table1Row {
+        regs_per_thread: regs,
+        threads_per_cta: threads,
+        pilot_cta_pct: pilot_pct,
+    }
 }
 
 fn launch(recipe: &KernelRecipe, num_ctas: u32, threads: u32) -> Launch {
-    Launch { kernel: recipe.build(), grid: grid(num_ctas, threads) }
+    Launch::new(recipe.build(), grid(num_ctas, threads))
 }
 
 /// BFS (Rodinia): irregular pointer-chasing traversal, 7 regs × 256
@@ -247,7 +251,10 @@ pub fn cp() -> Workload {
 /// reports an unrepresentative hot set.
 pub fn lib() -> Workload {
     let mut r = KernelRecipe::basic("lib", 18, vec![10, 11, 12, 13], 60);
-    r.pilot_variant = Some(PilotVariant { pilot_hot: vec![2, 3, 4, 5], pilot_trips: 56 });
+    r.pilot_variant = Some(PilotVariant {
+        pilot_hot: vec![2, 3, 4, 5],
+        pilot_trips: 56,
+    });
     Workload {
         name: "LIB",
         category: Category::Three,
@@ -261,7 +268,10 @@ pub fn lib() -> Workload {
 /// of the kernel in the paper.
 pub fn wp() -> Workload {
     let mut r = KernelRecipe::basic("wp", 8, vec![4, 5, 6], 80);
-    r.pilot_variant = Some(PilotVariant { pilot_hot: vec![1, 2, 3], pilot_trips: 90 });
+    r.pilot_variant = Some(PilotVariant {
+        pilot_hot: vec![1, 2, 3],
+        pilot_trips: 90,
+    });
     Workload {
         name: "WP",
         category: Category::Three,
@@ -336,10 +346,11 @@ mod tests {
 
     #[test]
     fn category_split_matches_paper() {
-        let cats: Vec<(&str, Category)> =
-            suite().iter().map(|w| (w.name, w.category)).collect();
+        let cats: Vec<(&str, Category)> = suite().iter().map(|w| (w.name, w.category)).collect();
         let of = |n: &str| cats.iter().find(|(m, _)| *m == n).unwrap().1;
-        for n in ["BFS", "btree", "hotspot", "nw", "stencil", "backprop", "sad", "srad", "MUM"] {
+        for n in [
+            "BFS", "btree", "hotspot", "nw", "stencil", "backprop", "sad", "srad", "MUM",
+        ] {
             assert_eq!(of(n), Category::One, "{n}");
         }
         for n in ["kmeans", "lavaMD", "mri-q", "NN", "sgemm", "CP"] {

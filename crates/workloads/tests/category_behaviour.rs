@@ -77,7 +77,10 @@ fn category2_pilot_beats_compiler_by_10_points() {
 
 #[test]
 fn category3_compiler_beats_pilot_by_10_points() {
-    for w in suite().into_iter().filter(|w| w.category == Category::Three) {
+    for w in suite()
+        .into_iter()
+        .filter(|w| w.category == Category::Three)
+    {
         let (c, p) = coverages(&w);
         assert!(
             c > p + 0.10,
@@ -137,7 +140,10 @@ fn runs_are_deterministic_across_repeats() {
     let r2 = run(&w, &RfKind::MrfStv);
     assert_eq!(r1.cycles, r2.cycles);
     assert_eq!(r1.stats.instructions, r2.stats.instructions);
-    assert_eq!(r1.stats.reg_accesses.counts(), r2.stats.reg_accesses.counts());
+    assert_eq!(
+        r1.stats.reg_accesses.counts(),
+        r2.stats.reg_accesses.counts()
+    );
 }
 
 #[test]

@@ -22,7 +22,9 @@ fn arb_recipe() -> impl Strategy<Value = KernelRecipe> {
             if !hot.contains(&r) {
                 hot.push(r);
             }
-            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         Just(KernelRecipe::basic("prop", regs, hot, trips))
     })

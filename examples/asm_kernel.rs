@@ -30,7 +30,12 @@ loop:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = parse_kernel(PROGRAM)?;
-    println!("parsed `{}`: {} instructions, {} registers/thread\n", kernel.name(), kernel.len(), kernel.regs_per_thread());
+    println!(
+        "parsed `{}`: {} instructions, {} registers/thread\n",
+        kernel.name(),
+        kernel.len(),
+        kernel.regs_per_thread()
+    );
     println!("{kernel}");
 
     let config = GpuConfig {

@@ -42,8 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (mut frf_share, mut saving, mut cycles) = (0.0, 0.0, 0u64);
         for name in names {
             let w = pilot_rf::workloads::by_name(name).expect("known workload");
-            let r =
-                run_experiment(&gpu, &RfKind::Partitioned(cfg.clone()), &w.launches, &w.mem_init)?;
+            let r = run_experiment(
+                &gpu,
+                &RfKind::Partitioned(cfg.clone()),
+                &w.launches,
+                &w.mem_init,
+            )?;
             let pa = &r.stats.partition_accesses;
             let (hi, lo, s) = (
                 pa.fraction(RfPartition::FrfHigh),

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Dynamic truth: run it.
     let gpu = GpuConfig::kepler_single_sm();
     let trips: Vec<u32> = (0..2048).map(|i| 20 + (i * 7) % 30).collect();
-    let launches = [Launch { kernel: kernel.clone(), grid: GridConfig::new(8, 128) }];
+    let launches = [Launch::new(kernel.clone(), GridConfig::new(8, 128))];
     let base = run_experiment(&gpu, &RfKind::MrfStv, &launches, &[(0x400, trips.clone())])?;
     println!(
         "actual top-4 after execution:       {:?}",
@@ -82,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show the swapping-table mechanics (Fig. 7).
     println!("\n== swapping table (Fig. 7 walk-through) ==");
     let mut table = SwappingTable::new(4);
-    println!("initial mapping: identity ({} CAM bits)", table.storage_bits());
+    println!(
+        "initial mapping: identity ({} CAM bits)",
+        table.storage_bits()
+    );
     table.apply_hot_registers(&compiler_hot_registers(&kernel, 4));
     println!("after compiler seed: {:?}", table.entries());
     table.apply_hot_registers(&hybrid.telemetry.pilot_hot_regs);

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = kb.build()?;
 
     // 2. Launch geometry: 16 CTAs of 128 threads.
-    let launches = [Launch { kernel, grid: GridConfig::new(16, 128) }];
+    let launches = [Launch::new(kernel, GridConfig::new(16, 128))];
 
     // 3. Run under the monolithic STV baseline and the partitioned RF.
     let gpu = GpuConfig::kepler_single_sm();

@@ -12,7 +12,9 @@ use pilot_rf::sim::{GpuConfig, RfPartition, SchedulerPolicy};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = pilot_rf::workloads::by_name("kmeans").expect("kmeans exists");
     let gpu = GpuConfig {
-        scheduler: SchedulerPolicy::TwoLevel { active_per_scheduler: 2 },
+        scheduler: SchedulerPolicy::TwoLevel {
+            active_per_scheduler: 2,
+        },
         ..GpuConfig::kepler_single_sm()
     };
 
@@ -31,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &w.mem_init,
     )?;
 
-    println!("workload: {} (two-level scheduler, 8 active warps)\n", w.name);
+    println!(
+        "workload: {} (two-level scheduler, 8 active warps)\n",
+        w.name
+    );
 
     println!("== register file cache (6 entries/warp over an NTV MRF) ==");
     let t = &rfc.telemetry;
@@ -52,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== partitioned RF (4-register FRF + SRF) ==");
     let pa = &part.stats.partition_accesses;
     for p in [RfPartition::FrfHigh, RfPartition::FrfLow, RfPartition::Srf] {
-        println!("  {:9} {:>6.1}% of accesses", p.to_string(), 100.0 * pa.fraction(p));
+        println!(
+            "  {:9} {:>6.1}% of accesses",
+            p.to_string(),
+            100.0 * pa.fraction(p)
+        );
     }
     println!(
         "  dynamic energy: {:.1} nJ ({:.1}% saved), time {:.3}x",

@@ -12,7 +12,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policies = [
         SchedulerPolicy::Gto,
         SchedulerPolicy::Lrr,
-        SchedulerPolicy::TwoLevel { active_per_scheduler: 8 },
+        SchedulerPolicy::TwoLevel {
+            active_per_scheduler: 8,
+        },
         SchedulerPolicy::FetchGroup { group_size: 8 },
     ];
     let w = pilot_rf::workloads::by_name("srad").expect("srad exists");
@@ -22,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sched", "base cycles", "part cycles", "overhead", "dyn saving"
     );
     for policy in policies {
-        let gpu = GpuConfig { scheduler: policy, ..GpuConfig::kepler_single_sm() };
+        let gpu = GpuConfig {
+            scheduler: policy,
+            ..GpuConfig::kepler_single_sm()
+        };
         let base = run_experiment(&gpu, &RfKind::MrfStv, &w.launches, &w.mem_init)?;
         let part = run_experiment(
             &gpu,

@@ -32,7 +32,7 @@
 //! let result = run_experiment(
 //!     &gpu,
 //!     &rf,
-//!     &[Launch { kernel: kb.build()?, grid: GridConfig::new(2, 64) }],
+//!     &[Launch::new(kb.build()?, GridConfig::new(2, 64))],
 //!     &[],
 //! )?;
 //! println!("saved {:.1}% dynamic RF energy", 100.0 * result.dynamic_saving());

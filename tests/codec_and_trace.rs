@@ -82,13 +82,31 @@ fn trace_records_full_warp_lifecycle() {
     };
     let mut gpu = Gpu::new(config);
     let r = gpu
-        .run(k, GridConfig::new(2, 64), &|_| Box::new(BaselineRf::stv(24)))
+        .run(k, GridConfig::new(2, 64), &|_| {
+            Box::new(BaselineRf::stv(24))
+        })
         .unwrap();
 
-    let dispatches = r.trace.iter().filter(|e| matches!(e, TraceEvent::CtaDispatch { .. })).count();
-    let issues = r.trace.iter().filter(|e| matches!(e, TraceEvent::Issue { .. })).count();
-    let barriers = r.trace.iter().filter(|e| matches!(e, TraceEvent::BarrierWait { .. })).count();
-    let finishes = r.trace.iter().filter(|e| matches!(e, TraceEvent::WarpFinish { .. })).count();
+    let dispatches = r
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::CtaDispatch { .. }))
+        .count();
+    let issues = r
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Issue { .. }))
+        .count();
+    let barriers = r
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::BarrierWait { .. }))
+        .count();
+    let finishes = r
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::WarpFinish { .. }))
+        .count();
 
     assert_eq!(dispatches, 2, "two CTAs dispatched");
     assert_eq!(issues as u64, r.stats.instructions, "every issue traced");
@@ -103,7 +121,10 @@ fn trace_disabled_by_default() {
     let mut kb = KernelBuilder::new("quiet");
     kb.mov_imm(Reg(0), 1);
     kb.exit();
-    let config = GpuConfig { global_mem_words: 1 << 12, ..GpuConfig::kepler_single_sm() };
+    let config = GpuConfig {
+        global_mem_words: 1 << 12,
+        ..GpuConfig::kepler_single_sm()
+    };
     let mut gpu = Gpu::new(config);
     let r = gpu
         .run(kb.build().unwrap(), GridConfig::new(1, 32), &|_| {

@@ -80,7 +80,11 @@ fn partitioned_dynamic_saving_beats_ntv() {
         &RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu().num_rf_banks)),
     );
     let ntv = run(&w, &RfKind::MrfNtv { latency: 3 });
-    assert!(part.dynamic_saving() > 0.45, "partitioned {}", part.dynamic_saving());
+    assert!(
+        part.dynamic_saving() > 0.45,
+        "partitioned {}",
+        part.dynamic_saving()
+    );
     assert!(
         part.dynamic_saving() > ntv.dynamic_saving(),
         "partitioned ({:.3}) must beat all-NTV ({:.3})",
@@ -133,10 +137,18 @@ fn srf_latency_sensitivity_is_monotone() {
         };
         let mut total = 0u64;
         for seed in 0..5 {
-            let g = GpuConfig { jitter_seed: seed, ..gpu() };
-            total += run_experiment(&g, &RfKind::Partitioned(cfg.clone()), &w.launches, &w.mem_init)
-                .unwrap()
-                .cycles;
+            let g = GpuConfig {
+                jitter_seed: seed,
+                ..gpu()
+            };
+            total += run_experiment(
+                &g,
+                &RfKind::Partitioned(cfg.clone()),
+                &w.launches,
+                &w.mem_init,
+            )
+            .unwrap()
+            .cycles;
         }
         cycles.push(total / 5);
     }
@@ -145,7 +157,10 @@ fn srf_latency_sensitivity_is_monotone() {
         ratio > 0.99,
         "slower SRF cannot consistently speed things up: {cycles:?}"
     );
-    assert!(ratio < 1.25, "5-cycle SRF should cost modestly, got {ratio}");
+    assert!(
+        ratio < 1.25,
+        "5-cycle SRF should cost modestly, got {ratio}"
+    );
 }
 
 /// Fig. 13's energy anchors at the circuit level.
@@ -154,8 +169,16 @@ fn rfc_energy_scaling_anchors() {
     let mrf = characterize(&ArraySpec::mrf_stv()).access_energy_pj;
     let small = characterize(&ArraySpec::rfc(6, 8, 2, 1, 1)).access_energy_pj;
     let ported = characterize(&ArraySpec::rfc(6, 8, 8, 4, 1)).access_energy_pj;
-    assert!((small / mrf - 0.37).abs() < 0.03, "R2W1 anchor: {}", small / mrf);
-    assert!((ported / mrf - 3.0).abs() < 0.15, "R8W4 anchor: {}", ported / mrf);
+    assert!(
+        (small / mrf - 0.37).abs() < 0.03,
+        "R2W1 anchor: {}",
+        small / mrf
+    );
+    assert!(
+        (ported / mrf - 3.0).abs() < 0.15,
+        "R8W4 anchor: {}",
+        ported / mrf
+    );
 }
 
 /// Fig. 10: adaptive FRF actually uses both power modes across the suite.
@@ -178,7 +201,10 @@ fn adaptive_frf_uses_both_modes() {
         }
     }
     assert!(any_high, "high-power FRF accesses expected");
-    assert!(any_low, "low-power FRF accesses expected somewhere in the suite");
+    assert!(
+        any_low,
+        "low-power FRF accesses expected somewhere in the suite"
+    );
 }
 
 /// Table I invariants for the whole suite.

@@ -2,13 +2,14 @@
 //! pipeline, checking functional results and exact statistics.
 
 use pilot_rf::core::{run_experiment, Launch, PartitionedRfConfig, RfKind};
-use pilot_rf::isa::{
-    CmpOp, GridConfig, KernelBuilder, PredReg, Reg, SpecialReg,
-};
+use pilot_rf::isa::{CmpOp, GridConfig, KernelBuilder, PredReg, Reg, SpecialReg};
 use pilot_rf::sim::{BaselineRf, Gpu, GpuConfig, RfPartition, SchedulerPolicy};
 
 fn gpu_config() -> GpuConfig {
-    GpuConfig { global_mem_words: 1 << 16, ..GpuConfig::kepler_single_sm() }
+    GpuConfig {
+        global_mem_words: 1 << 16,
+        ..GpuConfig::kepler_single_sm()
+    }
 }
 
 /// A saxpy-like kernel: y[i] = a*x[i] + y[i].
@@ -32,7 +33,8 @@ fn saxpy_computes_correct_results_end_to_end() {
     let mut gpu = Gpu::new(config.clone());
     let n = 256u32;
     gpu.global_mem().load(0x1000, &(0..n).collect::<Vec<u32>>());
-    gpu.global_mem().load(0x2000, &(0..n).map(|i| 10 * i).collect::<Vec<u32>>());
+    gpu.global_mem()
+        .load(0x2000, &(0..n).map(|i| 10 * i).collect::<Vec<u32>>());
     let r = gpu
         .run(saxpy_kernel(), GridConfig::new(2, 128), &|_| {
             Box::new(BaselineRf::stv(24))
@@ -62,7 +64,7 @@ fn saxpy_results_are_identical_under_every_rf_organisation() {
             config.max_warps_per_sm,
         )),
     ];
-    let launches = [Launch { kernel: saxpy_kernel(), grid: GridConfig::new(2, 128) }];
+    let launches = [Launch::new(saxpy_kernel(), GridConfig::new(2, 128))];
     let x: Vec<u32> = (0..256).collect();
     let y: Vec<u32> = (0..256).map(|i| 7 * i + 1).collect();
     let mut reference: Option<Vec<u64>> = None;
@@ -103,8 +105,10 @@ fn divergent_reduction_kernel_is_correct() {
     let k = kb.build().unwrap();
 
     let mut gpu = Gpu::new(gpu_config());
-    gpu.run(k, GridConfig::new(1, 32), &|_| Box::new(BaselineRf::stv(24)))
-        .unwrap();
+    gpu.run(k, GridConfig::new(1, 32), &|_| {
+        Box::new(BaselineRf::stv(24))
+    })
+    .unwrap();
     // Sum of 1..=32 = 528 in every lane.
     for lane in 0..32u32 {
         assert_eq!(gpu.global_mem_ref().read(lane), 528);
@@ -135,8 +139,10 @@ fn data_dependent_loops_terminate_and_count() {
     // Lane i of warp w gets bound (i % 7) + 1.
     let bounds: Vec<u32> = (0..64).map(|i| (i % 7) + 1).collect();
     gpu.global_mem().load(0x400, &bounds);
-    gpu.run(k, GridConfig::new(1, 64), &|_| Box::new(BaselineRf::stv(24)))
-        .unwrap();
+    gpu.run(k, GridConfig::new(1, 64), &|_| {
+        Box::new(BaselineRf::stv(24))
+    })
+    .unwrap();
     for (i, b) in bounds.iter().enumerate() {
         assert_eq!(
             gpu.global_mem_ref().read(i as u32),
@@ -171,10 +177,15 @@ fn schedulers_all_complete_the_same_work() {
     for policy in [
         SchedulerPolicy::Gto,
         SchedulerPolicy::Lrr,
-        SchedulerPolicy::TwoLevel { active_per_scheduler: 8 },
+        SchedulerPolicy::TwoLevel {
+            active_per_scheduler: 8,
+        },
         SchedulerPolicy::FetchGroup { group_size: 8 },
     ] {
-        let config = GpuConfig { scheduler: policy, ..gpu_config() };
+        let config = GpuConfig {
+            scheduler: policy,
+            ..gpu_config()
+        };
         let r = run_experiment(&config, &RfKind::MrfStv, &w.launches, &w.mem_init).unwrap();
         instr_counts.push(r.stats.instructions);
     }
@@ -191,12 +202,18 @@ fn multi_sm_runs_match_single_sm_functionally() {
     let x: Vec<u32> = (0..1024).collect();
     let y: Vec<u32> = (0..1024).map(|i| i + 5).collect();
     let run = |sms: usize| -> Vec<u32> {
-        let config = GpuConfig { num_sms: sms, ..gpu_config() };
+        let config = GpuConfig {
+            num_sms: sms,
+            ..gpu_config()
+        };
         let mut gpu = Gpu::new(config);
         gpu.global_mem().load(0x1000, &x);
         gpu.global_mem().load(0x2000, &y);
-        gpu.run(kernel(), grid, &|_| Box::new(BaselineRf::stv(24))).unwrap();
-        (0..1024).map(|i| gpu.global_mem_ref().read(0x2000 + i)).collect()
+        gpu.run(kernel(), grid, &|_| Box::new(BaselineRf::stv(24)))
+            .unwrap();
+        (0..1024)
+            .map(|i| gpu.global_mem_ref().read(0x2000 + i))
+            .collect()
     };
     assert_eq!(run(1), run(4));
 }

@@ -1,0 +1,227 @@
+//! Offline drop-in subset of the `criterion` crate API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: `Criterion`, benchmark groups,
+//! `iter`/`iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is simple wall-clock sampling
+//! (median / mean / min over `sample_size` samples) printed as plain text —
+//! no statistics engine, no HTML report — which is enough to track the
+//! perf trajectory of the experiment harness between commits.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The offline stub runs one
+/// routine call per setup call regardless of variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Captured per-sample durations of the last `iter*` call.
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last: Vec::new(),
+        }
+    }
+
+    /// Measures `f` once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call so first-touch effects (allocation, page faults)
+        // don't land in sample 0.
+        black_box(f());
+        self.last = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        self.last = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                t0.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{id:<48} median {:>12}   mean {:>12}   min {:>12}   ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        sorted.len()
+    );
+}
+
+/// A named set of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    // Holds the exclusive borrow of the parent `Criterion` for the group's
+    // lifetime, matching upstream's API shape.
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&id, &b.last);
+        self
+    }
+
+    /// Ends the group (upstream finalises its report here; the stub prints
+    /// as it goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&id.into(), &b.last);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` over group-runner functions, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a plain
+            // wall-clock runner has nothing to configure, so ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.last.len(), 5);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.last.len(), 5);
+    }
+
+    #[test]
+    fn group_runs_and_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}
