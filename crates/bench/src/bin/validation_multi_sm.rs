@@ -33,6 +33,7 @@ fn main() {
                 let gpu = GpuConfig {
                     num_sms: sms,
                     scheduler: SchedulerPolicy::Gto,
+                    audit: prf_bench::audit_from_args(),
                     ..GpuConfig::kepler_gtx780()
                 };
                 let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));

@@ -33,11 +33,22 @@ use prf_workloads::Workload;
 
 use crate::runner::Job;
 
+/// True when the binary was invoked with `--audit`: opts every simulation
+/// into the conservation-invariant audit harness (`prf_sim::audit`). The
+/// audited counters land in each [`ExperimentResult`] and the matrix
+/// footer reports how many jobs were audited and how many violations
+/// surfaced (none, unless someone broke the accounting chain).
+pub fn audit_from_args() -> bool {
+    std::env::args().any(|a| a == "--audit")
+}
+
 /// The single-SM Kepler configuration used by the workload experiments
-/// (register-file behaviour is per-SM; see DESIGN.md).
+/// (register-file behaviour is per-SM; see DESIGN.md). Honours the
+/// `--audit` command-line flag (see [`audit_from_args`]).
 pub fn experiment_gpu(scheduler: SchedulerPolicy) -> GpuConfig {
     GpuConfig {
         scheduler,
+        audit: audit_from_args(),
         ..GpuConfig::kepler_single_sm()
     }
 }
@@ -101,6 +112,9 @@ pub fn average_seed_results(results: &[ExperimentResult]) -> AveragedResult {
         merged.leakage_energy_pj += r.leakage_energy_pj;
         merged.baseline_leakage_energy_pj += r.baseline_leakage_energy_pj;
         merged.per_launch.extend(r.per_launch.iter().cloned());
+        if let (Some(m), Some(a)) = (merged.audit.as_mut(), r.audit.as_ref()) {
+            m.merge(a);
+        }
     }
     merged.cycles /= seeds;
     merged.stats.scale_down(seeds);

@@ -88,6 +88,10 @@ pub struct MatrixReport {
     pub threads: usize,
     /// Wall-clock time for the whole matrix.
     pub elapsed: Duration,
+    /// Jobs that ran with the conservation-invariant audit enabled.
+    pub audited_jobs: usize,
+    /// Total audit violations across all audited jobs (expected 0).
+    pub audit_violations: usize,
 }
 
 impl MatrixReport {
@@ -100,8 +104,16 @@ impl MatrixReport {
         } else {
             f64::INFINITY
         };
+        let audit = if self.audited_jobs > 0 {
+            format!(
+                " [audit: {}/{} jobs, {} violations]",
+                self.audited_jobs, self.jobs, self.audit_violations
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s)",
+            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}",
             self.jobs, self.threads, secs, rate
         )
     }
@@ -133,10 +145,16 @@ pub fn run_matrix_timed(jobs: &[Job]) -> (Vec<JobResult>, MatrixReport) {
     let threads = threads_from_env();
     let t0 = Instant::now();
     let results = run_matrix_with_threads(jobs, threads);
+    let audited: Vec<_> = results
+        .iter()
+        .filter_map(|jr| jr.result.audit.as_ref())
+        .collect();
     let report = MatrixReport {
         jobs: jobs.len(),
         threads: threads.min(jobs.len().max(1)),
         elapsed: t0.elapsed(),
+        audited_jobs: audited.len(),
+        audit_violations: audited.iter().map(|a| a.violations.len()).sum(),
     };
     (results, report)
 }
@@ -261,10 +279,41 @@ mod tests {
             jobs: 10,
             threads: 4,
             elapsed: Duration::from_secs(2),
+            audited_jobs: 0,
+            audit_violations: 0,
         };
         let f = r.footer();
         assert!(f.contains("10 jobs"), "{f}");
         assert!(f.contains("4 threads"), "{f}");
         assert!(f.contains("5.0 jobs/s"), "{f}");
+        assert!(
+            !f.contains("audit"),
+            "unaudited runs keep the old footer: {f}"
+        );
+    }
+
+    #[test]
+    fn footer_reports_audit_coverage() {
+        let r = MatrixReport {
+            jobs: 10,
+            threads: 4,
+            elapsed: Duration::from_secs(2),
+            audited_jobs: 10,
+            audit_violations: 0,
+        };
+        let f = r.footer();
+        assert!(f.contains("[audit: 10/10 jobs, 0 violations]"), "{f}");
+    }
+
+    #[test]
+    fn timed_matrix_counts_audited_jobs() {
+        let mut jobs = tiny_jobs(2);
+        jobs[1].gpu.audit = true;
+        let (results, report) = run_matrix_timed(&jobs);
+        assert!(results[0].result.audit.is_none());
+        let audit = results[1].result.audit.as_ref().expect("audited job");
+        assert!(audit.is_clean(), "{audit}");
+        assert_eq!(report.audited_jobs, 1);
+        assert_eq!(report.audit_violations, 0);
     }
 }

@@ -12,7 +12,10 @@ use prf_sim::SchedulerPolicy;
 /// 3 workloads (one per Table I category) × 3 RF organisations, each with
 /// its own jitter seed — the shape of a real figure matrix.
 fn matrix() -> Vec<Job> {
-    let gpu = experiment_gpu(SchedulerPolicy::Gto);
+    let mut gpu = experiment_gpu(SchedulerPolicy::Gto);
+    // Audited runs: the audit counters must be as deterministic as every
+    // other statistic, and the matrix itself must run clean.
+    gpu.audit = true;
     let kinds = [
         RfKind::MrfStv,
         RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks)),
@@ -60,6 +63,9 @@ fn parallel_matrix_is_bit_identical_to_serial() {
         );
         assert_eq!(a.stats.instructions, b.stats.instructions);
         assert_eq!(a.telemetry, b.telemetry, "{}: telemetry differs", s.name);
+        let audit = a.audit.as_ref().expect("audit enabled");
+        assert!(audit.is_clean(), "{}: {audit}", s.name);
+        assert_eq!(a.audit, b.audit, "{}: audit counters differ", s.name);
     }
 }
 

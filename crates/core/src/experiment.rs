@@ -7,7 +7,7 @@ use std::sync::Arc;
 use prf_finfet::array::ArraySpec;
 use prf_isa::{GridConfig, Kernel};
 use prf_sim::rf::RegisterFileModel;
-use prf_sim::{BaselineRf, Gpu, GpuConfig, SimError, SimResult, SmStats};
+use prf_sim::{AuditReport, BaselineRf, Gpu, GpuConfig, SimError, SimResult, SmStats};
 
 use crate::drowsy::{DrowsyConfig, DrowsyRf};
 use crate::energy::{EnergyModel, LeakageModel};
@@ -93,6 +93,10 @@ pub struct ExperimentResult {
     pub leakage_energy_pj: f64,
     /// Leakage energy of the MRF@STV baseline over the same cycles (pJ).
     pub baseline_leakage_energy_pj: f64,
+    /// Conservation-invariant audit, merged over launches and extended
+    /// with the cross-crate checks (telemetry vs model evict events,
+    /// energy recomputed from raw events). Present iff `GpuConfig::audit`.
+    pub audit: Option<AuditReport>,
 }
 
 impl ExperimentResult {
@@ -258,6 +262,39 @@ pub fn run_experiment(
         LeakageModel::leakage_energy_pj(leak.mrf_stv_mw, per_sm_cycles) * gpu_config.num_sms as f64;
 
     let telemetry = snapshot(&telemetry);
+
+    // Cross-crate conservation audit: extend the merged per-launch report
+    // with the checks only this layer can make — the telemetry write-back
+    // counter against the model's own evict events, and the dynamic energy
+    // recomputed from raw RF-port events against the telemetry-derived
+    // value above.
+    let audit = if gpu_config.audit {
+        let mut merged = AuditReport::default();
+        for r in &per_launch {
+            if let Some(a) = &r.audit {
+                merged.merge(a);
+            }
+        }
+        merged.check_counts(
+            "RFC write-back conservation",
+            merged.rfc_evict_events,
+            telemetry.rfc_writebacks,
+            cycles,
+            None,
+        );
+        let recomputed = energy_model.dynamic_energy_pj(&merged.rf_events, merged.rfc_evict_events);
+        merged.check_close(
+            "energy recomputation",
+            dynamic_energy_pj,
+            recomputed,
+            1e-9,
+            cycles,
+        );
+        Some(merged)
+    } else {
+        None
+    };
+
     Ok(ExperimentResult {
         rf_name: rf.name(),
         cycles,
@@ -268,6 +305,7 @@ pub fn run_experiment(
         baseline_dynamic_energy_pj,
         leakage_energy_pj,
         baseline_leakage_energy_pj,
+        audit,
     })
 }
 
@@ -429,6 +467,84 @@ mod tests {
         )
         .unwrap();
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn audited_experiments_are_clean_for_every_rf_kind() {
+        let base_gpu = GpuConfig {
+            audit: true,
+            ..small_gpu()
+        };
+        let kinds = [
+            RfKind::MrfStv,
+            RfKind::MrfNtv { latency: 3 },
+            RfKind::Partitioned(PartitionedRfConfig::paper_default(base_gpu.num_rf_banks)),
+            RfKind::Rfc(RfcConfig::paper_default(
+                base_gpu.num_rf_banks,
+                base_gpu.max_warps_per_sm,
+            )),
+            RfKind::Drowsy(DrowsyConfig::paper_adjacent(
+                base_gpu.num_rf_banks,
+                base_gpu.max_warps_per_sm,
+            )),
+        ];
+        for rf in kinds {
+            // The RFC lives with the two-level scheduler (its flush hook).
+            let gpu = if matches!(rf, RfKind::Rfc(_)) {
+                GpuConfig {
+                    scheduler: prf_sim::SchedulerPolicy::TwoLevel {
+                        active_per_scheduler: 2,
+                    },
+                    ..base_gpu.clone()
+                }
+            } else {
+                base_gpu.clone()
+            };
+            let r = run_experiment(&gpu, &rf, &launches(), &[]).unwrap();
+            let audit = r.audit.expect("audit enabled");
+            assert!(audit.is_clean(), "{}: {audit}", r.rf_name);
+            // The cross-crate checks actually ran.
+            assert!(audit.checks > 0);
+            assert_eq!(audit.issue_events, r.stats.instructions);
+        }
+    }
+
+    #[test]
+    fn audit_absent_when_disabled() {
+        let r = run_experiment(&small_gpu(), &RfKind::MrfStv, &launches(), &[]).unwrap();
+        assert!(r.audit.is_none());
+    }
+
+    #[test]
+    fn tampered_rfc_writeback_counter_fails_the_cross_check() {
+        // Mutation test for the cross-crate invariant: replay the checks
+        // run_experiment performs, but with a drifted telemetry counter.
+        let gpu = GpuConfig {
+            audit: true,
+            scheduler: prf_sim::SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 2,
+            },
+            ..small_gpu()
+        };
+        let rfc = RfcConfig::paper_default(gpu.num_rf_banks, gpu.max_warps_per_sm);
+        let r = run_experiment(&gpu, &RfKind::Rfc(rfc), &launches(), &[]).unwrap();
+        let clean = r.audit.expect("audit enabled");
+        assert!(clean.is_clean(), "{clean}");
+        assert!(clean.rfc_evict_events > 0, "workload must evict");
+
+        let mut tampered = clean.clone();
+        tampered.check_counts(
+            "RFC write-back conservation",
+            tampered.rfc_evict_events,
+            r.telemetry.rfc_writebacks + 1, // the deliberate drift
+            r.cycles,
+            None,
+        );
+        assert!(!tampered.is_clean());
+        assert_eq!(
+            tampered.violations[0].invariant,
+            "RFC write-back conservation"
+        );
     }
 
     #[test]

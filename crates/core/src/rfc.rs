@@ -75,6 +75,10 @@ pub struct RfcModel {
     config: RfcConfig,
     caches: Vec<WarpCache>,
     telemetry: SharedTelemetry,
+    /// Model-local dirty-evict count, kept in lock-step with the
+    /// `rfc_writebacks` telemetry counter so the conservation auditor can
+    /// cross-check the two independently maintained paths.
+    evictions: u64,
 }
 
 impl RfcModel {
@@ -84,6 +88,7 @@ impl RfcModel {
             caches: vec![WarpCache::default(); config.max_warps],
             config,
             telemetry,
+            evictions: 0,
         }
     }
 
@@ -112,6 +117,7 @@ impl RfcModel {
         }
         cache.entries.push_back((reg, dirty));
         if wrote_back {
+            self.evictions += 1;
             self.telemetry.lock().unwrap().rfc_writebacks += 1;
         }
         wrote_back
@@ -126,6 +132,7 @@ impl RfcModel {
             .count() as u64;
         self.caches[warp_slot].entries.clear();
         if dirty > 0 {
+            self.evictions += dirty;
             self.telemetry.lock().unwrap().rfc_writebacks += dirty;
         }
     }
@@ -212,6 +219,10 @@ impl RegisterFileModel for RfcModel {
         // The two-level scheduler demoted this warp: its RFC entries are
         // released (Gebhart et al.'s active-pool contract).
         self.flush(warp_slot);
+    }
+
+    fn rfc_evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn name(&self) -> &str {
@@ -329,6 +340,21 @@ mod tests {
         m.on_kernel_launch(&kb.build().unwrap(), 10);
         assert!(m.cached_registers(0).is_empty());
         assert!(m.cached_registers(5).is_empty());
+    }
+
+    #[test]
+    fn model_local_evictions_track_telemetry_writebacks() {
+        // The audit cross-check depends on these two counters moving in
+        // lock-step through both write-back paths (capacity evict + flush).
+        let (mut m, t) = model();
+        m.resolve(0, Reg(0), AccessKind::Write, 0); // dirty
+        for r in 1..=6u8 {
+            m.resolve(0, Reg(r), AccessKind::Read, 0); // evicts dirty R0
+        }
+        m.resolve(1, Reg(9), AccessKind::Write, 1);
+        m.on_warp_deactivated(1, 2); // flushes dirty R9
+        assert_eq!(m.rfc_evictions(), 2);
+        assert_eq!(t.lock().unwrap().rfc_writebacks, m.rfc_evictions());
     }
 
     #[test]

@@ -94,18 +94,20 @@ impl RfTelemetry {
         }
     }
 
-    /// Divides the accumulated counters by `n`, turning a [`merge`] of `n`
-    /// per-seed telemetries into a per-seed mean.
+    /// Divides the accumulated counters by `n` (rounding to nearest),
+    /// turning a [`merge`] of `n` per-seed telemetries into a per-seed
+    /// mean. Rounding rather than truncating makes merge → scale_down of
+    /// identical runs lossless.
     ///
     /// [`merge`]: RfTelemetry::merge
     pub fn scale_down(&mut self, n: u64) {
-        assert!(n >= 1);
-        self.rfc_hits /= n;
-        self.rfc_read_hits /= n;
-        self.rfc_misses /= n;
-        self.rfc_writebacks /= n;
-        self.frf_high_epochs /= n;
-        self.frf_low_epochs /= n;
+        use prf_sim::stats::div_round_nearest;
+        self.rfc_hits = div_round_nearest(self.rfc_hits, n);
+        self.rfc_read_hits = div_round_nearest(self.rfc_read_hits, n);
+        self.rfc_misses = div_round_nearest(self.rfc_misses, n);
+        self.rfc_writebacks = div_round_nearest(self.rfc_writebacks, n);
+        self.frf_high_epochs = div_round_nearest(self.frf_high_epochs, n);
+        self.frf_low_epochs = div_round_nearest(self.frf_low_epochs, n);
     }
 }
 
@@ -193,5 +195,27 @@ mod tests {
         a.scale_down(2);
         assert_eq!(a.rfc_hits, 12);
         assert_eq!(a.rfc_misses, 3);
+    }
+
+    #[test]
+    fn merge_then_scale_down_of_identical_runs_is_lossless() {
+        // Truncating division loses up to n-1 counts per counter once the
+        // merged sum is not an exact multiple of n; rounding keeps the
+        // identical-runs case exact and minimises error otherwise.
+        let one = RfTelemetry {
+            rfc_hits: 101,
+            rfc_read_hits: 55,
+            rfc_misses: 7,
+            rfc_writebacks: 13,
+            frf_high_epochs: 3,
+            frf_low_epochs: 1,
+            ..RfTelemetry::default()
+        };
+        let mut merged = RfTelemetry::default();
+        for _ in 0..3 {
+            merged.merge(&one);
+        }
+        merged.scale_down(3);
+        assert_eq!(merged, one);
     }
 }

@@ -29,8 +29,17 @@ fn gpu(policy: SchedulerPolicy) -> GpuConfig {
     GpuConfig {
         scheduler: policy,
         global_mem_words: 1 << 14,
+        // Every experiment in this file doubles as a conservation audit,
+        // including the cross-crate RFC-writeback and energy checks.
+        audit: true,
         ..GpuConfig::kepler_single_sm()
     }
+}
+
+/// Asserts the experiment's conservation audit came back clean.
+fn assert_clean(r: &prf_core::ExperimentResult) {
+    let audit = r.audit.as_ref().expect("audit enabled by gpu()");
+    assert!(audit.is_clean(), "{}: {audit}", r.rf_name);
 }
 
 fn launches() -> Vec<Launch> {
@@ -66,6 +75,7 @@ fn all_models_complete_with_identical_work() {
     for kind in all_kinds(&config) {
         let r = run_experiment(&config, &kind, &launches(), &[]).unwrap();
         assert!(r.cycles > 0, "{}", r.rf_name);
+        assert_clean(&r);
         instrs.push((r.rf_name, r.stats.instructions));
     }
     let first = instrs[0].1;
@@ -79,7 +89,11 @@ fn energy_ordering_across_models() {
     // On a register-skewed kernel: partitioned < NTV < drowsy == STV for
     // dynamic energy per access stream.
     let config = gpu(SchedulerPolicy::Gto);
-    let get = |kind: RfKind| run_experiment(&config, &kind, &launches(), &[]).unwrap();
+    let get = |kind: RfKind| {
+        let r = run_experiment(&config, &kind, &launches(), &[]).unwrap();
+        assert_clean(&r);
+        r
+    };
     let stv = get(RfKind::MrfStv);
     let ntv = get(RfKind::MrfNtv { latency: 3 });
     let part = get(RfKind::Partitioned(PartitionedRfConfig::paper_default(
@@ -166,6 +180,7 @@ fn rfc_telemetry_consistency() {
         &[],
     )
     .unwrap();
+    assert_clean(&r);
     let t = &r.telemetry;
     // Every access is either an RFC hit or a read miss.
     assert_eq!(

@@ -119,6 +119,12 @@ pub struct GpuConfig {
     pub max_cycles: u64,
     /// Per-SM pipeline-trace ring capacity (events). 0 disables tracing.
     pub trace_capacity: usize,
+    /// Run the conservation-invariant auditor ([`crate::audit`]): every
+    /// pipeline event is counted and cross-checked against the statistics
+    /// counters at end of run. Costs a few percent of simulation speed;
+    /// off by default, on in integration tests and under `--audit` in the
+    /// figure binaries.
+    pub audit: bool,
 }
 
 impl GpuConfig {
@@ -150,6 +156,7 @@ impl GpuConfig {
             cta_dispatch_interval: 25,
             max_cycles: 50_000_000,
             trace_capacity: 0,
+            audit: false,
         }
     }
 

@@ -20,6 +20,7 @@
 //!
 //! The entry point is [`Gpu::run`]; see its example.
 
+pub mod audit;
 pub mod collector;
 pub mod config;
 pub mod exec;
@@ -34,6 +35,7 @@ pub mod stats;
 pub mod trace;
 pub mod warp;
 
+pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use config::{GpuConfig, SchedulerPolicy};
 pub use gpu::{Gpu, SimError};
 pub use mem::{GlobalMemory, SharedMemory};

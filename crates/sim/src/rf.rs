@@ -160,6 +160,14 @@ pub trait RegisterFileModel: fmt::Debug + Send {
         let _ = (warp_slot, cycle);
     }
 
+    /// Audit hook: dirty entries this model evicted (and wrote back) so
+    /// far. The conservation auditor cross-checks the sum against the
+    /// `rfc_writebacks` telemetry counter; models without a write-back
+    /// cache keep the default of 0.
+    fn rfc_evictions(&self) -> u64 {
+        0
+    }
+
     /// Model name for reports.
     fn name(&self) -> &str;
 }

@@ -72,6 +72,11 @@ impl Scoreboard {
     pub fn is_clear(&self) -> bool {
         self.reg_pending == 0 && self.pred_pending == 0
     }
+
+    /// Number of pending register + predicate writes (audit diagnostics).
+    pub fn pending_count(&self) -> u32 {
+        self.reg_pending.count_ones() + self.pred_pending.count_ones()
+    }
 }
 
 #[cfg(test)]

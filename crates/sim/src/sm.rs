@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use prf_isa::{CtaId, GridConfig, Kernel, PredReg, ReconvergenceTable, Reg};
 
+use crate::audit::{AuditReport, Auditor};
 use crate::collector::{CollectDest, OperandCollector};
 use crate::config::GpuConfig;
 use crate::exec::{execute_warp_instruction, ExecEnv};
@@ -98,6 +99,9 @@ pub struct Sm {
     next_dispatch_allowed: u64,
     /// Pipeline-event trace ring (enabled via `GpuConfig::trace_capacity`).
     pub trace: TraceRing,
+    /// Conservation-invariant auditor (enabled via `GpuConfig::audit`);
+    /// consumed by [`Sm::finish_audit`].
+    audit: Option<Auditor>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -153,8 +157,33 @@ impl Sm {
             sched_events: Vec::new(),
             next_dispatch_allowed: 0,
             trace: TraceRing::new(config.trace_capacity),
+            audit: config
+                .audit
+                .then(|| Auditor::new(id, config.max_warps_per_sm)),
             image,
         }
+    }
+
+    /// Records one pipeline event into the trace ring and, when auditing,
+    /// into the auditor's counters. Both sinks see the same stream.
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(a) = self.audit.as_mut() {
+            a.observe(&ev);
+        }
+        self.trace.record(ev);
+    }
+
+    /// True when at least one event sink (trace ring or auditor) is live —
+    /// the guard for event construction on the hot issue path.
+    fn observing(&self) -> bool {
+        self.trace.enabled() || self.audit.is_some()
+    }
+
+    /// Finalises the auditor against this SM's statistics; `None` unless
+    /// `GpuConfig::audit` was set. Call once, after the run completes.
+    pub fn finish_audit(&mut self, final_cycle: u64) -> Option<AuditReport> {
+        let auditor = self.audit.take()?;
+        Some(auditor.finish(&self.stats, self.rf.rfc_evictions(), final_cycle))
     }
 
     /// Notifies the register-file model that a new kernel begins.
@@ -234,7 +263,7 @@ impl Sm {
         // Fresh shared memory for the CTA.
         self.shared_mem[cta_slot] = SharedMemory::new(self.config.shared_mem_words);
         self.next_dispatch_allowed = cycle + self.config.cta_dispatch_interval;
-        self.trace.record(TraceEvent::CtaDispatch {
+        self.emit(TraceEvent::CtaDispatch {
             cycle,
             sm: self.id,
             cta: cta.0,
@@ -254,6 +283,13 @@ impl Sm {
         };
         if let Some(p) = info.pred_dst {
             self.scoreboards[info.warp_slot].release_pred(p);
+            if self.observing() {
+                self.emit(TraceEvent::ScoreboardRelease {
+                    cycle,
+                    sm: self.id,
+                    warp: info.warp_slot,
+                });
+            }
         }
         if info.is_load {
             self.pending_loads[info.warp_slot] =
@@ -274,7 +310,15 @@ impl Sm {
             return;
         }
         let w = self.warps[slot].take().expect("checked above");
-        self.trace.record(TraceEvent::WarpFinish {
+        if let Some(a) = self.audit.as_mut() {
+            // A finished warp must hold no scoreboard reservations; a
+            // pending bit here means a lost release somewhere upstream.
+            let pending = self.scoreboards[slot].pending_count();
+            if pending != 0 {
+                a.note_unclear_scoreboard(slot, pending, cycle);
+            }
+        }
+        self.emit(TraceEvent::WarpFinish {
             cycle,
             sm: self.id,
             warp: slot,
@@ -414,15 +458,15 @@ impl Sm {
                 self.stats.divergent_branches += 1;
             }
         }
-        if self.trace.enabled() {
-            self.trace.record(TraceEvent::Issue {
+        if self.observing() {
+            self.emit(TraceEvent::Issue {
                 cycle,
                 sm: self.id,
                 warp: slot,
                 pc: trace_pc,
             });
             if outcome.hit_barrier {
-                self.trace.record(TraceEvent::BarrierWait {
+                self.emit(TraceEvent::BarrierWait {
                     cycle,
                     sm: self.id,
                     warp: slot,
@@ -462,6 +506,14 @@ impl Sm {
 
         if needs_collector {
             self.scoreboards[slot].reserve(&instr);
+            if (dst_reg.is_some() || pred_dst.is_some()) && self.observing() {
+                // `reserve` set exactly one pending bit (Dst is exclusive).
+                self.emit(TraceEvent::ScoreboardReserve {
+                    cycle,
+                    sm: self.id,
+                    warp: slot,
+                });
+            }
             let token = self.alloc_token();
             let is_load = instr.opcode.is_load();
             if is_load {
@@ -482,6 +534,9 @@ impl Sm {
             };
             let ok = self.collector.allocate(slot, &resolved_reads, dest, token);
             debug_assert!(ok, "can_issue checked for a free unit");
+            if let Some(a) = self.audit.as_mut() {
+                a.note_collector_alloc();
+            }
             self.inflight.insert(
                 token,
                 InflightInstr {
@@ -519,11 +574,25 @@ impl Sm {
                 Some(i) => (i.warp_slot, i.dst_reg),
                 None => continue,
             };
+            if self.observing() {
+                self.emit(TraceEvent::LsuComplete {
+                    cycle,
+                    sm: self.id,
+                    warp: slot,
+                });
+            }
             match dst {
                 Some(reg) => {
                     // Result forwarding: dependents see the value as soon
                     // as it returns; the RF write itself is overlapped.
                     self.scoreboards[slot].release_reg(reg);
+                    if self.observing() {
+                        self.emit(TraceEvent::ScoreboardRelease {
+                            cycle,
+                            sm: self.id,
+                            warp: slot,
+                        });
+                    }
                     let access = self.rf.resolve(slot, reg, AccessKind::Write, cycle);
                     self.collector.request_writeback(slot, reg, access, token);
                 }
@@ -550,6 +619,13 @@ impl Sm {
                 Some(reg) => {
                     // Result forwarding (as above).
                     self.scoreboards[slot].release_reg(reg);
+                    if self.observing() {
+                        self.emit(TraceEvent::ScoreboardRelease {
+                            cycle,
+                            sm: self.id,
+                            warp: slot,
+                        });
+                    }
                     let access = self.rf.resolve(slot, reg, AccessKind::Write, cycle);
                     self.collector.request_writeback(slot, reg, access, token);
                 }
@@ -557,11 +633,44 @@ impl Sm {
             }
         }
 
-        // 3. Operand collectors + bank arbiter.
+        // 3. Operand collectors + bank arbiter. The RF-port callback feeds
+        // the stats counter and (disjoint borrows) the event sinks, so the
+        // audit's independent copy sees exactly the granted accesses.
         let stats_pa = &mut self.stats.partition_accesses;
-        let (collected, completed_writes) =
-            self.collector.tick(cycle, |p, k| stats_pa.record(p, k));
+        let trace = &mut self.trace;
+        let mut audit = self.audit.as_mut();
+        let sm_id = self.id;
+        let observing = trace.enabled() || audit.is_some();
+        let (collected, completed_writes) = self.collector.tick(cycle, |p, k| {
+            stats_pa.record(p, k);
+            if observing {
+                let ev = match k {
+                    AccessKind::Read => TraceEvent::RfRead {
+                        cycle,
+                        sm: sm_id,
+                        partition: p,
+                    },
+                    AccessKind::Write => TraceEvent::RfWrite {
+                        cycle,
+                        sm: sm_id,
+                        partition: p,
+                    },
+                };
+                if let Some(a) = audit.as_deref_mut() {
+                    a.observe(&ev);
+                }
+                trace.record(ev);
+            }
+        });
         for c in collected {
+            if self.observing() {
+                self.emit(TraceEvent::Collect {
+                    cycle,
+                    sm: self.id,
+                    warp: c.warp_slot,
+                    mem: matches!(c.dest, CollectDest::Memory),
+                });
+            }
             match c.dest {
                 CollectDest::Execute { latency, writeback } => {
                     if writeback.is_some() || self.inflight.contains_key(&c.token) {
@@ -607,6 +716,14 @@ impl Sm {
         for wdone in completed_writes {
             // Scoreboard was already released at result forwarding; the
             // completed write just retires the instruction.
+            if self.observing() {
+                self.emit(TraceEvent::Writeback {
+                    cycle,
+                    sm: self.id,
+                    warp: wdone.warp_slot,
+                    reg: wdone.reg,
+                });
+            }
             self.retire(wdone.token, cycle);
         }
         self.stats.bank_conflict_waits = self.collector.bank_conflict_waits;

@@ -8,6 +8,17 @@ use prf_isa::{Reg, MAX_ARCH_REGS};
 
 use crate::rf::{AccessKind, RfPartition};
 
+/// Integer division rounded to the nearest integer (half away from zero).
+///
+/// Seed-averaged counters use this instead of truncating division so a
+/// merge of `n` identical runs scales back down losslessly; plain `/`
+/// would silently drop up to `n - 1` counts per counter.
+#[must_use]
+pub fn div_round_nearest(x: u64, n: u64) -> u64 {
+    assert!(n >= 1);
+    (x + n / 2) / n
+}
+
 /// Per-register dynamic access counts (reads + writes), the raw material of
 /// the paper's Fig. 2 ("percentage of accesses to the top N highly accessed
 /// registers") and of the *optimal* profiling bar in Fig. 4.
@@ -91,12 +102,11 @@ impl RegisterAccessHistogram {
         }
     }
 
-    /// Divides every count by `n`, turning a merge of `n` runs into a
-    /// per-run mean.
+    /// Divides every count by `n` (rounding to nearest), turning a merge
+    /// of `n` runs into a per-run mean.
     pub fn scale_down(&mut self, n: u64) {
-        assert!(n >= 1);
         for c in self.counts.iter_mut() {
-            *c /= n;
+            *c = div_round_nearest(*c, n);
         }
     }
 }
@@ -138,9 +148,19 @@ impl PartitionAccessCounts {
         self.reads(partition) + self.writes(partition)
     }
 
+    /// Total reads over all partitions.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total writes over all partitions.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
     /// Total accesses over all partitions.
     pub fn total(&self) -> u64 {
-        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+        self.total_reads() + self.total_writes()
     }
 
     /// Fraction of all accesses serviced by `partition` (Fig. 10).
@@ -161,13 +181,12 @@ impl PartitionAccessCounts {
         }
     }
 
-    /// Divides every count by `n`, turning a merge of `n` runs into a
-    /// per-run mean.
+    /// Divides every count by `n` (rounding to nearest), turning a merge
+    /// of `n` runs into a per-run mean.
     pub fn scale_down(&mut self, n: u64) {
-        assert!(n >= 1);
         for i in 0..8 {
-            self.reads[i] /= n;
-            self.writes[i] /= n;
+            self.reads[i] = div_round_nearest(self.reads[i], n);
+            self.writes[i] = div_round_nearest(self.writes[i], n);
         }
     }
 }
@@ -263,31 +282,31 @@ impl SmStats {
         self.active_lane_sum += other.active_lane_sum;
     }
 
-    /// Divides every counter by `n`, turning a merge of `n` runs into a
-    /// per-run mean. Per-warp histograms are scaled element-wise.
+    /// Divides every counter by `n` (rounding to nearest), turning a merge
+    /// of `n` runs into a per-run mean. Per-warp histograms are scaled
+    /// element-wise.
     pub fn scale_down(&mut self, n: u64) {
-        assert!(n >= 1);
-        self.instructions /= n;
-        self.active_cycles /= n;
-        self.issue_cycles /= n;
+        self.instructions = div_round_nearest(self.instructions, n);
+        self.active_cycles = div_round_nearest(self.active_cycles, n);
+        self.issue_cycles = div_round_nearest(self.issue_cycles, n);
         self.reg_accesses.scale_down(n);
         self.partition_accesses.scale_down(n);
-        self.bank_conflict_waits /= n;
-        self.collector_stalls /= n;
+        self.bank_conflict_waits = div_round_nearest(self.bank_conflict_waits, n);
+        self.collector_stalls = div_round_nearest(self.collector_stalls, n);
         for h in self.per_warp.values_mut() {
             h.scale_down(n);
         }
-        self.l1_hits /= n;
-        self.l1_misses /= n;
-        self.mem_transactions /= n;
-        self.mem_instructions /= n;
-        self.stall_mem /= n;
-        self.stall_barrier /= n;
-        self.stall_collector /= n;
-        self.stall_alu_dep /= n;
-        self.divergent_branches /= n;
-        self.total_branches /= n;
-        self.active_lane_sum /= n;
+        self.l1_hits = div_round_nearest(self.l1_hits, n);
+        self.l1_misses = div_round_nearest(self.l1_misses, n);
+        self.mem_transactions = div_round_nearest(self.mem_transactions, n);
+        self.mem_instructions = div_round_nearest(self.mem_instructions, n);
+        self.stall_mem = div_round_nearest(self.stall_mem, n);
+        self.stall_barrier = div_round_nearest(self.stall_barrier, n);
+        self.stall_collector = div_round_nearest(self.stall_collector, n);
+        self.stall_alu_dep = div_round_nearest(self.stall_alu_dep, n);
+        self.divergent_branches = div_round_nearest(self.divergent_branches, n);
+        self.total_branches = div_round_nearest(self.total_branches, n);
+        self.active_lane_sum = div_round_nearest(self.active_lane_sum, n);
     }
 
     /// Mean SIMD efficiency: active lanes per issued instruction over the
@@ -327,6 +346,9 @@ pub struct SimResult {
     /// Merged pipeline trace (empty unless `GpuConfig::trace_capacity` is
     /// set), sorted by cycle.
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Conservation-invariant audit report (present iff `GpuConfig::audit`
+    /// was set); merged over all SMs.
+    pub audit: Option<crate::audit::AuditReport>,
 }
 
 impl SimResult {
@@ -430,9 +452,59 @@ mod tests {
             pilot_warp_finish: Some(30),
             per_sm_instructions: vec![250],
             trace: Vec::new(),
+            audit: None,
         };
         assert!((r.ipc() - 2.5).abs() < 1e-12);
         assert!((r.pilot_runtime_fraction().unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn div_round_nearest_rounds_half_up() {
+        assert_eq!(div_round_nearest(0, 3), 0);
+        assert_eq!(div_round_nearest(1, 3), 0);
+        assert_eq!(div_round_nearest(2, 3), 1);
+        assert_eq!(div_round_nearest(3, 3), 1);
+        assert_eq!(div_round_nearest(5, 2), 3);
+        assert_eq!(div_round_nearest(7, 1), 7);
+    }
+
+    #[test]
+    fn merge_then_scale_down_of_identical_runs_is_lossless() {
+        // Satellite: truncating division used to lose up to n-1 counts per
+        // counter when averaging identical seeds.
+        let mut one = SmStats::new();
+        one.instructions = 101;
+        one.active_cycles = 7;
+        one.mem_transactions = 13;
+        one.reg_accesses.record_n(Reg(3), 999);
+        one.partition_accesses
+            .record(RfPartition::Srf, AccessKind::Read);
+        one.per_warp.entry((0, 1)).or_default().record_n(Reg(2), 55);
+
+        let mut merged = SmStats::new();
+        for _ in 0..3 {
+            merged.merge(&one);
+        }
+        merged.scale_down(3);
+        assert_eq!(merged.instructions, one.instructions);
+        assert_eq!(merged.active_cycles, one.active_cycles);
+        assert_eq!(merged.mem_transactions, one.mem_transactions);
+        assert_eq!(merged.reg_accesses, one.reg_accesses);
+        assert_eq!(merged.partition_accesses, one.partition_accesses);
+        assert_eq!(
+            merged.per_warp[&(0, 1)].count(Reg(2)),
+            one.per_warp[&(0, 1)].count(Reg(2))
+        );
+    }
+
+    #[test]
+    fn scale_down_rounds_to_nearest() {
+        let mut p = PartitionAccessCounts::new();
+        p.record(RfPartition::MrfStv, AccessKind::Read);
+        p.record(RfPartition::MrfStv, AccessKind::Read);
+        // 2 reads / 3 runs -> rounds to 1, not truncates to 0.
+        p.scale_down(3);
+        assert_eq!(p.reads(RfPartition::MrfStv), 1);
     }
 
     #[test]

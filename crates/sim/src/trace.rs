@@ -4,8 +4,18 @@
 //! Tracing is off by default (`GpuConfig::trace_capacity == 0`). When
 //! enabled, each SM records its last `trace_capacity` events and
 //! [`crate::SimResult`] carries them merged, sorted by cycle.
+//!
+//! The same event stream also feeds the conservation-invariant auditor
+//! ([`crate::audit`]) when `GpuConfig::audit` is set: every emission point
+//! in the SM pipeline sends its event both to the ring (bounded, for
+//! display) and to the auditor (unbounded counters, for end-of-run
+//! invariant checks).
 
 use std::fmt;
+
+use prf_isa::Reg;
+
+use crate::rf::RfPartition;
 
 /// One pipeline event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +58,78 @@ pub enum TraceEvent {
         /// Warp slot.
         warp: usize,
     },
+    /// An instruction finished gathering its operands in a collector unit.
+    Collect {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+        /// True when the instruction dispatches to the memory pipeline
+        /// (LSU or shared-memory unit) rather than an execution pipe.
+        mem: bool,
+    },
+    /// A register-file read was granted an RF bank port by the arbiter —
+    /// the energy-accounting event for reads.
+    RfRead {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Physical partition that serviced the read.
+        partition: RfPartition,
+    },
+    /// A register-file write was granted an RF bank port by the arbiter —
+    /// the energy-accounting event for writes.
+    RfWrite {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Physical partition that serviced the write.
+        partition: RfPartition,
+    },
+    /// A destination-register write completed in the register file and the
+    /// owning instruction retired.
+    Writeback {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+        /// Architected destination register.
+        reg: Reg,
+    },
+    /// The LSU or shared-memory unit completed a warp memory instruction.
+    LsuComplete {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+    },
+    /// A scoreboard reservation was taken at issue (one event per reserved
+    /// destination register or predicate).
+    ScoreboardReserve {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+    },
+    /// A scoreboard entry was released at result forwarding or retire.
+    ScoreboardRelease {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// Warp slot.
+        warp: usize,
+    },
 }
 
 impl TraceEvent {
@@ -57,7 +139,14 @@ impl TraceEvent {
             TraceEvent::CtaDispatch { cycle, .. }
             | TraceEvent::Issue { cycle, .. }
             | TraceEvent::BarrierWait { cycle, .. }
-            | TraceEvent::WarpFinish { cycle, .. } => *cycle,
+            | TraceEvent::WarpFinish { cycle, .. }
+            | TraceEvent::Collect { cycle, .. }
+            | TraceEvent::RfRead { cycle, .. }
+            | TraceEvent::RfWrite { cycle, .. }
+            | TraceEvent::Writeback { cycle, .. }
+            | TraceEvent::LsuComplete { cycle, .. }
+            | TraceEvent::ScoreboardReserve { cycle, .. }
+            | TraceEvent::ScoreboardRelease { cycle, .. } => *cycle,
         }
     }
 }
@@ -81,6 +170,50 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::WarpFinish { cycle, sm, warp } => {
                 write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} finish")
+            }
+            TraceEvent::Collect {
+                cycle,
+                sm,
+                warp,
+                mem,
+            } => {
+                let dest = if *mem { "mem" } else { "exec" };
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} collect->{dest}")
+            }
+            TraceEvent::RfRead {
+                cycle,
+                sm,
+                partition,
+            } => {
+                write!(f, "[{cycle:>8}] sm{sm} rf-read {partition}")
+            }
+            TraceEvent::RfWrite {
+                cycle,
+                sm,
+                partition,
+            } => {
+                write!(f, "[{cycle:>8}] sm{sm} rf-write {partition}")
+            }
+            TraceEvent::Writeback {
+                cycle,
+                sm,
+                warp,
+                reg,
+            } => {
+                write!(
+                    f,
+                    "[{cycle:>8}] sm{sm} w{warp:<2} writeback r{}",
+                    reg.index()
+                )
+            }
+            TraceEvent::LsuComplete { cycle, sm, warp } => {
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} lsu-complete")
+            }
+            TraceEvent::ScoreboardReserve { cycle, sm, warp } => {
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} sb-reserve")
+            }
+            TraceEvent::ScoreboardRelease { cycle, sm, warp } => {
+                write!(f, "[{cycle:>8}] sm{sm} w{warp:<2} sb-release")
             }
         }
     }
@@ -197,5 +330,58 @@ mod tests {
             warp: 5,
         };
         assert!(w.to_string().contains("finish"));
+    }
+
+    #[test]
+    fn audit_event_cycles_and_formats() {
+        let events = [
+            TraceEvent::Collect {
+                cycle: 3,
+                sm: 0,
+                warp: 1,
+                mem: true,
+            },
+            TraceEvent::RfRead {
+                cycle: 4,
+                sm: 0,
+                partition: RfPartition::Srf,
+            },
+            TraceEvent::RfWrite {
+                cycle: 5,
+                sm: 0,
+                partition: RfPartition::FrfHigh,
+            },
+            TraceEvent::Writeback {
+                cycle: 6,
+                sm: 0,
+                warp: 2,
+                reg: Reg(7),
+            },
+            TraceEvent::LsuComplete {
+                cycle: 7,
+                sm: 0,
+                warp: 2,
+            },
+            TraceEvent::ScoreboardReserve {
+                cycle: 8,
+                sm: 0,
+                warp: 2,
+            },
+            TraceEvent::ScoreboardRelease {
+                cycle: 9,
+                sm: 0,
+                warp: 2,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.cycle(), 3 + i as u64);
+        }
+        assert!(events[0].to_string().contains("collect->mem"));
+        assert!(events[1].to_string().contains("rf-read SRF"));
+        assert!(events[2].to_string().contains("rf-write FRF_high"));
+        assert!(events[3].to_string().contains("writeback r7"));
+        assert!(events[4].to_string().contains("lsu-complete"));
+        assert!(events[5].to_string().contains("sb-reserve"));
+        assert!(events[6].to_string().contains("sb-release"));
     }
 }

@@ -25,8 +25,16 @@ fn small_config(policy: SchedulerPolicy) -> GpuConfig {
     GpuConfig {
         scheduler: policy,
         global_mem_words: 1 << 14,
+        // Every scenario in this file doubles as a conservation audit.
+        audit: true,
         ..GpuConfig::kepler_single_sm()
     }
+}
+
+/// Asserts the run's conservation audit came back clean.
+fn assert_clean(r: &prf_sim::SimResult) {
+    let audit = r.audit.as_ref().expect("audit enabled by small_config");
+    assert!(audit.is_clean(), "{}: {audit}", r.kernel);
 }
 
 #[test]
@@ -45,6 +53,7 @@ fn every_scheduler_completes_the_alu_kernel() {
         let r = gpu
             .run(alu_kernel(12), grid, &|_| Box::new(BaselineRf::stv(24)))
             .unwrap();
+        assert_clean(&r);
         counts.push(r.stats.instructions);
     }
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
@@ -66,7 +75,9 @@ fn unpipelined_banks_slow_ntv_much_more_than_stv() {
                 Box::new(BaselineRf::ntv(24, latency))
             }
         };
-        gpu.run(alu_kernel(12), grid, &rf_factory).unwrap().cycles
+        let r = gpu.run(alu_kernel(12), grid, &rf_factory).unwrap();
+        assert_clean(&r);
+        r.cycles
     };
     let stv_piped = run(true, 1);
     let ntv_piped = run(true, 3);
@@ -143,6 +154,7 @@ fn jitter_seeds_change_timing_but_not_results() {
         let r = gpu
             .run(alu_kernel(10), grid, &|_| Box::new(BaselineRf::stv(24)))
             .unwrap();
+        assert_clean(&r);
         let out: Vec<u32> = (0..512).map(|i| gpu.global_mem_ref().read(i)).collect();
         (r.cycles, r.stats.instructions, out)
     };
@@ -169,6 +181,7 @@ fn per_warp_stats_sum_to_global_histogram() {
             Box::new(BaselineRf::stv(24))
         })
         .unwrap();
+    assert_clean(&r);
     let mut summed = [0u64; prf_isa::MAX_ARCH_REGS];
     for h in r.stats.per_warp.values() {
         for (i, &c) in h.counts().iter().enumerate() {
