@@ -26,8 +26,10 @@ pub mod report;
 pub mod runner;
 
 use std::ops::Deref;
+use std::sync::OnceLock;
 
-use prf_core::{run_experiment, ExperimentResult, RfKind};
+use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, RepairPolicy, RfKind};
+use prf_finfet::{FaultGeometry, FaultMap, SramCell};
 use prf_sim::{GpuConfig, SchedulerPolicy};
 use prf_workloads::Workload;
 
@@ -42,6 +44,66 @@ pub fn audit_from_args() -> bool {
     std::env::args().any(|a| a == "--audit")
 }
 
+/// Parses a `--faults` spec of the form `"<seed>,<vdd>"`, e.g. `"42,0.3"`.
+pub fn parse_faults_spec(spec: &str) -> Result<(u64, f64), String> {
+    let (seed, vdd) = spec
+        .split_once(',')
+        .ok_or_else(|| format!("`{spec}`: expected `<seed>,<vdd>` (e.g. `42,0.3`)"))?;
+    let seed = seed
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("`{spec}`: bad seed: {e}"))?;
+    let vdd = vdd
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("`{spec}`: bad vdd: {e}"))?;
+    if !(vdd > 0.0 && vdd < 2.0) {
+        return Err(format!(
+            "`{spec}`: vdd {vdd} V outside the plausible (0, 2) V range"
+        ));
+    }
+    Ok((seed, vdd))
+}
+
+/// Builds the standard fault campaign for the figure binaries: a Monte
+/// Carlo fault map over the Kepler RF geometry (8T cells at `vdd`, seeded
+/// with `seed`) repaired by spare-row remapping with 4 spares per bank.
+pub fn fault_config_for(seed: u64, vdd: f64) -> FaultConfig {
+    let map = FaultMap::from_montecarlo(SramCell::T8, vdd, FaultGeometry::kepler_rf(), seed);
+    FaultConfig::new(map, RepairPolicy::SpareRow { spares_per_bank: 4 })
+}
+
+/// The fault campaign requested on the command line via
+/// `--faults <seed>,<vdd>` (or `--faults=<seed>,<vdd>`), if any.
+///
+/// # Panics
+///
+/// Panics when the spec is present but malformed.
+pub fn faults_from_args() -> Option<FaultConfig> {
+    let mut args = std::env::args();
+    let spec = loop {
+        let arg = args.next()?;
+        if arg == "--faults" {
+            break args.next().unwrap_or_else(|| {
+                panic!("--faults needs a `<seed>,<vdd>` argument (e.g. --faults 42,0.3)")
+            });
+        }
+        if let Some(spec) = arg.strip_prefix("--faults=") {
+            break spec.to_string();
+        }
+    };
+    let (seed, vdd) =
+        parse_faults_spec(&spec).unwrap_or_else(|e| panic!("--faults spec invalid: {e}"));
+    Some(fault_config_for(seed, vdd))
+}
+
+/// Cached [`faults_from_args`]: the Monte Carlo fault map is generated
+/// once per process and shared (via `Arc`) by every job.
+pub fn campaign_faults() -> Option<FaultConfig> {
+    static FAULTS: OnceLock<Option<FaultConfig>> = OnceLock::new();
+    FAULTS.get_or_init(faults_from_args).clone()
+}
+
 /// The single-SM Kepler configuration used by the workload experiments
 /// (register-file behaviour is per-SM; see DESIGN.md). Honours the
 /// `--audit` command-line flag (see [`audit_from_args`]).
@@ -53,14 +115,22 @@ pub fn experiment_gpu(scheduler: SchedulerPolicy) -> GpuConfig {
     }
 }
 
-/// Runs one workload (all its launches) under an RF organisation.
+/// Runs one workload (all its launches) under an RF organisation,
+/// honouring the `--faults` command-line flag (see [`campaign_faults`]).
 ///
 /// # Panics
 ///
 /// Panics if the simulation exceeds the cycle safety limit — workloads in
 /// this repository are sized to terminate quickly.
 pub fn run_workload(w: &Workload, gpu: &GpuConfig, rf: &RfKind) -> ExperimentResult {
-    run_experiment(gpu, rf, &w.launches, &w.mem_init).unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    run_experiment_with_faults(
+        gpu,
+        rf,
+        &w.launches,
+        &w.mem_init,
+        campaign_faults().as_ref(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
 /// A seed-averaged experiment outcome.
@@ -108,6 +178,7 @@ pub fn average_seed_results(results: &[ExperimentResult]) -> AveragedResult {
         merged.stats.merge(&r.stats);
         merged.telemetry.merge(&r.telemetry);
         merged.dynamic_energy_pj += r.dynamic_energy_pj;
+        merged.repair_energy_pj += r.repair_energy_pj;
         merged.baseline_dynamic_energy_pj += r.baseline_dynamic_energy_pj;
         merged.leakage_energy_pj += r.leakage_energy_pj;
         merged.baseline_leakage_energy_pj += r.baseline_leakage_energy_pj;
@@ -120,6 +191,7 @@ pub fn average_seed_results(results: &[ExperimentResult]) -> AveragedResult {
     merged.stats.scale_down(seeds);
     merged.telemetry.scale_down(seeds);
     merged.dynamic_energy_pj /= seeds as f64;
+    merged.repair_energy_pj /= seeds as f64;
     merged.baseline_dynamic_energy_pj /= seeds as f64;
     merged.leakage_energy_pj /= seeds as f64;
     merged.baseline_leakage_energy_pj /= seeds as f64;
@@ -132,9 +204,12 @@ pub fn average_seed_results(results: &[ExperimentResult]) -> AveragedResult {
 }
 
 /// Builds the per-seed job list for one workload×RF cell, for batching
-/// many averaged cells into a single [`runner::run_matrix`] call.
+/// many averaged cells into a single [`runner::run_matrix`] call. Every
+/// job carries the `--faults` campaign when one was requested (see
+/// [`campaign_faults`]).
 pub fn seed_jobs(w: &Workload, gpu: &GpuConfig, rf: &RfKind, seeds: u64) -> Vec<Job> {
     assert!(seeds >= 1);
+    let faults = campaign_faults();
     (0..seeds)
         .map(|seed| {
             let cfg = GpuConfig {
@@ -142,6 +217,7 @@ pub fn seed_jobs(w: &Workload, gpu: &GpuConfig, rf: &RfKind, seeds: u64) -> Vec<
                 ..gpu.clone()
             };
             Job::new(format!("{}/{}/seed{seed}", w.name, rf.name()), w, &cfg, rf)
+                .with_faults(faults.clone())
         })
         .collect()
 }
@@ -251,5 +327,25 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn geomean_rejects_empty() {
         geomean(&[]);
+    }
+
+    #[test]
+    fn faults_spec_round_trips() {
+        assert_eq!(parse_faults_spec("42,0.3"), Ok((42, 0.3)));
+        assert_eq!(parse_faults_spec(" 7 , 0.55 "), Ok((7, 0.55)));
+        assert!(parse_faults_spec("42").is_err(), "missing vdd");
+        assert!(parse_faults_spec("x,0.3").is_err(), "bad seed");
+        assert!(parse_faults_spec("42,volts").is_err(), "bad vdd");
+        assert!(parse_faults_spec("42,-0.3").is_err(), "negative vdd");
+        assert!(parse_faults_spec("42,9.0").is_err(), "implausible vdd");
+    }
+
+    #[test]
+    fn fault_config_builds_the_kepler_campaign() {
+        let cfg = fault_config_for(42, 0.3);
+        // NTV 8T arrays have real fault rows; the map is deterministic in
+        // the seed, so two builds agree exactly.
+        assert!(!cfg.map.is_fault_free(), "NTV map should carry faults");
+        assert_eq!(cfg.map.to_text(), fault_config_for(42, 0.3).map.to_text());
     }
 }

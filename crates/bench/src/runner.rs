@@ -12,13 +12,22 @@
 //! Thread count defaults to [`std::thread::available_parallelism`] and can
 //! be overridden with the `PRF_THREADS` environment variable (`PRF_THREADS=1`
 //! gives a serial run for debugging or timing baselines).
+//!
+//! The engine is crash-proof: each job attempt runs behind
+//! `catch_unwind`, optionally under a wall-clock watchdog
+//! (`PRF_JOB_TIMEOUT_SECS`) and with bounded retry-with-backoff
+//! (`PRF_JOB_RETRIES` / `PRF_RETRY_BACKOFF_MS`). The resilient entry
+//! points ([`run_matrix_resilient`]) always return a [`JobOutcome`] for
+//! every job — partial results plus a failure manifest — while the
+//! classic [`run_matrix`] keeps its all-or-nothing contract and re-raises
+//! the first failure with the job's index and name.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use prf_core::{run_experiment, ExperimentResult, RfKind};
+use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, RfKind};
 use prf_sim::GpuConfig;
 use prf_workloads::Workload;
 
@@ -36,6 +45,9 @@ pub struct Job {
     pub gpu: GpuConfig,
     /// Register-file organisation under test.
     pub rf: RfKind,
+    /// Optional fault campaign: a variation-derived fault map plus repair
+    /// policy wrapped around the RF model (see `prf_core::faults`).
+    pub faults: Option<FaultConfig>,
 }
 
 impl Job {
@@ -46,6 +58,7 @@ impl Job {
             workload: workload.clone(),
             gpu: gpu.clone(),
             rf: rf.clone(),
+            faults: None,
         }
     }
 
@@ -59,14 +72,204 @@ impl Job {
         )
     }
 
+    /// Attaches (or clears) a fault campaign.
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     fn run(&self) -> ExperimentResult {
-        run_experiment(
+        run_experiment_with_faults(
             &self.gpu,
             &self.rf,
             &self.workload.launches,
             &self.workload.mem_init,
+            self.faults.as_ref(),
         )
         .unwrap_or_else(|e| panic!("{}: {e}", self.name))
+    }
+}
+
+/// How one matrix job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Finished on the first attempt.
+    Completed,
+    /// Finished, but only after retries (`attempts` ≥ 2 counts every
+    /// attempt including the successful one).
+    Retried {
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// Every attempt panicked; `message` carries the last panic payload.
+    Panicked {
+        /// Stringified panic payload of the final attempt.
+        message: String,
+    },
+    /// The final attempt exceeded the wall-clock watchdog.
+    TimedOut {
+        /// The watchdog budget that was exceeded.
+        timeout: Duration,
+    },
+}
+
+impl JobOutcome {
+    /// True when the job produced a result (possibly after retries).
+    pub fn succeeded(&self) -> bool {
+        matches!(self, JobOutcome::Completed | JobOutcome::Retried { .. })
+    }
+
+    /// True when the job needed retries or failed outright — anything a
+    /// campaign report should flag.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, JobOutcome::Completed)
+    }
+}
+
+impl std::fmt::Display for JobOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobOutcome::Completed => write!(f, "completed"),
+            JobOutcome::Retried { attempts } => write!(f, "completed after {attempts} attempts"),
+            JobOutcome::Panicked { message } => write!(f, "panicked: {message}"),
+            JobOutcome::TimedOut { timeout } => {
+                write!(f, "timed out after {:.1} s", timeout.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// Watchdog and retry budget for one matrix run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Wall-clock budget per attempt; `None` disables the watchdog (the
+    /// attempt runs inline on the worker thread).
+    pub timeout: Option<Duration>,
+    /// Retries after the first attempt (0 = single attempt).
+    pub retries: u32,
+    /// Base back-off between attempts (attempt `n` waits `n × backoff`).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Single attempt, no watchdog — the classic engine behaviour.
+    pub fn none() -> Self {
+        RetryPolicy {
+            timeout: None,
+            retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Policy from the environment: `PRF_JOB_TIMEOUT_SECS` (unset or 0
+    /// disables the watchdog), `PRF_JOB_RETRIES` (default 0) and
+    /// `PRF_RETRY_BACKOFF_MS` (default 100).
+    pub fn from_env() -> Self {
+        fn parse_env(key: &str) -> Option<u64> {
+            let v = std::env::var(key).ok()?;
+            match v.trim().parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!("{key}={v:?} is not a non-negative integer; ignoring");
+                    None
+                }
+            }
+        }
+        RetryPolicy {
+            timeout: parse_env("PRF_JOB_TIMEOUT_SECS")
+                .filter(|&s| s > 0)
+                .map(Duration::from_secs),
+            retries: parse_env("PRF_JOB_RETRIES")
+                .unwrap_or(0)
+                .min(u32::MAX as u64) as u32,
+            backoff: Duration::from_millis(parse_env("PRF_RETRY_BACKOFF_MS").unwrap_or(100)),
+        }
+    }
+}
+
+/// One job's report in a resilient matrix run: its input position, label,
+/// how it ended, and the result when it succeeded.
+#[derive(Debug)]
+pub struct JobReport {
+    /// Position in the input job list.
+    pub index: usize,
+    /// The job's label.
+    pub name: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// The experiment result; `None` iff the outcome is a failure.
+    pub result: Option<ExperimentResult>,
+}
+
+/// The partial-results view of a matrix run: one [`JobReport`] per input
+/// job, in input order, no matter how many jobs crashed or hung.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// Per-job reports, in input order.
+    pub reports: Vec<JobReport>,
+}
+
+impl MatrixOutcome {
+    /// Reports of jobs that produced a result.
+    pub fn healthy(&self) -> impl Iterator<Item = &JobReport> {
+        self.reports.iter().filter(|r| r.result.is_some())
+    }
+
+    /// Reports of jobs that failed (panicked or timed out).
+    pub fn failures(&self) -> impl Iterator<Item = &JobReport> {
+        self.reports.iter().filter(|r| r.result.is_none())
+    }
+
+    /// Jobs that needed retries but eventually succeeded.
+    pub fn retried_jobs(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Retried { .. }))
+            .count()
+    }
+
+    /// Jobs that failed outright.
+    pub fn failed_jobs(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// Multi-line manifest of every non-`Completed` job (empty string when
+    /// the whole matrix completed cleanly on first attempts).
+    pub fn failure_manifest(&self) -> String {
+        self.reports
+            .iter()
+            .filter(|r| r.outcome.is_degraded())
+            .map(|r| format!("job #{} `{}`: {}", r.index, r.name, r.outcome))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Converts to the all-or-nothing result list, panicking with the
+    /// failure manifest — first failure's index and name up front — if any
+    /// job failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any job panicked or timed out.
+    pub fn expect_complete(self) -> Vec<JobResult> {
+        if self.failed_jobs() > 0 {
+            let manifest = self.failure_manifest();
+            let first = self
+                .failures()
+                .next()
+                .expect("failed_jobs > 0 implies a failure");
+            panic!(
+                "experiment job #{} `{}` {}; full manifest:\n{manifest}",
+                first.index, first.name, first.outcome
+            );
+        }
+        self.reports
+            .into_iter()
+            .map(|r| JobResult {
+                name: r.name,
+                result: r.result.expect("no failures, so every job has a result"),
+            })
+            .collect()
     }
 }
 
@@ -92,6 +295,10 @@ pub struct MatrixReport {
     pub audited_jobs: usize,
     /// Total audit violations across all audited jobs (expected 0).
     pub audit_violations: usize,
+    /// Jobs that succeeded only after retries.
+    pub retried_jobs: usize,
+    /// Jobs that failed outright (panicked or timed out).
+    pub failed_jobs: usize,
 }
 
 impl MatrixReport {
@@ -112,8 +319,16 @@ impl MatrixReport {
         } else {
             String::new()
         };
+        let degraded = if self.retried_jobs > 0 || self.failed_jobs > 0 {
+            format!(
+                " [degraded: {} retried, {} failed]",
+                self.retried_jobs, self.failed_jobs
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}",
+            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}{degraded}",
             self.jobs, self.threads, secs, rate
         )
     }
@@ -133,6 +348,81 @@ pub fn threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Stringifies a panic payload (the common `String`/`&str` cases; anything
+/// else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt, catching panics; with a watchdog the attempt runs on
+/// a detached thread and is abandoned (not killed — the thread keeps
+/// spinning until the process exits) when the budget elapses.
+fn run_attempt<F>(attempt: &F, timeout: Option<Duration>) -> Result<ExperimentResult, JobOutcome>
+where
+    F: Fn() -> ExperimentResult + Clone + Send + 'static,
+{
+    match timeout {
+        None => catch_unwind(AssertUnwindSafe(attempt)).map_err(|p| JobOutcome::Panicked {
+            message: panic_message(p),
+        }),
+        Some(budget) => {
+            let (tx, rx) = mpsc::channel();
+            let attempt = attempt.clone();
+            std::thread::spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(&attempt)).map_err(panic_message);
+                // The receiver may have given up already; that's fine.
+                let _ = tx.send(outcome);
+            });
+            match rx.recv_timeout(budget) {
+                Ok(Ok(result)) => Ok(result),
+                Ok(Err(message)) => Err(JobOutcome::Panicked { message }),
+                Err(_) => Err(JobOutcome::TimedOut { timeout: budget }),
+            }
+        }
+    }
+}
+
+/// Runs one job attempt-by-attempt under a [`RetryPolicy`]: up to
+/// `1 + retries` attempts, sleeping `attempt × backoff` between them.
+/// Never panics — the closure's own panics become [`JobOutcome::Panicked`].
+///
+/// Generic over the attempt closure so tests can inject panicking, hanging
+/// or flaky work; matrix runs pass an owned [`Job`] clone.
+pub fn run_resilient_job<F>(
+    policy: RetryPolicy,
+    attempt: F,
+) -> (JobOutcome, Option<ExperimentResult>)
+where
+    F: Fn() -> ExperimentResult + Clone + Send + 'static,
+{
+    let mut last_failure = None;
+    for attempt_no in 0..=policy.retries {
+        if attempt_no > 0 && !policy.backoff.is_zero() {
+            std::thread::sleep(policy.backoff * attempt_no);
+        }
+        match run_attempt(&attempt, policy.timeout) {
+            Ok(result) => {
+                let outcome = if attempt_no == 0 {
+                    JobOutcome::Completed
+                } else {
+                    JobOutcome::Retried {
+                        attempts: attempt_no + 1,
+                    }
+                };
+                return (outcome, Some(result));
+            }
+            Err(failure) => last_failure = Some(failure),
+        }
+    }
+    (last_failure.expect("at least one attempt ran"), None)
+}
+
 /// Runs the matrix on [`threads_from_env`] workers. See
 /// [`run_matrix_with_threads`].
 pub fn run_matrix(jobs: &[Job]) -> Vec<JobResult> {
@@ -141,22 +431,14 @@ pub fn run_matrix(jobs: &[Job]) -> Vec<JobResult> {
 
 /// Runs the matrix and returns the results together with a wall-clock
 /// [`MatrixReport`] for the binary's throughput footer.
+///
+/// # Panics
+///
+/// Like [`run_matrix_with_threads`], panics if any job fails after the
+/// environment's retry budget.
 pub fn run_matrix_timed(jobs: &[Job]) -> (Vec<JobResult>, MatrixReport) {
-    let threads = threads_from_env();
-    let t0 = Instant::now();
-    let results = run_matrix_with_threads(jobs, threads);
-    let audited: Vec<_> = results
-        .iter()
-        .filter_map(|jr| jr.result.audit.as_ref())
-        .collect();
-    let report = MatrixReport {
-        jobs: jobs.len(),
-        threads: threads.min(jobs.len().max(1)),
-        elapsed: t0.elapsed(),
-        audited_jobs: audited.len(),
-        audit_violations: audited.iter().map(|a| a.violations.len()).sum(),
-    };
-    (results, report)
+    let (outcome, report) = run_matrix_resilient_timed(jobs, RetryPolicy::from_env());
+    (outcome.expect_complete(), report)
 }
 
 /// Runs every job on a pool of at most `threads` scoped worker threads and
@@ -164,17 +446,65 @@ pub fn run_matrix_timed(jobs: &[Job]) -> (Vec<JobResult>, MatrixReport) {
 ///
 /// Workers pull jobs from a shared atomic cursor (dynamic load balancing:
 /// long simulations don't serialise behind short ones). A panicking job
-/// does not poison the pool — remaining jobs still run — and the panic is
-/// re-raised on the caller's thread after the pool drains, prefixed with
-/// the failing job's name.
+/// does not poison the pool — remaining jobs still run — and the failure
+/// is re-raised on the caller's thread after the pool drains, carrying the
+/// failing job's index and name. The watchdog/retry knobs from
+/// [`RetryPolicy::from_env`] apply; with the environment unset this is a
+/// plain single-attempt run.
 ///
 /// # Panics
 ///
-/// Re-raises the first (in input order) job panic.
+/// Re-raises the first (in input order) job failure with the full failure
+/// manifest.
 pub fn run_matrix_with_threads(jobs: &[Job], threads: usize) -> Vec<JobResult> {
+    run_matrix_resilient_with_threads(jobs, RetryPolicy::from_env(), threads).expect_complete()
+}
+
+/// Crash-proof matrix run on [`threads_from_env`] workers: never panics,
+/// returns a [`JobOutcome`] for every job. See
+/// [`run_matrix_resilient_with_threads`].
+pub fn run_matrix_resilient(jobs: &[Job], policy: RetryPolicy) -> MatrixOutcome {
+    run_matrix_resilient_with_threads(jobs, policy, threads_from_env())
+}
+
+/// Crash-proof matrix run with a wall-clock [`MatrixReport`] (including
+/// degraded-job counts) for the binary's footer.
+pub fn run_matrix_resilient_timed(
+    jobs: &[Job],
+    policy: RetryPolicy,
+) -> (MatrixOutcome, MatrixReport) {
+    let threads = threads_from_env();
+    let t0 = Instant::now();
+    let outcome = run_matrix_resilient_with_threads(jobs, policy, threads);
+    let audited: Vec<_> = outcome
+        .reports
+        .iter()
+        .filter_map(|r| r.result.as_ref().and_then(|res| res.audit.as_ref()))
+        .collect();
+    let report = MatrixReport {
+        jobs: jobs.len(),
+        threads: threads.min(jobs.len().max(1)),
+        elapsed: t0.elapsed(),
+        audited_jobs: audited.len(),
+        audit_violations: audited.iter().map(|a| a.violations.len()).sum(),
+        retried_jobs: outcome.retried_jobs(),
+        failed_jobs: outcome.failed_jobs(),
+    };
+    (outcome, report)
+}
+
+/// Crash-proof matrix run: every job gets `1 + policy.retries` attempts
+/// behind `catch_unwind` (and a watchdog when `policy.timeout` is set),
+/// and the returned [`MatrixOutcome`] has one report per input job, in
+/// input order — healthy results survive neighbouring crashes and hangs.
+pub fn run_matrix_resilient_with_threads(
+    jobs: &[Job],
+    policy: RetryPolicy,
+    threads: usize,
+) -> MatrixOutcome {
     let threads = threads.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<std::thread::Result<ExperimentResult>>>> =
+    let slots: Vec<Mutex<Option<(JobOutcome, Option<ExperimentResult>)>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
@@ -182,32 +512,33 @@ pub fn run_matrix_with_threads(jobs: &[Job], threads: usize) -> Vec<JobResult> {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let outcome = catch_unwind(AssertUnwindSafe(|| job.run()));
+                // Owned clone so watchdog attempts can move to a detached
+                // thread (cheap: kernels are behind `Arc`).
+                let owned = job.clone();
+                let outcome = run_resilient_job(policy, move || owned.run());
                 *slots[i].lock().unwrap() = Some(outcome);
             });
         }
     });
 
-    slots
+    let reports = slots
         .into_iter()
         .zip(jobs)
-        .map(|(slot, job)| {
-            let outcome = slot
+        .enumerate()
+        .map(|(index, (slot, job))| {
+            let (outcome, result) = slot
                 .into_inner()
                 .unwrap_or_else(|e| e.into_inner())
                 .unwrap_or_else(|| panic!("job `{}` was never executed", job.name));
-            match outcome {
-                Ok(result) => JobResult {
-                    name: job.name.clone(),
-                    result,
-                },
-                Err(payload) => {
-                    eprintln!("experiment job `{}` panicked; re-raising", job.name);
-                    resume_unwind(payload)
-                }
+            JobReport {
+                index,
+                name: job.name.clone(),
+                outcome,
+                result,
             }
         })
-        .collect()
+        .collect();
+    MatrixOutcome { reports }
 }
 
 #[cfg(test)]
@@ -281,6 +612,8 @@ mod tests {
             elapsed: Duration::from_secs(2),
             audited_jobs: 0,
             audit_violations: 0,
+            retried_jobs: 0,
+            failed_jobs: 0,
         };
         let f = r.footer();
         assert!(f.contains("10 jobs"), "{f}");
@@ -289,6 +622,10 @@ mod tests {
         assert!(
             !f.contains("audit"),
             "unaudited runs keep the old footer: {f}"
+        );
+        assert!(
+            !f.contains("degraded"),
+            "clean runs keep the old footer: {f}"
         );
     }
 
@@ -300,9 +637,26 @@ mod tests {
             elapsed: Duration::from_secs(2),
             audited_jobs: 10,
             audit_violations: 0,
+            retried_jobs: 0,
+            failed_jobs: 0,
         };
         let f = r.footer();
         assert!(f.contains("[audit: 10/10 jobs, 0 violations]"), "{f}");
+    }
+
+    #[test]
+    fn footer_reports_degraded_jobs() {
+        let r = MatrixReport {
+            jobs: 10,
+            threads: 4,
+            elapsed: Duration::from_secs(2),
+            audited_jobs: 0,
+            audit_violations: 0,
+            retried_jobs: 2,
+            failed_jobs: 1,
+        };
+        let f = r.footer();
+        assert!(f.contains("[degraded: 2 retried, 1 failed]"), "{f}");
     }
 
     #[test]
@@ -315,5 +669,126 @@ mod tests {
         assert!(audit.is_clean(), "{audit}");
         assert_eq!(report.audited_jobs, 1);
         assert_eq!(report.audit_violations, 0);
+        assert_eq!(report.retried_jobs, 0);
+        assert_eq!(report.failed_jobs, 0);
+    }
+
+    #[test]
+    fn resilient_matrix_reports_every_job_and_keeps_healthy_results() {
+        let mut jobs = tiny_jobs(3);
+        jobs[1].gpu.max_cycles = 1;
+        jobs[1].name = "doomed".into();
+        let outcome = run_matrix_resilient_with_threads(&jobs, RetryPolicy::none(), 3);
+        assert_eq!(outcome.reports.len(), 3);
+        for (i, report) in outcome.reports.iter().enumerate() {
+            assert_eq!(report.index, i);
+            assert_eq!(report.name, jobs[i].name);
+        }
+        assert_eq!(outcome.reports[0].outcome, JobOutcome::Completed);
+        assert!(outcome.reports[0].result.is_some());
+        assert!(outcome.reports[2].result.is_some());
+        match &outcome.reports[1].outcome {
+            JobOutcome::Panicked { message } => {
+                assert!(
+                    message.contains("doomed"),
+                    "payload names the job: {message}"
+                )
+            }
+            other => panic!("expected a panic outcome, got {other}"),
+        }
+        assert!(outcome.reports[1].result.is_none());
+        assert_eq!(outcome.failed_jobs(), 1);
+        assert_eq!(outcome.retried_jobs(), 0);
+        let manifest = outcome.failure_manifest();
+        assert!(manifest.contains("job #1 `doomed`"), "{manifest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "job #1 `doomed`")]
+    fn expect_complete_panics_with_index_and_name() {
+        let mut jobs = tiny_jobs(2);
+        jobs[1].gpu.max_cycles = 1;
+        jobs[1].name = "doomed".into();
+        run_matrix_resilient_with_threads(&jobs, RetryPolicy::none(), 2).expect_complete();
+    }
+
+    #[test]
+    fn flaky_job_succeeds_after_retries() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        let job = Arc::new(tiny_jobs(1).remove(0));
+        let calls = Arc::new(AtomicU32::new(0));
+        let policy = RetryPolicy {
+            timeout: None,
+            retries: 3,
+            backoff: Duration::ZERO,
+        };
+        let (outcome, result) = run_resilient_job(policy, {
+            let calls = Arc::clone(&calls);
+            let job = Arc::clone(&job);
+            move || {
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient failure");
+                }
+                job.run()
+            }
+        });
+        assert_eq!(outcome, JobOutcome::Retried { attempts: 3 });
+        assert!(result.is_some());
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_keep_the_last_panic() {
+        let policy = RetryPolicy {
+            timeout: None,
+            retries: 1,
+            backoff: Duration::ZERO,
+        };
+        let (outcome, result) =
+            run_resilient_job(policy, || -> ExperimentResult { panic!("always down") });
+        assert_eq!(
+            outcome,
+            JobOutcome::Panicked {
+                message: "always down".into()
+            }
+        );
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn hanging_job_times_out() {
+        let job = std::sync::Arc::new(tiny_jobs(1).remove(0));
+        let budget = Duration::from_millis(20);
+        let policy = RetryPolicy {
+            timeout: Some(budget),
+            retries: 0,
+            backoff: Duration::ZERO,
+        };
+        let (outcome, result) = run_resilient_job(policy, move || {
+            std::thread::sleep(Duration::from_secs(60));
+            job.run()
+        });
+        assert_eq!(outcome, JobOutcome::TimedOut { timeout: budget });
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn watchdog_passes_healthy_results_through() {
+        let jobs = tiny_jobs(2);
+        let plain = run_matrix_resilient_with_threads(&jobs, RetryPolicy::none(), 2);
+        let policy = RetryPolicy {
+            timeout: Some(Duration::from_secs(120)),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let watched = run_matrix_resilient_with_threads(&jobs, policy, 2);
+        for (a, b) in plain.reports.iter().zip(&watched.reports) {
+            assert_eq!(a.outcome, JobOutcome::Completed);
+            assert_eq!(b.outcome, JobOutcome::Completed);
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(ra.cycles, rb.cycles);
+            assert_eq!(ra.dynamic_energy_pj, rb.dynamic_energy_pj);
+        }
     }
 }

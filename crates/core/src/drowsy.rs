@@ -152,6 +152,8 @@ impl RegisterFileModel for DrowsyRf {
             // Dynamic energy of a drowsy MRF access ≈ the STV MRF's (the
             // array still operates at full voltage when accessed).
             partition: RfPartition::MrfStv,
+            phys_reg: reg.index(),
+            repair: None,
         }
     }
 

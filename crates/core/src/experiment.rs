@@ -6,11 +6,12 @@ use std::sync::Arc;
 
 use prf_finfet::array::ArraySpec;
 use prf_isa::{GridConfig, Kernel};
-use prf_sim::rf::RegisterFileModel;
+use prf_sim::rf::{RegisterFileModel, RepairKind};
 use prf_sim::{AuditReport, BaselineRf, Gpu, GpuConfig, SimError, SimResult, SmStats};
 
 use crate::drowsy::{DrowsyConfig, DrowsyRf};
 use crate::energy::{EnergyModel, LeakageModel};
+use crate::faults::{FaultConfig, FaultedRf, RepairCosts};
 use crate::partitioned::{PartitionedRf, PartitionedRfConfig};
 use crate::rfc::{RfcConfig, RfcModel};
 use crate::telemetry::{shared_telemetry, snapshot, RfTelemetry, SharedTelemetry};
@@ -93,6 +94,9 @@ pub struct ExperimentResult {
     pub leakage_energy_pj: f64,
     /// Leakage energy of the MRF@STV baseline over the same cycles (pJ).
     pub baseline_leakage_energy_pj: f64,
+    /// Energy premium paid repairing accesses to faulty rows (pJ), already
+    /// included in `dynamic_energy_pj`. Zero for fault-free runs.
+    pub repair_energy_pj: f64,
     /// Conservation-invariant audit, merged over launches and extended
     /// with the cross-crate checks (telemetry vs model evict events,
     /// energy recomputed from raw events). Present iff `GpuConfig::audit`.
@@ -143,7 +147,20 @@ impl std::fmt::Display for ExperimentResult {
             100.0 * self.dynamic_saving(),
             self.leakage_energy_pj / 1000.0,
             100.0 * self.leakage_saving(),
-        )
+        )?;
+        // Only degraded runs print the repair line, so fault-free output
+        // stays byte-identical to a run without any fault map attached.
+        if self.telemetry.total_fault_repairs() > 0 {
+            writeln!(
+                f,
+                "  fault repairs: {} remapped, {} spilled, {} escalated ({:.2} nJ premium)",
+                self.telemetry.fault_remaps,
+                self.telemetry.fault_spills,
+                self.telemetry.fault_escalations,
+                self.repair_energy_pj / 1000.0,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -172,6 +189,27 @@ pub fn rf_model_factory(
     }
 }
 
+/// Like [`rf_model_factory`], but when `faults` is present every model is
+/// wrapped in a [`FaultedRf`] that injects the map's faults and repairs
+/// them. `None` builds the bare models — exactly [`rf_model_factory`] —
+/// so fault-free runs stay bit-identical to runs predating fault support.
+pub fn faulted_rf_model_factory(
+    rf: &RfKind,
+    banks: usize,
+    telemetry: &SharedTelemetry,
+    faults: Option<FaultConfig>,
+) -> impl Fn(usize) -> Box<dyn RegisterFileModel> + Send + Sync + 'static {
+    let base = rf_model_factory(rf, banks, telemetry);
+    let t = Arc::clone(telemetry);
+    move |sm: usize| -> Box<dyn RegisterFileModel> {
+        let inner = base(sm);
+        match &faults {
+            Some(fc) => Box::new(FaultedRf::new(inner, fc.clone(), Arc::clone(&t))),
+            None => inner,
+        }
+    }
+}
+
 /// Runs `launches` back-to-back (sharing global memory, like a real
 /// multi-kernel workload) under the given RF organisation.
 ///
@@ -187,13 +225,34 @@ pub fn run_experiment(
     launches: &[Launch],
     mem_init: &[(u32, Vec<u32>)],
 ) -> Result<ExperimentResult, SimError> {
+    run_experiment_with_faults(gpu_config, rf, launches, mem_init, None)
+}
+
+/// [`run_experiment`] with an optional fault campaign: when `faults` is
+/// set, every SM's model runs behind a [`FaultedRf`] and the result carries
+/// the repair telemetry and energy premium ([`RepairCosts::finfet_default`]
+/// rates). The audit (when enabled) additionally balances the repair
+/// telemetry against the per-access `RfRepair` trace events and folds the
+/// premium into the energy recomputation.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (cycle-limit overruns).
+pub fn run_experiment_with_faults(
+    gpu_config: &GpuConfig,
+    rf: &RfKind,
+    launches: &[Launch],
+    mem_init: &[(u32, Vec<u32>)],
+    faults: Option<&FaultConfig>,
+) -> Result<ExperimentResult, SimError> {
     let telemetry = shared_telemetry();
     let mut gpu = Gpu::new(gpu_config.clone());
     for (base, words) in mem_init {
         gpu.global_mem().load(*base, words);
     }
 
-    let factory = rf_model_factory(rf, gpu_config.num_rf_banks, &telemetry);
+    let factory =
+        faulted_rf_model_factory(rf, gpu_config.num_rf_banks, &telemetry, faults.cloned());
     let mut per_launch = Vec::with_capacity(launches.len());
     for launch in launches {
         // `Arc::clone`, not a deep copy of the instruction stream.
@@ -263,11 +322,23 @@ pub fn run_experiment(
 
     let telemetry = snapshot(&telemetry);
 
+    // Repair premiums are charged multiplicatively from integer event
+    // counts, so the audit below can recompute them bit-exactly from the
+    // independently counted trace events.
+    let repair_costs = RepairCosts::finfet_default();
+    let repair_energy_pj = repair_costs.repair_energy_pj(
+        telemetry.fault_remaps,
+        telemetry.fault_spills,
+        telemetry.fault_escalations,
+    );
+    let dynamic_energy_pj = dynamic_energy_pj + repair_energy_pj;
+
     // Cross-crate conservation audit: extend the merged per-launch report
     // with the checks only this layer can make — the telemetry write-back
-    // counter against the model's own evict events, and the dynamic energy
-    // recomputed from raw RF-port events against the telemetry-derived
-    // value above.
+    // counter against the model's own evict events, the fault-repair
+    // telemetry against the per-access `RfRepair` trace events, and the
+    // dynamic energy recomputed from raw RF-port events against the
+    // telemetry-derived value above.
     let audit = if gpu_config.audit {
         let mut merged = AuditReport::default();
         for r in &per_launch {
@@ -282,7 +353,25 @@ pub fn run_experiment(
             cycles,
             None,
         );
-        let recomputed = energy_model.dynamic_energy_pj(&merged.rf_events, merged.rfc_evict_events);
+        for (kind, from_telemetry) in [
+            (RepairKind::Remapped, telemetry.fault_remaps),
+            (RepairKind::Spilled, telemetry.fault_spills),
+            (RepairKind::Escalated, telemetry.fault_escalations),
+        ] {
+            merged.check_counts(
+                "RF-repair telemetry conservation",
+                merged.rf_repair_events[kind.index()],
+                from_telemetry,
+                cycles,
+                None,
+            );
+        }
+        let recomputed = energy_model.dynamic_energy_pj(&merged.rf_events, merged.rfc_evict_events)
+            + repair_costs.repair_energy_pj(
+                merged.rf_repair_events[RepairKind::Remapped.index()],
+                merged.rf_repair_events[RepairKind::Spilled.index()],
+                merged.rf_repair_events[RepairKind::Escalated.index()],
+            );
         merged.check_close(
             "energy recomputation",
             dynamic_energy_pj,
@@ -305,6 +394,7 @@ pub fn run_experiment(
         baseline_dynamic_energy_pj,
         leakage_energy_pj,
         baseline_leakage_energy_pj,
+        repair_energy_pj,
         audit,
     })
 }
@@ -545,6 +635,100 @@ mod tests {
             tampered.violations[0].invariant,
             "RFC write-back conservation"
         );
+    }
+
+    #[test]
+    fn faulty_ntv_run_audits_clean_with_nonzero_repairs() {
+        use crate::faults::RepairPolicy;
+        use prf_finfet::{FaultGeometry, FaultMap, SramCell, NTV};
+
+        let gpu = GpuConfig {
+            audit: true,
+            ..small_gpu()
+        };
+        let map = FaultMap::from_montecarlo(SramCell::T8, NTV, FaultGeometry::kepler_rf(), 42);
+        let fc = FaultConfig::new(map, RepairPolicy::SpareRow { spares_per_bank: 4 });
+        let r = run_experiment_with_faults(
+            &gpu,
+            &RfKind::MrfNtv { latency: 3 },
+            &launches(),
+            &[],
+            Some(&fc),
+        )
+        .unwrap();
+        let audit = r.audit.expect("audit enabled");
+        assert!(audit.is_clean(), "{audit}");
+        assert!(
+            r.telemetry.total_fault_repairs() > 0,
+            "an NTV map must trip repairs: {}",
+            fc.map
+        );
+        assert_eq!(
+            audit.total_repair_events(),
+            r.telemetry.total_fault_repairs()
+        );
+        assert!(r.repair_energy_pj > 0.0);
+        // The premium is part of the dynamic total.
+        assert!(r.dynamic_energy_pj > r.repair_energy_pj);
+    }
+
+    #[test]
+    fn fault_free_map_is_indistinguishable_from_no_map() {
+        use crate::faults::RepairPolicy;
+        use prf_finfet::{FaultGeometry, FaultMap};
+
+        let gpu = GpuConfig {
+            audit: true,
+            ..small_gpu()
+        };
+        let rf = RfKind::MrfNtv { latency: 3 };
+        let clean = FaultConfig::new(
+            FaultMap::fault_free(FaultGeometry::kepler_rf()),
+            RepairPolicy::DisableAndSpill,
+        );
+        let with = run_experiment_with_faults(&gpu, &rf, &launches(), &[], Some(&clean)).unwrap();
+        let without = run_experiment(&gpu, &rf, &launches(), &[]).unwrap();
+        assert_eq!(with.cycles, without.cycles);
+        assert_eq!(with.stats.instructions, without.stats.instructions);
+        assert_eq!(with.dynamic_energy_pj, without.dynamic_energy_pj);
+        assert_eq!(with.repair_energy_pj, 0.0);
+        assert_eq!(with.telemetry.total_fault_repairs(), 0);
+        assert!(with.audit.as_ref().unwrap().is_clean());
+        // Identical rendered reports, including the absent repair line.
+        assert_eq!(with.to_string(), without.to_string());
+    }
+
+    #[test]
+    fn every_policy_survives_an_audited_faulty_run() {
+        use crate::faults::RepairPolicy;
+        use prf_finfet::{FaultGeometry, FaultMap, SramCell, NTV};
+
+        let gpu = GpuConfig {
+            audit: true,
+            ..small_gpu()
+        };
+        let map = FaultMap::from_montecarlo(SramCell::T8, NTV, FaultGeometry::kepler_rf(), 7);
+        for policy in [
+            RepairPolicy::SpareRow { spares_per_bank: 2 },
+            RepairPolicy::DisableAndSpill,
+            RepairPolicy::EscalateVdd,
+        ] {
+            let fc = FaultConfig::new(map.clone(), policy);
+            let r = run_experiment_with_faults(
+                &gpu,
+                &RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks)),
+                &launches(),
+                &[],
+                Some(&fc),
+            )
+            .unwrap();
+            let audit = r.audit.expect("audit enabled");
+            assert!(audit.is_clean(), "{policy:?}: {audit}");
+            assert!(
+                r.telemetry.total_fault_repairs() > 0,
+                "{policy:?} tripped no repairs"
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   ISCA 2011) used in the §V-D comparison,
 //! * [`energy`] — dynamic + leakage energy accounting on top of the
 //!   FinCACTI-like array model (§V-B),
+//! * [`FaultedRf`] — variation-aware fault injection over any RF model,
+//!   repairing stuck/weak rows by spare-row remap, disable-and-spill, or
+//!   Vdd escalation, with the premium charged into the energy accounts,
 //! * [`experiment`] — one-call experiment driver producing performance and
 //!   energy for any workload × RF-organisation pair.
 //!
@@ -46,6 +49,7 @@ pub mod chip;
 pub mod drowsy;
 pub mod energy;
 pub mod experiment;
+pub mod faults;
 pub mod indexed_table;
 pub mod partitioned;
 pub mod profile;
@@ -57,7 +61,11 @@ pub use adaptive::{AdaptiveFrf, AdaptiveFrfConfig, FrfMode};
 pub use chip::{ChipProfile, EnergyDelay};
 pub use drowsy::{DrowsyConfig, DrowsyRf, DrowsySummary};
 pub use energy::{EnergyModel, LeakageModel, GPU_CLOCK_GHZ};
-pub use experiment::{rf_model_factory, run_experiment, ExperimentResult, Launch, RfKind};
+pub use experiment::{
+    faulted_rf_model_factory, rf_model_factory, run_experiment, run_experiment_with_faults,
+    ExperimentResult, Launch, RfKind,
+};
+pub use faults::{FaultConfig, FaultedRf, RepairCosts, RepairPolicy, SpareRemapTable};
 pub use indexed_table::IndexedSwapTable;
 pub use partitioned::{PartitionedRf, PartitionedRfConfig};
 pub use profile::{compiler_hot_registers, PilotProfiler, ProfilingStrategy};

@@ -137,6 +137,8 @@ impl RegisterFileModel for PartitionedRf {
             bank: default_bank(warp_slot, phys.index(), self.config.num_banks),
             latency,
             partition,
+            phys_reg: phys.index(),
+            repair: None,
         }
     }
 

@@ -168,6 +168,8 @@ impl RegisterFileModel for RfcModel {
                         bank,
                         latency: self.config.hit_latency,
                         partition: RfPartition::RfcHit,
+                        phys_reg: reg.index(),
+                        repair: None,
                     }
                 } else {
                     self.telemetry.lock().unwrap().rfc_misses += 1;
@@ -176,6 +178,8 @@ impl RegisterFileModel for RfcModel {
                         bank,
                         latency: self.config.mrf_latency,
                         partition: RfPartition::RfcMiss,
+                        phys_reg: reg.index(),
+                        repair: None,
                     }
                 }
             }
@@ -192,6 +196,8 @@ impl RegisterFileModel for RfcModel {
                     bank,
                     latency: self.config.hit_latency,
                     partition: RfPartition::RfcHit,
+                    phys_reg: reg.index(),
+                    repair: None,
                 }
             }
         }

@@ -32,6 +32,13 @@ pub struct RfTelemetry {
     pub frf_high_epochs: u64,
     /// Epochs the adaptive FRF spent in low-power mode (all SMs).
     pub frf_low_epochs: u64,
+    /// Accesses redirected to a spare row by the fault-repair layer.
+    pub fault_remaps: u64,
+    /// Accesses spilled to the slow partition because the faulty row had
+    /// no spare (or the policy is disable-and-spill).
+    pub fault_spills: u64,
+    /// Accesses served at an escalated Vdd to mask a weak row.
+    pub fault_escalations: u64,
     /// Hot registers last installed from the *compiler* profile (SM 0).
     pub compiler_hot_regs: Vec<Reg>,
     /// Hot registers last installed from the *pilot* profile (SM 0).
@@ -83,6 +90,9 @@ impl RfTelemetry {
         self.rfc_writebacks += other.rfc_writebacks;
         self.frf_high_epochs += other.frf_high_epochs;
         self.frf_low_epochs += other.frf_low_epochs;
+        self.fault_remaps += other.fault_remaps;
+        self.fault_spills += other.fault_spills;
+        self.fault_escalations += other.fault_escalations;
         if self.compiler_hot_regs.is_empty() {
             self.compiler_hot_regs = other.compiler_hot_regs.clone();
         }
@@ -108,6 +118,14 @@ impl RfTelemetry {
         self.rfc_writebacks = div_round_nearest(self.rfc_writebacks, n);
         self.frf_high_epochs = div_round_nearest(self.frf_high_epochs, n);
         self.frf_low_epochs = div_round_nearest(self.frf_low_epochs, n);
+        self.fault_remaps = div_round_nearest(self.fault_remaps, n);
+        self.fault_spills = div_round_nearest(self.fault_spills, n);
+        self.fault_escalations = div_round_nearest(self.fault_escalations, n);
+    }
+
+    /// Total fault-repair events across all repair kinds.
+    pub fn total_fault_repairs(&self) -> u64 {
+        self.fault_remaps + self.fault_spills + self.fault_escalations
     }
 }
 
@@ -209,6 +227,9 @@ mod tests {
             rfc_writebacks: 13,
             frf_high_epochs: 3,
             frf_low_epochs: 1,
+            fault_remaps: 17,
+            fault_spills: 5,
+            fault_escalations: 2,
             ..RfTelemetry::default()
         };
         let mut merged = RfTelemetry::default();

@@ -1,0 +1,52 @@
+//! Property tests for the fault-repair layer: the spare-row allocator
+//! must stay injective (no two faulty rows share a spare) and stable (a
+//! row keeps its spare across repeated touches) for arbitrary access
+//! sequences.
+
+use prf_core::SpareRemapTable;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spare_remap_is_injective_and_stable(
+        banks in 1usize..6,
+        spares in 0usize..8,
+        touches in vec((0usize..6, 0usize..32), 0..64),
+    ) {
+        let mut table = SpareRemapTable::new(banks, spares);
+        let mut seen: Vec<((usize, usize), usize)> = Vec::new();
+        for (bank, row) in touches {
+            let bank = bank % banks;
+            match table.remap(bank, row) {
+                Some(spare) => {
+                    prop_assert!(spare < spares, "spare {spare} out of range");
+                    match seen.iter().find(|(k, _)| *k == (bank, row)) {
+                        // Stability: re-touching a row returns its spare.
+                        Some((_, prev)) => prop_assert_eq!(spare, *prev),
+                        None => {
+                            // Injectivity: a fresh row never reuses a spare
+                            // already assigned in the same bank.
+                            prop_assert!(
+                                !seen.iter().any(|((b, _), s)| *b == bank && *s == spare),
+                                "bank {bank} spare {spare} double-assigned"
+                            );
+                            seen.push(((bank, row), spare));
+                        }
+                    }
+                }
+                None => {
+                    // Exhaustion only once the bank really is full, and it
+                    // is permanent for fresh rows of that bank.
+                    let used = seen.iter().filter(|((b, _), _)| *b == bank).count();
+                    prop_assert_eq!(used, spares, "refused with spares left");
+                }
+            }
+        }
+        for bank in 0..banks {
+            prop_assert!(table.used_spares(bank) <= spares);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Deterministic, seedable fault maps derived from the Monte Carlo SNM
+//! distribution.
+//!
+//! The §IV-A yield study says *how many* cells fail at a given supply; a
+//! [`FaultMap`] says *which ones*, so the architectural layers can react.
+//! Each register-file row is classified from per-cell SNM draws at the
+//! chosen Vdd:
+//!
+//! * [`CellHealth::Stuck`] — some cell's SNM collapsed to zero: the row
+//!   cannot hold data at this supply and must be repaired at *any* voltage,
+//! * [`CellHealth::Weak`] — some cell's SNM fell below half the failure
+//!   margin: the row is unsafe in low-voltage partitions (MRF@NTV,
+//!   FRF@NTV, SRF) but fine at STV,
+//! * [`CellHealth::Healthy`] — every sampled cell clears both bars.
+//!
+//! Classification is a pure function of `(seed, bank, row)` — each row owns
+//! an independent RNG stream — so maps are bit-identical no matter how many
+//! threads build or consume them, and a map can be regenerated from its
+//! header alone. Maps also serialise to a small run-length-encoded text
+//! artifact ([`FaultMap::to_text`]) so a campaign can pin the exact fault
+//! pattern it ran against.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::device::BackGate;
+use crate::montecarlo::{sample_snm, sigma_vth_total};
+use crate::sram::{SramCell, SNM_FAIL_THRESHOLD};
+
+/// SNM below this (volts) marks a cell *weak*: unsafe at low voltage.
+/// Half the yield study's failure margin — the cell still holds data with
+/// STV-grade noise immunity but has no margin left for NTV operation.
+pub const SNM_WEAK_THRESHOLD: f64 = SNM_FAIL_THRESHOLD / 2.0;
+
+/// Health of one register-file row (worst sampled cell wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellHealth {
+    /// All sampled cells have usable margin at every supported voltage.
+    Healthy,
+    /// At least one cell is margin-less at low voltage; the row is only
+    /// safe in STV-class partitions.
+    Weak,
+    /// At least one cell's SNM collapsed to zero; the row is unusable and
+    /// must be repaired regardless of voltage.
+    Stuck,
+}
+
+impl CellHealth {
+    /// Single-letter code used by the text serialisation.
+    fn code(self) -> char {
+        match self {
+            CellHealth::Healthy => 'H',
+            CellHealth::Weak => 'W',
+            CellHealth::Stuck => 'S',
+        }
+    }
+
+    fn from_code(c: char) -> Option<CellHealth> {
+        match c {
+            'H' => Some(CellHealth::Healthy),
+            'W' => Some(CellHealth::Weak),
+            'S' => Some(CellHealth::Stuck),
+            _ => None,
+        }
+    }
+}
+
+/// Shape of the register-file array a [`FaultMap`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultGeometry {
+    /// Register-file banks.
+    pub banks: usize,
+    /// Rows per bank (one row = one warp-register entry).
+    pub rows_per_bank: usize,
+    /// Cells sampled per row (one per SIMD lane; the worst draw classifies
+    /// the row).
+    pub cells_per_row: usize,
+}
+
+impl FaultGeometry {
+    /// The single-SM Kepler-like RF of the evaluation: 8 banks × 256 rows,
+    /// sampling one cell per 32-lane word.
+    pub fn kepler_rf() -> Self {
+        FaultGeometry {
+            banks: 8,
+            rows_per_bank: 256,
+            cells_per_row: 32,
+        }
+    }
+
+    /// Total rows across all banks.
+    pub fn total_rows(&self) -> usize {
+        self.banks * self.rows_per_bank
+    }
+}
+
+/// Per-row stuck/weak classification of a register-file array at one
+/// operating point, derived deterministically from the Monte Carlo SNM
+/// distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMap {
+    /// SRAM cell the array is built from.
+    pub cell: SramCell,
+    /// Supply voltage the map was derived at (volts).
+    pub vdd: f64,
+    /// Seed of the Monte Carlo draw.
+    pub seed: u64,
+    /// Array shape.
+    pub geometry: FaultGeometry,
+    /// Row health, bank-major: index `bank * rows_per_bank + row`.
+    rows: Vec<CellHealth>,
+}
+
+/// Splitmix64-style mix of the map seed with a row coordinate, giving every
+/// row an independent, order-free RNG stream.
+fn row_seed(seed: u64, bank: u64, row: u64) -> u64 {
+    let mut z =
+        seed ^ bank.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ row.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultMap {
+    /// Derives a map for an array of `cell`s at `vdd`: every row draws
+    /// `cells_per_row` SNM samples from its own `(seed, bank, row)` stream
+    /// and is classified by its worst draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry dimension is zero.
+    pub fn from_montecarlo(
+        cell: SramCell,
+        vdd: f64,
+        geometry: FaultGeometry,
+        seed: u64,
+    ) -> FaultMap {
+        assert!(
+            geometry.banks > 0 && geometry.rows_per_bank > 0 && geometry.cells_per_row > 0,
+            "fault-map geometry must be non-empty"
+        );
+        let nominal = cell.snm(vdd, BackGate::Vdd);
+        let sigma = sigma_vth_total();
+        let mut rows = Vec::with_capacity(geometry.total_rows());
+        for bank in 0..geometry.banks {
+            for row in 0..geometry.rows_per_bank {
+                rows.push(Self::classify_row(
+                    nominal,
+                    sigma,
+                    seed,
+                    bank,
+                    row,
+                    geometry.cells_per_row,
+                ));
+            }
+        }
+        FaultMap {
+            cell,
+            vdd,
+            seed,
+            geometry,
+            rows,
+        }
+    }
+
+    /// Classifies one row: the worst of `cells` independent SNM draws from
+    /// the row's own stream. Pure in `(seed, bank, row)`, so callers may
+    /// shard banks across threads and still reproduce
+    /// [`FaultMap::from_montecarlo`] bit for bit.
+    pub fn classify_row(
+        nominal: f64,
+        sigma: f64,
+        seed: u64,
+        bank: usize,
+        row: usize,
+        cells: usize,
+    ) -> CellHealth {
+        let mut rng = StdRng::seed_from_u64(row_seed(seed, bank as u64, row as u64));
+        let mut health = CellHealth::Healthy;
+        for _ in 0..cells {
+            let snm = sample_snm(nominal, sigma, &mut rng);
+            if snm <= 0.0 {
+                return CellHealth::Stuck;
+            }
+            if snm < SNM_WEAK_THRESHOLD {
+                health = CellHealth::Weak;
+            }
+        }
+        health
+    }
+
+    /// A map with every row healthy (the no-faults control). Recorded as an
+    /// 8T array at STV with seed 0.
+    pub fn fault_free(geometry: FaultGeometry) -> FaultMap {
+        FaultMap {
+            cell: SramCell::T8,
+            vdd: crate::device::STV,
+            seed: 0,
+            geometry,
+            rows: vec![CellHealth::Healthy; geometry.total_rows()],
+        }
+    }
+
+    /// Health of row `row` in bank `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the map's geometry.
+    pub fn health(&self, bank: usize, row: usize) -> CellHealth {
+        assert!(
+            bank < self.geometry.banks && row < self.geometry.rows_per_bank,
+            "fault-map lookup ({bank},{row}) outside geometry {:?}",
+            self.geometry
+        );
+        self.rows[bank * self.geometry.rows_per_bank + row]
+    }
+
+    /// Number of stuck rows across all banks.
+    pub fn stuck_rows(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|h| **h == CellHealth::Stuck)
+            .count()
+    }
+
+    /// Number of weak (but not stuck) rows across all banks.
+    pub fn weak_rows(&self) -> usize {
+        self.rows.iter().filter(|h| **h == CellHealth::Weak).count()
+    }
+
+    /// True when every row is healthy — models then behave exactly as if
+    /// no map were attached.
+    pub fn is_fault_free(&self) -> bool {
+        self.rows.iter().all(|h| *h == CellHealth::Healthy)
+    }
+
+    /// Serialises the map to a small text artifact: a header with the
+    /// operating point and geometry, then the row stream run-length encoded
+    /// bank-major (`H120 W3 S1 ...`).
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "faultmap v1\ncell={} vdd={:?} seed={}\nbanks={} rows_per_bank={} cells_per_row={}\n",
+            self.cell,
+            self.vdd,
+            self.seed,
+            self.geometry.banks,
+            self.geometry.rows_per_bank,
+            self.geometry.cells_per_row,
+        );
+        let mut runs: Vec<(CellHealth, usize)> = Vec::new();
+        for &h in &self.rows {
+            match runs.last_mut() {
+                Some((last, n)) if *last == h => *n += 1,
+                _ => runs.push((h, 1)),
+            }
+        }
+        for (i, (h, n)) in runs.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push(h.code());
+            s.push_str(&n.to_string());
+        }
+        s.push('\n');
+        s
+    }
+
+    /// Parses a map serialised by [`FaultMap::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line, unknown cell or
+    /// health code, or row-count mismatch against the declared geometry.
+    pub fn from_text(text: &str) -> Result<FaultMap, String> {
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or("empty fault map")?;
+        if magic.trim() != "faultmap v1" {
+            return Err(format!("bad fault-map header {magic:?}"));
+        }
+        let mut fields = std::collections::HashMap::new();
+        for line in lines.by_ref().take(2) {
+            for kv in line.split_whitespace() {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed field {kv:?}"))?;
+                fields.insert(k.to_string(), v.to_string());
+            }
+        }
+        let field = |k: &str| -> Result<String, String> {
+            fields.get(k).cloned().ok_or(format!("missing field `{k}`"))
+        };
+        let cell = match field("cell")?.as_str() {
+            "6T" => SramCell::T6,
+            "8T" => SramCell::T8,
+            "9T" => SramCell::T9,
+            "10T" => SramCell::T10,
+            other => return Err(format!("unknown cell {other:?}")),
+        };
+        let parse_num = |k: &str| -> Result<usize, String> {
+            field(k)?.parse().map_err(|e| format!("field `{k}`: {e}"))
+        };
+        let vdd: f64 = field("vdd")?
+            .parse()
+            .map_err(|e| format!("field `vdd`: {e}"))?;
+        let seed: u64 = field("seed")?
+            .parse()
+            .map_err(|e| format!("field `seed`: {e}"))?;
+        let geometry = FaultGeometry {
+            banks: parse_num("banks")?,
+            rows_per_bank: parse_num("rows_per_bank")?,
+            cells_per_row: parse_num("cells_per_row")?,
+        };
+        let mut rows = Vec::with_capacity(geometry.total_rows());
+        for token in lines.flat_map(str::split_whitespace) {
+            let mut chars = token.chars();
+            let code = chars.next().ok_or("empty run token")?;
+            let health =
+                CellHealth::from_code(code).ok_or_else(|| format!("unknown health {code:?}"))?;
+            let n: usize = chars
+                .as_str()
+                .parse()
+                .map_err(|e| format!("run token {token:?}: {e}"))?;
+            rows.extend(std::iter::repeat_n(health, n));
+        }
+        if rows.len() != geometry.total_rows() {
+            return Err(format!(
+                "fault map declares {} rows but encodes {}",
+                geometry.total_rows(),
+                rows.len()
+            ));
+        }
+        Ok(FaultMap {
+            cell,
+            vdd,
+            seed,
+            geometry,
+            rows,
+        })
+    }
+}
+
+impl std::fmt::Display for FaultMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault map: {} @ {:.2} V seed {} — {} rows, {} stuck, {} weak",
+            self.cell,
+            self.vdd,
+            self.seed,
+            self.geometry.total_rows(),
+            self.stuck_rows(),
+            self.weak_rows(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{NTV, STV};
+
+    fn small_geometry() -> FaultGeometry {
+        FaultGeometry {
+            banks: 4,
+            rows_per_bank: 64,
+            cells_per_row: 32,
+        }
+    }
+
+    #[test]
+    fn ntv_map_has_faults_stv_map_is_nearly_clean() {
+        let ntv = FaultMap::from_montecarlo(SramCell::T8, NTV, FaultGeometry::kepler_rf(), 42);
+        assert!(ntv.weak_rows() > 0, "{ntv}");
+        assert!(ntv.stuck_rows() > 0, "{ntv}");
+        assert!(!ntv.is_fault_free());
+        // At STV the 8T cell has 52 mV more nominal margin: the same
+        // variation budget produces (essentially) no failures.
+        let stv = FaultMap::from_montecarlo(SramCell::T8, STV, FaultGeometry::kepler_rf(), 42);
+        assert!(stv.stuck_rows() == 0, "{stv}");
+        assert!(stv.weak_rows() < ntv.weak_rows() / 10, "{stv} vs {ntv}");
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_across_serial_and_sharded_builds() {
+        // The satellite determinism requirement: the map is a pure function
+        // of the seed. Build it serially, then rebuild it with every bank
+        // classified on its own thread, and require exact equality.
+        let g = small_geometry();
+        let serial = FaultMap::from_montecarlo(SramCell::T8, NTV, g, 7);
+        let nominal = SramCell::T8.snm(NTV, BackGate::Vdd);
+        let sigma = sigma_vth_total();
+        let sharded: Vec<CellHealth> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..g.banks)
+                .map(|bank| {
+                    s.spawn(move || {
+                        (0..g.rows_per_bank)
+                            .map(|row| {
+                                FaultMap::classify_row(
+                                    nominal,
+                                    sigma,
+                                    7,
+                                    bank,
+                                    row,
+                                    g.cells_per_row,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut rebuilt = Vec::new();
+        for b in 0..g.banks {
+            for r in 0..g.rows_per_bank {
+                rebuilt.push(serial.health(b, r));
+            }
+        }
+        assert_eq!(sharded, rebuilt);
+        // And a straight re-run is equal too.
+        assert_eq!(serial, FaultMap::from_montecarlo(SramCell::T8, NTV, g, 7));
+        // Different seeds disagree somewhere.
+        assert_ne!(serial, FaultMap::from_montecarlo(SramCell::T8, NTV, g, 8));
+    }
+
+    #[test]
+    fn fault_free_map_is_fault_free() {
+        let m = FaultMap::fault_free(small_geometry());
+        assert!(m.is_fault_free());
+        assert_eq!(m.stuck_rows(), 0);
+        assert_eq!(m.weak_rows(), 0);
+        assert_eq!(m.health(3, 63), CellHealth::Healthy);
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let m = FaultMap::from_montecarlo(SramCell::T8, NTV, small_geometry(), 99);
+        let back = FaultMap::from_text(&m.to_text()).unwrap();
+        assert_eq!(m, back);
+        let clean = FaultMap::fault_free(small_geometry());
+        assert_eq!(clean, FaultMap::from_text(&clean.to_text()).unwrap());
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(FaultMap::from_text("").is_err());
+        assert!(FaultMap::from_text("faultmap v2\n").is_err());
+        let truncated = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                         banks=2 rows_per_bank=4 cells_per_row=8\nH7\n";
+        assert!(FaultMap::from_text(truncated).unwrap_err().contains("rows"));
+        let bad_code = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                        banks=2 rows_per_bank=4 cells_per_row=8\nH7 X1\n";
+        assert!(FaultMap::from_text(bad_code).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside geometry")]
+    fn out_of_range_lookup_panics() {
+        FaultMap::fault_free(small_geometry()).health(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_geometry_rejected() {
+        FaultMap::from_montecarlo(
+            SramCell::T8,
+            NTV,
+            FaultGeometry {
+                banks: 0,
+                rows_per_bank: 1,
+                cells_per_row: 1,
+            },
+            0,
+        );
+    }
+}

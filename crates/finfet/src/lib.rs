@@ -11,6 +11,9 @@
 //! * [`sram`] — 6T/8T/9T/10T cells with SNM vs voltage (Table III SNMs),
 //! * [`montecarlo`] — LER + work-function-variation yield analysis
 //!   (the §IV-A cell-selection study),
+//! * [`faults`] — deterministic per-row stuck/weak fault maps derived from
+//!   the Monte Carlo SNM distribution (consumed by the architectural
+//!   repair policies in `prf-core`),
 //! * [`mod@array`] — FinCACTI-like access-energy / leakage / area / timing
 //!   estimator (Table IV; RFC port-scaling anchors of §V-D),
 //! * [`cam`] — the swapping-table CAM (105/95/55 ps RTL anchors, §III-B).
@@ -28,6 +31,7 @@ pub mod array;
 pub mod cam;
 pub mod delay;
 pub mod device;
+pub mod faults;
 pub mod montecarlo;
 pub mod sram;
 
@@ -37,5 +41,6 @@ pub use array::{
 pub use cam::{SwapTableCam, TechNode};
 pub use delay::{chain_delay_ns, fig1_sweep, DelayPoint};
 pub use device::{BackGate, FinFet, NTV, STV, VTH};
-pub use montecarlo::{snm_yield, YieldResult};
+pub use faults::{CellHealth, FaultGeometry, FaultMap, SNM_WEAK_THRESHOLD};
+pub use montecarlo::{sample_snm, snm_yield, YieldResult};
 pub use sram::SramCell;

@@ -64,6 +64,22 @@ fn normal(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
+/// Draws one Monte Carlo SNM sample for a cell with nominal margin
+/// `nominal` under per-half Vth sigma `sigma`.
+///
+/// The two storage halves each receive an independent Gaussian Vth shift;
+/// their *mismatch* erodes the margin at [`SNM_MISMATCH_SENSITIVITY`] per
+/// volt, floored at zero (a fully collapsed butterfly curve). This is the
+/// shared per-sample kernel behind both [`snm_yield`] and the fault-map
+/// derivation in [`crate::faults`]; it consumes exactly two Gaussian
+/// draws, keeping historical `snm_yield` streams bit-identical.
+pub fn sample_snm(nominal: f64, sigma: f64, rng: &mut StdRng) -> f64 {
+    let left = normal(rng) * sigma;
+    let right = normal(rng) * sigma;
+    let mismatch = (left - right).abs();
+    (nominal - SNM_MISMATCH_SENSITIVITY * mismatch).max(0.0)
+}
+
 /// Runs a Monte Carlo SNM analysis of `cell` at `vdd`.
 ///
 /// Each sample perturbs the two storage-node transistor pairs with
@@ -92,10 +108,7 @@ pub fn snm_yield(
     for _ in 0..samples {
         // Mismatch between the two cell halves: difference of two
         // independent Vth shifts per half.
-        let left = normal(&mut rng) * sigma;
-        let right = normal(&mut rng) * sigma;
-        let mismatch = (left - right).abs();
-        let snm = (nominal - SNM_MISMATCH_SENSITIVITY * mismatch).max(0.0);
+        let snm = sample_snm(nominal, sigma, &mut rng);
         sum += snm;
         sum_sq += snm * snm;
         if snm < min {
@@ -130,6 +143,25 @@ mod tests {
         assert_eq!(a, b);
         let c = snm_yield(SramCell::T8, NTV, BackGate::Vdd, 2000, 43);
         assert_ne!(a.snm_mean, c.snm_mean);
+    }
+
+    #[test]
+    fn snm_samples_are_bit_identical_for_fixed_seed() {
+        // Stronger than comparing summary statistics: the raw per-sample
+        // stream must reproduce bit for bit, because the fault maps in
+        // `crate::faults` classify individual draws.
+        let draw = |seed: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nominal = SramCell::T8.snm(NTV, BackGate::Vdd);
+            let sigma = sigma_vth_total();
+            (0..1000)
+                .map(|_| sample_snm(nominal, sigma, &mut rng))
+                .collect()
+        };
+        let a = draw(42);
+        let b = draw(42);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_ne!(draw(43), a);
     }
 
     #[test]

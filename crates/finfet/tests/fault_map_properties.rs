@@ -1,0 +1,45 @@
+//! Property tests for the fault-map artifact: text serialisation must
+//! round-trip exactly for arbitrary operating points and geometries, and
+//! derivation must stay a pure function of the seed.
+
+use prf_finfet::faults::{FaultGeometry, FaultMap};
+use prf_finfet::sram::SramCell;
+use proptest::prelude::*;
+
+/// Strategy over the cell designs the yield study covers.
+fn cell_strategy() -> impl Strategy<Value = SramCell> {
+    (0usize..4).prop_map(|i| SramCell::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn text_round_trip_is_lossless(
+        cell in cell_strategy(),
+        vdd in 0.20f64..0.50,
+        seed in any::<u64>(),
+        banks in 1usize..6,
+        rows in 1usize..40,
+        cells in 1usize..16,
+    ) {
+        let geometry = FaultGeometry { banks, rows_per_bank: rows, cells_per_row: cells };
+        let map = FaultMap::from_montecarlo(cell, vdd, geometry, seed);
+        let back = FaultMap::from_text(&map.to_text()).unwrap();
+        prop_assert_eq!(&map, &back);
+        // A second encode of the decoded map is byte-identical too.
+        prop_assert_eq!(map.to_text(), back.to_text());
+    }
+
+    #[test]
+    fn derivation_is_pure_in_the_seed(
+        seed in any::<u64>(),
+        banks in 1usize..4,
+        rows in 1usize..24,
+    ) {
+        let geometry = FaultGeometry { banks, rows_per_bank: rows, cells_per_row: 8 };
+        let a = FaultMap::from_montecarlo(SramCell::T8, 0.30, geometry, seed);
+        let b = FaultMap::from_montecarlo(SramCell::T8, 0.30, geometry, seed);
+        prop_assert_eq!(a, b);
+    }
+}

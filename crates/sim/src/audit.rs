@@ -35,7 +35,7 @@
 
 use std::fmt;
 
-use crate::rf::{AccessKind, RfPartition};
+use crate::rf::{AccessKind, RepairKind, RfPartition};
 use crate::stats::{PartitionAccessCounts, SmStats};
 use crate::trace::TraceEvent;
 
@@ -94,6 +94,10 @@ pub struct AuditReport {
     /// Dirty-eviction write-backs reported by the register-file model
     /// (RFC); cross-checked against telemetry by `prf-core`.
     pub rfc_evict_events: u64,
+    /// Observed `RfRepair` events, dense by [`RepairKind::index`]
+    /// (remapped, spilled, escalated); cross-checked per kind against
+    /// `SmStats::rf_repairs` here and against telemetry by `prf-core`.
+    pub rf_repair_events: [u64; 3],
     /// Invariant checks evaluated.
     pub checks: u64,
     /// Violations found (empty on a clean run).
@@ -106,6 +110,12 @@ impl AuditReport {
         self.violations.is_empty()
     }
 
+    /// Total observed repair events of any kind (faulty accesses kept
+    /// usable: remapped + spilled + escalated).
+    pub fn total_repair_events(&self) -> u64 {
+        self.rf_repair_events.iter().sum()
+    }
+
     /// Folds another report (another SM, launch, or seed) into this one.
     pub fn merge(&mut self, other: &AuditReport) {
         self.issue_events += other.issue_events;
@@ -116,6 +126,13 @@ impl AuditReport {
         self.sb_reserve_events += other.sb_reserve_events;
         self.sb_release_events += other.sb_release_events;
         self.rfc_evict_events += other.rfc_evict_events;
+        for (a, b) in self
+            .rf_repair_events
+            .iter_mut()
+            .zip(other.rf_repair_events.iter())
+        {
+            *a += b;
+        }
         self.checks += other.checks;
         self.violations.extend(other.violations.iter().cloned());
     }
@@ -192,6 +209,7 @@ pub struct Auditor {
     collects_mem: u64,
     collector_allocs: u64,
     rf_events: PartitionAccessCounts,
+    rf_repairs: [u64; 3],
     writebacks: u64,
     lsu_completes: u64,
     sb_reserves: u64,
@@ -211,6 +229,7 @@ impl Auditor {
             collects_mem: 0,
             collector_allocs: 0,
             rf_events: PartitionAccessCounts::new(),
+            rf_repairs: [0; 3],
             writebacks: 0,
             lsu_completes: 0,
             sb_reserves: 0,
@@ -236,6 +255,9 @@ impl Auditor {
             }
             TraceEvent::RfWrite { partition, .. } => {
                 self.rf_events.record(partition, AccessKind::Write);
+            }
+            TraceEvent::RfRepair { repair, .. } => {
+                self.rf_repairs[repair.index()] += 1;
             }
             TraceEvent::Writeback { .. } => self.writebacks += 1,
             TraceEvent::LsuComplete { .. } => self.lsu_completes += 1,
@@ -307,6 +329,7 @@ impl Auditor {
             sb_reserve_events: self.sb_reserves,
             sb_release_events: self.sb_releases,
             rfc_evict_events: rfc_evictions,
+            rf_repair_events: self.rf_repairs,
             checks: 0,
             violations: self.violations,
         };
@@ -376,6 +399,17 @@ impl Auditor {
             final_cycle,
             Some(sm),
         );
+        for k in RepairKind::ALL {
+            let expected = stats.repairs(k);
+            let observed = report.rf_repair_events[k.index()];
+            report.check_counts(
+                "RF-repair conservation",
+                expected,
+                observed,
+                final_cycle,
+                Some(sm),
+            );
+        }
         report
     }
 }
@@ -532,6 +566,58 @@ mod tests {
         assert_eq!(merged.checks, clean.checks + dirty.checks);
         assert_eq!(merged.violations.len(), 1);
         assert!(!merged.is_clean());
+    }
+
+    #[test]
+    fn repair_events_balance_against_stats() {
+        let (mut a, mut stats) = balanced_auditor();
+        a.observe(&TraceEvent::RfRepair {
+            cycle: 2,
+            sm: 0,
+            repair: RepairKind::Remapped,
+        });
+        a.observe(&TraceEvent::RfRepair {
+            cycle: 7,
+            sm: 0,
+            repair: RepairKind::Spilled,
+        });
+        stats.record_repair(RepairKind::Remapped);
+        stats.record_repair(RepairKind::Spilled);
+        let report = a.finish(&stats, 0, 10);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.rf_repair_events, [1, 1, 0]);
+        assert_eq!(report.total_repair_events(), 2);
+    }
+
+    #[test]
+    fn dropped_repair_event_is_caught() {
+        // The model repaired an access (stats counter bumped) but the
+        // pipeline never emitted the RfRepair event: conservation breaks.
+        let (a, mut stats) = balanced_auditor();
+        stats.record_repair(RepairKind::Escalated);
+        let report = a.finish(&stats, 0, 10);
+        assert!(!report.is_clean());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "RF-repair conservation")
+            .expect("must flag the dropped repair");
+        assert!(v.detail.contains("expected 1, observed 0"));
+    }
+
+    #[test]
+    fn merged_reports_sum_repair_events() {
+        let mut a = AuditReport {
+            rf_repair_events: [1, 2, 3],
+            ..AuditReport::default()
+        };
+        let b = AuditReport {
+            rf_repair_events: [10, 0, 1],
+            ..AuditReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rf_repair_events, [11, 2, 4]);
+        assert_eq!(a.total_repair_events(), 17);
     }
 
     #[test]

@@ -209,13 +209,14 @@ impl OperandCollector {
     ///
     /// Arbitration: for each bank, the oldest writeback wins first, then
     /// the oldest pending collector read. `on_access` fires once per
-    /// *granted* access with its partition — the energy-accounting event.
-    /// Returns the instructions that finished collection and the writes
-    /// that completed this cycle.
+    /// *granted* access with the full resolved access (partition for
+    /// energy accounting, repair for fault accounting). Returns the
+    /// instructions that finished collection and the writes that completed
+    /// this cycle.
     pub fn tick(
         &mut self,
         cycle: u64,
-        mut on_access: impl FnMut(RfPartition, AccessKind),
+        mut on_access: impl FnMut(ResolvedAccess, AccessKind),
     ) -> (Vec<CollectedInstr>, Vec<CompletedWrite>) {
         // 1. Completed writes.
         let mut done_writes = Vec::new();
@@ -240,7 +241,7 @@ impl OperandCollector {
                 granted_bank[bank] = true;
                 let lat = u64::from(req.access.latency.max(1));
                 self.bank_busy_until[bank] = cycle + self.occupancy(req.access.latency);
-                on_access(req.access.partition, AccessKind::Write);
+                on_access(req.access, AccessKind::Write);
                 self.inflight_writes.push((
                     cycle + lat,
                     CompletedWrite {
@@ -279,7 +280,7 @@ impl OperandCollector {
                     let lat = u64::from(pr.access.latency.max(1));
                     self.bank_busy_until[bank] = cycle + occupancy(pr.access.latency);
                     pr.ready_at = Some(cycle + lat);
-                    on_access(pr.access.partition, AccessKind::Read);
+                    on_access(pr.access, AccessKind::Read);
                 } else {
                     self.bank_conflict_waits += 1;
                 }
@@ -323,6 +324,8 @@ mod tests {
             bank,
             latency,
             partition,
+            phys_reg: bank,
+            repair: None,
         }
     }
 
@@ -521,7 +524,7 @@ mod tests {
         oc.allocate(0, &[srf], CollectDest::Memory, 1);
         let mut seen = Vec::new();
         for cyc in 0..5 {
-            oc.tick(cyc, |p, k| seen.push((p, k)));
+            oc.tick(cyc, |a, k| seen.push((a.partition, k)));
         }
         assert_eq!(seen, vec![(RfPartition::Srf, AccessKind::Read)]);
     }

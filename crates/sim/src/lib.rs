@@ -41,7 +41,8 @@ pub use gpu::{Gpu, SimError};
 pub use mem::{GlobalMemory, SharedMemory};
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use rf::{
-    AccessKind, BaselineRf, RegisterFileModel, ResolvedAccess, RfPartition, WarpLifecycle,
+    AccessKind, BaselineRf, RegisterFileModel, RepairKind, ResolvedAccess, RfPartition,
+    WarpLifecycle,
 };
 pub use sm::{KernelImage, Sm};
 pub use stats::{PartitionAccessCounts, RegisterAccessHistogram, SimResult, SmStats};

@@ -91,6 +91,55 @@ impl fmt::Display for RfPartition {
     }
 }
 
+/// How a faulty row was kept usable (graceful-degradation accounting).
+///
+/// Produced by the fault-injection wrapper in `prf-core` when an access
+/// lands on a row its `FaultMap` marks stuck or weak; healthy accesses
+/// carry no repair. Each kind charges a distinct energy/latency premium
+/// and is conserved by the audit layer (faulty = remapped + spilled +
+/// escalated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepairKind {
+    /// The row was remapped to a per-bank spare row (one extra decode
+    /// cycle, small energy premium).
+    Remapped,
+    /// The row was disabled and the access spilled to the slow partition
+    /// (SRF latency and energy).
+    Spilled,
+    /// The access ran with the row's supply escalated to STV for the
+    /// cycle (no latency cost; pays the STV energy delta).
+    Escalated,
+}
+
+impl RepairKind {
+    /// All repair kinds (dense, for per-kind counters).
+    pub const ALL: [RepairKind; 3] = [
+        RepairKind::Remapped,
+        RepairKind::Spilled,
+        RepairKind::Escalated,
+    ];
+
+    /// Index into dense per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RepairKind::Remapped => 0,
+            RepairKind::Spilled => 1,
+            RepairKind::Escalated => 2,
+        }
+    }
+}
+
+impl fmt::Display for RepairKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RepairKind::Remapped => "remapped",
+            RepairKind::Spilled => "spilled",
+            RepairKind::Escalated => "escalated",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A resolved register-file access: where it goes and how long it takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolvedAccess {
@@ -100,6 +149,13 @@ pub struct ResolvedAccess {
     pub latency: u32,
     /// The physical structure serviced (energy class).
     pub partition: RfPartition,
+    /// Physical register index inside the bank's address space (drives the
+    /// fault-map row lookup; equals the architectural index for models
+    /// without renaming).
+    pub phys_reg: usize,
+    /// Repair applied when the access hit a faulty row (`None` for
+    /// healthy rows and fault-free runs).
+    pub repair: Option<RepairKind>,
 }
 
 /// Context passed to the model when a warp starts or finishes on the SM.
@@ -228,6 +284,8 @@ impl RegisterFileModel for BaselineRf {
             bank: default_bank(warp_slot, reg.index(), self.num_banks),
             latency: self.latency,
             partition: self.partition,
+            phys_reg: reg.index(),
+            repair: None,
         }
     }
 
@@ -290,6 +348,25 @@ mod tests {
         assert_eq!(a.latency, 3);
         assert_eq!(a.partition, RfPartition::MrfNtv);
         assert!(rf.name().contains("NTV"));
+    }
+
+    #[test]
+    fn repair_kind_indices_are_dense_and_unique() {
+        let mut seen = [false; 3];
+        for k in RepairKind::ALL {
+            assert!(!seen[k.index()], "duplicate index for {k}");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(RepairKind::Spilled.to_string(), "spilled");
+    }
+
+    #[test]
+    fn baseline_resolution_carries_no_repair() {
+        let mut rf = BaselineRf::stv(24);
+        let a = rf.resolve(3, Reg(5), AccessKind::Read, 0);
+        assert_eq!(a.phys_reg, 5);
+        assert_eq!(a.repair, None);
     }
 
     #[test]

@@ -634,32 +634,49 @@ impl Sm {
         }
 
         // 3. Operand collectors + bank arbiter. The RF-port callback feeds
-        // the stats counter and (disjoint borrows) the event sinks, so the
-        // audit's independent copy sees exactly the granted accesses.
+        // the stats counters and (disjoint borrows) the event sinks, so the
+        // audit's independent copy sees exactly the granted accesses —
+        // including the repair premium of accesses that landed on faulty
+        // rows.
         let stats_pa = &mut self.stats.partition_accesses;
+        let stats_repairs = &mut self.stats.rf_repairs;
         let trace = &mut self.trace;
         let mut audit = self.audit.as_mut();
         let sm_id = self.id;
         let observing = trace.enabled() || audit.is_some();
-        let (collected, completed_writes) = self.collector.tick(cycle, |p, k| {
-            stats_pa.record(p, k);
+        let (collected, completed_writes) = self.collector.tick(cycle, |access, k| {
+            stats_pa.record(access.partition, k);
+            if let Some(repair) = access.repair {
+                stats_repairs[repair.index()] += 1;
+            }
             if observing {
                 let ev = match k {
                     AccessKind::Read => TraceEvent::RfRead {
                         cycle,
                         sm: sm_id,
-                        partition: p,
+                        partition: access.partition,
                     },
                     AccessKind::Write => TraceEvent::RfWrite {
                         cycle,
                         sm: sm_id,
-                        partition: p,
+                        partition: access.partition,
                     },
                 };
                 if let Some(a) = audit.as_deref_mut() {
                     a.observe(&ev);
                 }
                 trace.record(ev);
+                if let Some(repair) = access.repair {
+                    let rev = TraceEvent::RfRepair {
+                        cycle,
+                        sm: sm_id,
+                        repair,
+                    };
+                    if let Some(a) = audit.as_deref_mut() {
+                        a.observe(&rev);
+                    }
+                    trace.record(rev);
+                }
             }
         });
         for c in collected {

@@ -6,7 +6,7 @@ use std::fmt;
 
 use prf_isa::{Reg, MAX_ARCH_REGS};
 
-use crate::rf::{AccessKind, RfPartition};
+use crate::rf::{AccessKind, RepairKind, RfPartition};
 
 /// Integer division rounded to the nearest integer (half away from zero).
 ///
@@ -249,6 +249,9 @@ pub struct SmStats {
     /// Sum of active lanes over all issued instructions (for SIMD
     /// efficiency: divide by `32 * instructions`).
     pub active_lane_sum: u64,
+    /// Granted accesses that landed on a faulty row and were repaired,
+    /// dense by [`RepairKind::index`] (remapped, spilled, escalated).
+    pub rf_repairs: [u64; 3],
 }
 
 impl SmStats {
@@ -280,6 +283,9 @@ impl SmStats {
         self.divergent_branches += other.divergent_branches;
         self.total_branches += other.total_branches;
         self.active_lane_sum += other.active_lane_sum;
+        for (a, b) in self.rf_repairs.iter_mut().zip(other.rf_repairs.iter()) {
+            *a += b;
+        }
     }
 
     /// Divides every counter by `n` (rounding to nearest), turning a merge
@@ -307,6 +313,24 @@ impl SmStats {
         self.divergent_branches = div_round_nearest(self.divergent_branches, n);
         self.total_branches = div_round_nearest(self.total_branches, n);
         self.active_lane_sum = div_round_nearest(self.active_lane_sum, n);
+        for c in self.rf_repairs.iter_mut() {
+            *c = div_round_nearest(*c, n);
+        }
+    }
+
+    /// Records one repaired access.
+    pub fn record_repair(&mut self, kind: RepairKind) {
+        self.rf_repairs[kind.index()] += 1;
+    }
+
+    /// Repaired accesses of one kind.
+    pub fn repairs(&self, kind: RepairKind) -> u64 {
+        self.rf_repairs[kind.index()]
+    }
+
+    /// Repaired accesses of any kind.
+    pub fn total_repairs(&self) -> u64 {
+        self.rf_repairs.iter().sum()
     }
 
     /// Mean SIMD efficiency: active lanes per issued instruction over the
@@ -480,6 +504,9 @@ mod tests {
         one.partition_accesses
             .record(RfPartition::Srf, AccessKind::Read);
         one.per_warp.entry((0, 1)).or_default().record_n(Reg(2), 55);
+        one.record_repair(RepairKind::Spilled);
+        one.record_repair(RepairKind::Remapped);
+        one.record_repair(RepairKind::Remapped);
 
         let mut merged = SmStats::new();
         for _ in 0..3 {
@@ -487,6 +514,9 @@ mod tests {
         }
         merged.scale_down(3);
         assert_eq!(merged.instructions, one.instructions);
+        assert_eq!(merged.rf_repairs, one.rf_repairs);
+        assert_eq!(merged.total_repairs(), 3);
+        assert_eq!(merged.repairs(RepairKind::Remapped), 2);
         assert_eq!(merged.active_cycles, one.active_cycles);
         assert_eq!(merged.mem_transactions, one.mem_transactions);
         assert_eq!(merged.reg_accesses, one.reg_accesses);

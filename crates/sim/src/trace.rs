@@ -15,7 +15,7 @@ use std::fmt;
 
 use prf_isa::Reg;
 
-use crate::rf::RfPartition;
+use crate::rf::{RepairKind, RfPartition};
 
 /// One pipeline event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +90,17 @@ pub enum TraceEvent {
         /// Physical partition that serviced the write.
         partition: RfPartition,
     },
+    /// A granted register-file access landed on a faulty row and was kept
+    /// usable by a repair policy — the energy-accounting event for repair
+    /// premiums, emitted alongside the access's `RfRead`/`RfWrite`.
+    RfRepair {
+        /// Cycle of the event.
+        cycle: u64,
+        /// SM index.
+        sm: usize,
+        /// How the faulty row was repaired.
+        repair: RepairKind,
+    },
     /// A destination-register write completed in the register file and the
     /// owning instruction retired.
     Writeback {
@@ -143,6 +154,7 @@ impl TraceEvent {
             | TraceEvent::Collect { cycle, .. }
             | TraceEvent::RfRead { cycle, .. }
             | TraceEvent::RfWrite { cycle, .. }
+            | TraceEvent::RfRepair { cycle, .. }
             | TraceEvent::Writeback { cycle, .. }
             | TraceEvent::LsuComplete { cycle, .. }
             | TraceEvent::ScoreboardReserve { cycle, .. }
@@ -193,6 +205,9 @@ impl fmt::Display for TraceEvent {
                 partition,
             } => {
                 write!(f, "[{cycle:>8}] sm{sm} rf-write {partition}")
+            }
+            TraceEvent::RfRepair { cycle, sm, repair } => {
+                write!(f, "[{cycle:>8}] sm{sm} rf-repair {repair}")
             }
             TraceEvent::Writeback {
                 cycle,
@@ -351,24 +366,29 @@ mod tests {
                 sm: 0,
                 partition: RfPartition::FrfHigh,
             },
-            TraceEvent::Writeback {
+            TraceEvent::RfRepair {
                 cycle: 6,
+                sm: 0,
+                repair: RepairKind::Spilled,
+            },
+            TraceEvent::Writeback {
+                cycle: 7,
                 sm: 0,
                 warp: 2,
                 reg: Reg(7),
             },
             TraceEvent::LsuComplete {
-                cycle: 7,
-                sm: 0,
-                warp: 2,
-            },
-            TraceEvent::ScoreboardReserve {
                 cycle: 8,
                 sm: 0,
                 warp: 2,
             },
-            TraceEvent::ScoreboardRelease {
+            TraceEvent::ScoreboardReserve {
                 cycle: 9,
+                sm: 0,
+                warp: 2,
+            },
+            TraceEvent::ScoreboardRelease {
+                cycle: 10,
                 sm: 0,
                 warp: 2,
             },
@@ -379,9 +399,10 @@ mod tests {
         assert!(events[0].to_string().contains("collect->mem"));
         assert!(events[1].to_string().contains("rf-read SRF"));
         assert!(events[2].to_string().contains("rf-write FRF_high"));
-        assert!(events[3].to_string().contains("writeback r7"));
-        assert!(events[4].to_string().contains("lsu-complete"));
-        assert!(events[5].to_string().contains("sb-reserve"));
-        assert!(events[6].to_string().contains("sb-release"));
+        assert!(events[3].to_string().contains("rf-repair spilled"));
+        assert!(events[4].to_string().contains("writeback r7"));
+        assert!(events[5].to_string().contains("lsu-complete"));
+        assert!(events[6].to_string().contains("sb-reserve"));
+        assert!(events[7].to_string().contains("sb-release"));
     }
 }
