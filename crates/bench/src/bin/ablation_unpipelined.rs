@@ -7,7 +7,7 @@
 //! well as latency. It quantifies why the microarchitectural framing
 //! ("latency, not bandwidth") is load-bearing for the whole design.
 
-use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_reported, Cell};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::{GpuConfig, SchedulerPolicy};
 
@@ -41,7 +41,7 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, run_report) = run_cells_reported("ablation_unpipelined", &cells, SEEDS);
 
     println!(
         "{:<14} {:>16} {:>16}",
@@ -68,4 +68,5 @@ fn main() {
     println!("accesses stay on the 1-cycle FRF — the paper's argument, sharpened.");
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

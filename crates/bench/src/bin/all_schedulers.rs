@@ -2,7 +2,7 @@
 //! the GTO and the fetch group schedulers. Our technique shows a
 //! consistent performance across all the schedulers."
 
-use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_reported, Cell};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -39,7 +39,7 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, run_report) = run_cells_reported("all_schedulers", &cells, SEEDS);
 
     println!(
         "{:<8} {:>16} {:>14}",
@@ -66,4 +66,5 @@ fn main() {
     println!("column shows the consistency claim of §V.");
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

@@ -13,7 +13,7 @@
 //! per-register counts from the all-warp average, and (b) whether its
 //! top-4 set matches the global top-4.
 
-use prf_bench::{experiment_gpu, header, mean};
+use prf_bench::{experiment_gpu, header, mean, SingleRunReporter};
 use prf_core::RfKind;
 use prf_isa::MAX_ARCH_REGS;
 use prf_sim::SchedulerPolicy;
@@ -32,8 +32,10 @@ fn main() {
         "workload", "warps", "mean |Δ| counts", "top-4 agreement"
     );
     let (mut devs, mut agrees) = (Vec::new(), Vec::new());
+    let mut reporter = SingleRunReporter::new("analysis_code_dynamics");
     for w in prf_workloads::suite() {
         let r = prf_bench::run_workload(&w, &gpu, &RfKind::MrfStv);
+        reporter.add(w.name, &r);
         let per_warp = &r.stats.per_warp;
         if per_warp.len() < 2 {
             continue;
@@ -88,4 +90,11 @@ fn main() {
         100.0 * mean(&devs),
         100.0 * mean(&agrees)
     );
+    reporter
+        .report
+        .add_metric("mean_count_deviation", mean(&devs));
+    reporter
+        .report
+        .add_metric("mean_top4_agreement", mean(&agrees));
+    reporter.finish();
 }

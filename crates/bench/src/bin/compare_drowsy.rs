@@ -7,7 +7,7 @@
 //! dynamic and leakage energy. This binary quantifies that argument on
 //! the benchmark suite.
 
-use prf_bench::{experiment_gpu, geomean, header, mean, run_workload_averaged};
+use prf_bench::{experiment_gpu, geomean, header, mean, run_workload_averaged, SingleRunReporter};
 use prf_core::{DrowsyConfig, LeakageModel, PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -29,10 +29,14 @@ fn main() {
         "workload", "drowsy dyn", "part dyn", "drowsy time", "part time"
     );
     let (mut d_dyn, mut p_dyn, mut d_t, mut p_t) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut reporter = SingleRunReporter::new("compare_drowsy");
     for w in prf_workloads::suite() {
         let base = run_workload_averaged(&w, &gpu, &RfKind::MrfStv, SEEDS);
         let d = run_workload_averaged(&w, &gpu, &drowsy, SEEDS);
         let p = run_workload_averaged(&w, &gpu, &part, SEEDS);
+        reporter.add(&format!("{}/mrf_stv", w.name), &base.result);
+        reporter.add(&format!("{}/drowsy", w.name), &d.result);
+        reporter.add(&format!("{}/partitioned", w.name), &p.result);
         println!(
             "{:<12} {:>11.1}% {:>11.1}% {:>12.3} {:>12.3}",
             w.name,
@@ -72,4 +76,17 @@ fn main() {
     println!("Drowsy's dynamic saving is ~0 by construction (every access still runs");
     println!("the full STV array); the partitioned RF saves both. This is the paper's");
     println!("§VI argument for partitioning over power-gating/drowsy approaches.");
+    reporter
+        .report
+        .add_metric("mean_drowsy_dynamic_saving", mean(&d_dyn));
+    reporter
+        .report
+        .add_metric("mean_part_dynamic_saving", mean(&p_dyn));
+    reporter
+        .report
+        .add_metric("geomean_drowsy_time", geomean(&d_t));
+    reporter
+        .report
+        .add_metric("geomean_part_time", geomean(&p_t));
+    reporter.finish();
 }

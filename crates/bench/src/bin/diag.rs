@@ -2,17 +2,34 @@
 //! organisation. Not part of the paper reproduction — a tool for
 //! understanding where cycles go.
 
-use prf_bench::{experiment_gpu, run_workload};
+use prf_bench::{experiment_gpu, run_workload, SingleRunReporter};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
+/// Positional arguments: everything that is not an observability flag
+/// (`--sample <w>` / `--trace-out <path>` and their `=` forms take a
+/// value and are handled inside prf-bench).
+fn workload_args() -> Vec<String> {
+    let mut names = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--sample" || a == "--trace-out" {
+            let _ = args.next();
+        } else if !a.starts_with("--") {
+            names.push(a);
+        }
+    }
+    names
+}
+
 fn main() {
-    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names = workload_args();
     let sched = match std::env::var("DIAG_SCHED").as_deref() {
         Ok("lrr") => SchedulerPolicy::Lrr,
         _ => SchedulerPolicy::Gto,
     };
     let gpu = experiment_gpu(sched);
+    let mut reporter = SingleRunReporter::new("diag");
     for name in names {
         let w = prf_workloads::by_name(&name).expect("unknown workload");
         for (label, rf) in [
@@ -48,6 +65,7 @@ fn main() {
             ),
         ] {
             let r = run_workload(&w, &gpu, &rf);
+            reporter.add(&format!("{}/{label}", w.name), &r);
             println!(
                 "{:<10} {:<12} cycles {:>8} instrs {:>8} ipc {:>5.2} \
                  issue_cy {:>8} bankwait {:>9} collstall {:>7}",
@@ -74,4 +92,5 @@ fn main() {
             );
         }
     }
+    reporter.finish();
 }

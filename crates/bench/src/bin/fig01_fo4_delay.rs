@@ -5,7 +5,8 @@
 //! (0.3 V) is markedly slower than STV (0.45 V) — 3× in this model — but
 //! far faster than sub-threshold operation.
 
-use prf_bench::header;
+use prf_bench::report::CsvTable;
+use prf_bench::{header, RunReport};
 use prf_finfet::delay::{chain_delay_ns, fig1_sweep, FIG1_CHAIN_STAGES};
 use prf_finfet::{BackGate, NTV, STV, VTH};
 
@@ -42,4 +43,14 @@ fn main() {
         stv,
         ntv / stv
     );
+    let mut report = RunReport::new("fig01_fo4_delay");
+    let mut curve = CsvTable::new(["vdd_v", "delay_ns"]);
+    for p in &points {
+        curve.row([format!("{:.3}", p.vdd), format!("{:.6}", p.delay_ns)]);
+    }
+    report.add_table("fo4_delay_curve", &curve);
+    report.add_metric("ntv_delay_ns", ntv);
+    report.add_metric("stv_delay_ns", stv);
+    report.add_metric("ntv_stv_delay_ratio", ntv / stv);
+    report.write();
 }

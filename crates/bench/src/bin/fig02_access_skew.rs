@@ -6,7 +6,7 @@
 //! registers account for 72% and 77%."
 
 use prf_bench::report::{pct, CsvTable};
-use prf_bench::{experiment_gpu, header, mean, run_workload};
+use prf_bench::{experiment_gpu, header, mean, run_workload, SingleRunReporter};
 use prf_core::RfKind;
 use prf_sim::SchedulerPolicy;
 
@@ -22,8 +22,10 @@ fn main() {
     );
     let (mut t3, mut t4, mut t5) = (Vec::new(), Vec::new(), Vec::new());
     let mut csv = CsvTable::new(["workload", "top3_pct", "top4_pct", "top5_pct"]);
+    let mut reporter = SingleRunReporter::new("fig02_access_skew");
     for w in prf_workloads::suite() {
         let r = run_workload(&w, &gpu, &RfKind::MrfStv);
+        reporter.add(w.name, &r);
         let h = &r.stats.reg_accesses;
         let (a, b, c) = (h.top_share(3), h.top_share(4), h.top_share(5));
         println!(
@@ -47,4 +49,9 @@ fn main() {
         100.0 * mean(&t4),
         100.0 * mean(&t5)
     );
+    reporter.report.add_metric("mean_top3_share", mean(&t3));
+    reporter.report.add_metric("mean_top4_share", mean(&t4));
+    reporter.report.add_metric("mean_top5_share", mean(&t5));
+    reporter.report.add_table("fig02_access_skew", &csv);
+    reporter.finish();
 }

@@ -7,7 +7,7 @@
 //!   profiling phases,
 //! * Fig. 7 — the swapping-table contents at each phase.
 
-use prf_bench::{experiment_gpu, header, run_workload};
+use prf_bench::{experiment_gpu, header, run_workload, SingleRunReporter};
 use prf_core::{compiler_hot_registers, PartitionedRfConfig, RfKind, SwappingTable};
 use prf_isa::Reg;
 use prf_sim::SchedulerPolicy;
@@ -55,6 +55,8 @@ fn main() {
         &gpu,
         &RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks)),
     );
+    let mut reporter = SingleRunReporter::new("fig03_07_mechanisms");
+    reporter.add(w.name, &r);
     let launch = &r.per_launch[0];
     let pilot_done = r.telemetry.pilot_done_cycle.unwrap_or(0);
 
@@ -107,14 +109,17 @@ fn main() {
     t.apply_hot_registers(&pilot_hot);
     render_table(&t, "(right) pilot-warp data applied (reset-then-apply)");
     println!();
+    let frf_share = r
+        .stats
+        .partition_accesses
+        .fraction(prf_sim::RfPartition::FrfHigh)
+        + r.stats
+            .partition_accesses
+            .fraction(prf_sim::RfPartition::FrfLow);
     println!(
         "outcome: {:.1}% of this run's accesses were serviced by the FRF",
-        100.0
-            * (r.stats
-                .partition_accesses
-                .fraction(prf_sim::RfPartition::FrfHigh)
-                + r.stats
-                    .partition_accesses
-                    .fraction(prf_sim::RfPartition::FrfLow))
+        100.0 * frf_share
     );
+    reporter.report.add_metric("frf_access_share", frf_share);
+    reporter.finish();
 }

@@ -10,17 +10,21 @@
 //! compiler >10% *below* pilot; Category 3 — compiler >10% *above* pilot
 //! (the pilot warp is unrepresentative); optimal bounds everything.
 
-use prf_bench::{experiment_gpu, header, mean, run_workload};
+use prf_bench::{experiment_gpu, header, mean, run_workload, SingleRunReporter};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 use prf_workloads::{Category, Workload};
 
 /// Coverage of the four registers each technique identifies, per launch,
 /// aggregated over a workload's launches weighted by access volume.
-fn profile_coverages(w: &Workload, gpu: &prf_sim::GpuConfig) -> (f64, f64, f64, f64) {
+fn profile_coverages(
+    w: &Workload,
+    gpu: &prf_sim::GpuConfig,
+    reporter: &mut SingleRunReporter,
+) -> (f64, f64, f64, f64) {
     let mut totals = 0.0;
     let (mut comp, mut pilot, mut hybrid, mut optimal) = (0.0, 0.0, 0.0, 0.0);
-    for launch in &w.launches {
+    for (li, launch) in w.launches.iter().enumerate() {
         let single = Workload {
             name: w.name,
             category: w.category,
@@ -37,6 +41,8 @@ fn profile_coverages(w: &Workload, gpu: &prf_sim::GpuConfig) -> (f64, f64, f64, 
             gpu,
             &RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks)),
         );
+        reporter.add(&format!("{}/launch{li}/mrf_stv", w.name), &base);
+        reporter.add(&format!("{}/launch{li}/partitioned", w.name), &part);
         let t = &part.telemetry;
         let c_cov = hist.coverage(&t.compiler_hot_regs);
         let p_cov = hist.coverage(&t.pilot_hot_regs);
@@ -73,8 +79,9 @@ fn main() {
         "workload", "category", "compiler", "pilot", "hybrid", "optimal"
     );
     let mut cat_rows: Vec<(Category, f64, f64, f64, f64)> = Vec::new();
+    let mut reporter = SingleRunReporter::new("fig04_profiling");
     for w in prf_workloads::suite() {
-        let (c, p, h, o) = profile_coverages(&w, &gpu);
+        let (c, p, h, o) = profile_coverages(&w, &gpu, &mut reporter);
         println!(
             "{:<12} {:<11} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
             w.name,
@@ -102,4 +109,20 @@ fn main() {
             100.0 * m(|r| r.4),
         );
     }
+    let all = |f: fn(&(Category, f64, f64, f64, f64)) -> f64| {
+        mean(&cat_rows.iter().map(f).collect::<Vec<_>>())
+    };
+    reporter
+        .report
+        .add_metric("mean_compiler_coverage", all(|r| r.1));
+    reporter
+        .report
+        .add_metric("mean_pilot_coverage", all(|r| r.2));
+    reporter
+        .report
+        .add_metric("mean_hybrid_coverage", all(|r| r.3));
+    reporter
+        .report
+        .add_metric("mean_optimal_coverage", all(|r| r.4));
+    reporter.finish();
 }

@@ -7,7 +7,7 @@
 //! the FRF take place when the FRF is in the FRF_low mode"; high-compute
 //! workloads like sad and hotspot rarely enter low mode.
 
-use prf_bench::{experiment_gpu, header, mean, run_workload};
+use prf_bench::{experiment_gpu, header, mean, run_workload, SingleRunReporter};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::{RfPartition, SchedulerPolicy};
 
@@ -23,8 +23,10 @@ fn main() {
         "workload", "FRF_high", "FRF_low", "SRF", "low/FRF"
     );
     let (mut frf_tot, mut low_of_frf) = (Vec::new(), Vec::new());
+    let mut reporter = SingleRunReporter::new("fig10_access_distribution");
     for w in prf_workloads::suite() {
         let r = run_workload(&w, &gpu, &rf);
+        reporter.add(w.name, &r);
         let pa = &r.stats.partition_accesses;
         let hi = pa.fraction(RfPartition::FrfHigh);
         let lo = pa.fraction(RfPartition::FrfLow);
@@ -48,4 +50,11 @@ fn main() {
         100.0 * mean(&frf_tot),
         100.0 * mean(&low_of_frf)
     );
+    reporter
+        .report
+        .add_metric("mean_frf_access_share", mean(&frf_tot));
+    reporter
+        .report
+        .add_metric("mean_frf_low_share", mean(&low_of_frf));
+    reporter.finish();
 }

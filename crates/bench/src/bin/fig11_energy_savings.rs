@@ -6,7 +6,7 @@
 //! all the benchmarks"; a monolithic RF at NTV saves only 47%; leakage
 //! saving is 39% (FRF 21.5% + SRF 39.7% of MRF leakage).
 
-use prf_bench::{experiment_gpu, header, mean, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, header, mean, run_cells_reported, Cell};
 use prf_core::{LeakageModel, PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -27,7 +27,7 @@ fn main() {
         .iter()
         .flat_map(|w| [&plain, &adaptive, &ntv].map(|rf| Cell::new(w, &gpu, rf)))
         .collect();
-    let (results, report) = run_cells_averaged(&cells, 1);
+    let (results, report, mut run_report) = run_cells_reported("fig11_energy_savings", &cells, 1);
 
     println!(
         "{:<12} {:>12} {:>14} {:>10}",
@@ -77,4 +77,9 @@ fn main() {
     );
     println!();
     println!("{}", report.footer());
+    run_report.add_metric("mean_dynamic_saving_partitioned", mean(&s_plain));
+    run_report.add_metric("mean_dynamic_saving_adaptive", mean(&s_adapt));
+    run_report.add_metric("mean_dynamic_saving_ntv", mean(&s_ntv));
+    run_report.add_metric("leakage_saving", l.partitioned_saving());
+    run_report.write();
 }

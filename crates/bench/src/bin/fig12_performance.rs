@@ -6,7 +6,7 @@
 //! 7.1%; hybrid profiling beats compiler-only profiling by ~2%.
 
 use prf_bench::report::CsvTable;
-use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_reported, Cell};
 use prf_core::{PartitionedRfConfig, ProfilingStrategy, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -45,7 +45,7 @@ fn main() {
             ]
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, mut run_report) = run_cells_reported("fig12_performance", &cells, SEEDS);
 
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
@@ -89,4 +89,9 @@ fn main() {
     );
     println!();
     println!("{}", report.footer());
+    run_report.add_metric("geomean_part_gto", geomean(&gto_n));
+    run_report.add_metric("geomean_part_tl", geomean(&tl_n));
+    run_report.add_metric("geomean_compiler", geomean(&comp_n));
+    run_report.add_metric("geomean_mrf_ntv", geomean(&ntv_n));
+    run_report.write();
 }

@@ -12,7 +12,7 @@
 //! RFC has no performance cost but saves only ~10% of the energy.
 //! The RFC hit rate stays below ~45% at 32 active warps.
 
-use prf_bench::{experiment_gpu, header, mean, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, header, mean, run_cells_reported, Cell};
 use prf_core::{PartitionedRfConfig, RfKind, RfcConfig};
 use prf_sim::{GpuConfig, SchedulerPolicy};
 
@@ -92,7 +92,7 @@ fn main() {
             cells.push(Cell::new(w, &gpu, &RfKind::Partitioned(part_cfg.clone())));
         }
     }
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, run_report) = run_cells_reported("fig13_rfc_scaling", &cells, SEEDS);
 
     println!(
         "{:<14} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9}",
@@ -128,4 +128,5 @@ fn main() {
     println!("       RFC@STV saves only ~10% dynamic energy; partitioned savings stay flat");
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

@@ -3,7 +3,7 @@
 //! Paper: with the threshold held at the same 20%-of-issue-slots ratio,
 //! "the epoch length has a small impact on performance".
 
-use prf_bench::{experiment_gpu, geomean, header, mean, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, geomean, header, mean, run_cells_reported, Cell};
 use prf_core::{AdaptiveFrfConfig, PartitionedRfConfig, RfKind};
 use prf_sim::{RfPartition, SchedulerPolicy};
 
@@ -32,7 +32,7 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, run_report) = run_cells_reported("sens_epoch", &cells, SEEDS);
 
     println!(
         "{:<10} {:>12} {:>14} {:>16}",
@@ -72,4 +72,5 @@ fn main() {
     println!("paper: performance is insensitive to the epoch length at a fixed threshold ratio");
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

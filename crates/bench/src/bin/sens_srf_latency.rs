@@ -4,7 +4,7 @@
 //! when the access delay to the SRF is 4 cycles and 5 cycles,
 //! respectively" (relative to the 3-cycle design).
 
-use prf_bench::{experiment_gpu, geomean, header, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, geomean, header, run_cells_reported, Cell};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -31,7 +31,7 @@ fn main() {
             })
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, run_report) = run_cells_reported("sens_srf_latency", &cells, SEEDS);
 
     println!(
         "{:<12} {:>10} {:>10} {:>10}",
@@ -61,4 +61,5 @@ fn main() {
     );
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

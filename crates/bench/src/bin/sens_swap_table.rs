@@ -5,7 +5,7 @@
 //! adds one cycle to the register access pipeline then the overall
 //! performance overhead is still less than 1%."
 
-use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged};
+use prf_bench::{experiment_gpu, geomean, header, run_workload_averaged, SingleRunReporter};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -17,6 +17,7 @@ fn main() {
     let gpu = experiment_gpu(SchedulerPolicy::Gto);
     const SEEDS: u64 = 3;
     let mut cycles = [Vec::new(), Vec::new()];
+    let mut reporter = SingleRunReporter::new("sens_swap_table");
     println!("{:<12} {:>12} {:>12}", "workload", "integrated", "+1 cycle");
     for w in prf_workloads::suite() {
         let mut row = [0.0f64; 2];
@@ -26,6 +27,8 @@ fn main() {
                 ..PartitionedRfConfig::paper_default(gpu.num_rf_banks)
             };
             let r = run_workload_averaged(&w, &gpu, &RfKind::Partitioned(cfg), SEEDS);
+            let label = if extra { "+1cycle" } else { "integrated" };
+            reporter.add(&format!("{}/{label}", w.name), &r.result);
             row[i] = r.cycles as f64;
             cycles[i].push(r.cycles as f64);
         }
@@ -40,4 +43,8 @@ fn main() {
         1.0,
         g1 / g0
     );
+    reporter
+        .report
+        .add_metric("geomean_extra_cycle_overhead", g1 / g0);
+    reporter.finish();
 }

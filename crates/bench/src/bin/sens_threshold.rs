@@ -6,7 +6,7 @@
 //! performance overhead is less than 0.5%) … At this threshold 22% of the
 //! accesses to the FRF take place when the FRF is in the FRF_low mode."
 
-use prf_bench::{experiment_gpu, geomean, header, mean, run_cells_averaged, Cell};
+use prf_bench::{experiment_gpu, geomean, header, mean, run_cells_reported, Cell};
 use prf_core::{AdaptiveFrfConfig, PartitionedRfConfig, RfKind};
 use prf_sim::{RfPartition, SchedulerPolicy};
 
@@ -37,7 +37,7 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, SEEDS);
+    let (results, report, run_report) = run_cells_reported("sens_threshold", &cells, SEEDS);
 
     println!(
         "{:<10} {:>14} {:>14} {:>16}",
@@ -77,4 +77,5 @@ fn main() {
     println!("(max savings, max latency). The knee sits around the paper's 85.");
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

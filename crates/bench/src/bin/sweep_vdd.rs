@@ -6,7 +6,8 @@
 //! product of an RF array bottoms out in the near-threshold region —
 //! below it delay explodes, above it energy does.
 
-use prf_bench::header;
+use prf_bench::report::CsvTable;
+use prf_bench::{header, RunReport};
 use prf_finfet::{sweep_voltage, NTV, STV, VTH};
 
 fn main() {
@@ -50,4 +51,25 @@ fn main() {
          puts the SRF in (NTV = {NTV} V).",
         best.vdd
     );
+    let mut report = RunReport::new("sweep_vdd");
+    let mut table = CsvTable::new([
+        "vdd_v",
+        "access_energy_pj",
+        "leakage_mw",
+        "access_time_ns",
+        "energy_per_op_pj",
+    ]);
+    for p in &pts {
+        table.row([
+            format!("{:.3}", p.vdd),
+            format!("{:.3}", p.access_energy_pj),
+            format!("{:.3}", p.leakage_mw),
+            format!("{:.4}", p.access_time_ns),
+            format!("{:.3}", p.energy_per_op()),
+        ]);
+    }
+    report.add_table("vdd_sweep", &table);
+    report.add_metric("best_vdd_v", best.vdd);
+    report.add_metric("best_energy_per_op_pj", best.energy_per_op());
+    report.write();
 }

@@ -8,7 +8,7 @@
 //! reproduce the paper's *ordering*, not its absolute values — see
 //! DESIGN.md §2.4.
 
-use prf_bench::{experiment_gpu, header, run_workload};
+use prf_bench::{experiment_gpu, header, run_workload, SingleRunReporter};
 use prf_core::{PartitionedRfConfig, RfKind};
 use prf_sim::SchedulerPolicy;
 
@@ -22,9 +22,11 @@ fn main() {
         "{:<12} {:>6} {:>8} {:>12} {:>13} {:>24}",
         "workload", "regs", "thr/CTA", "pilot%(meas)", "pilot%(paper)", "occupancy (limiter)"
     );
+    let mut reporter = SingleRunReporter::new("table1_benchmarks");
     for w in prf_workloads::suite() {
         let rf = RfKind::Partitioned(PartitionedRfConfig::paper_default(gpu.num_rf_banks));
         let r = run_workload(&w, &gpu, &rf);
+        reporter.add(w.name, &r);
         // Pilot fraction of the *first* launch (pilot profiling restarts
         // per kernel; Table I reports per-kernel numbers).
         let frac = r.per_launch[0]
@@ -45,4 +47,5 @@ fn main() {
         assert_eq!(w.regs_per_thread(), w.table1.regs_per_thread);
         assert_eq!(w.threads_per_cta(), w.table1.threads_per_cta);
     }
+    reporter.finish();
 }

@@ -2,7 +2,8 @@
 //! operating voltage, ON current, and static noise margin for NTV,
 //! STV with back gate at Vdd, and STV with back gate grounded.
 
-use prf_bench::header;
+use prf_bench::report::CsvTable;
+use prf_bench::{header, RunReport};
 use prf_finfet::{BackGate, FinFet, SramCell, NTV, STV};
 
 fn main() {
@@ -19,6 +20,15 @@ fn main() {
         "{:<14} {:>8} {:>14} {:>14} {:>10} {:>10}",
         "design", "V", "Ion meas", "Ion paper", "SNM meas", "SNM paper"
     );
+    let mut report = RunReport::new("table3_sram_cells");
+    let mut table = CsvTable::new([
+        "design",
+        "vdd_v",
+        "ion_a_per_um",
+        "ion_paper",
+        "snm_v",
+        "snm_paper",
+    ]);
     for (name, vdd, bg, ion_paper, snm_paper) in rows {
         let dev = FinFet { back_gate: bg };
         let ion = dev.ion(vdd);
@@ -27,7 +37,16 @@ fn main() {
             "{:<14} {:>8.2} {:>13.4e} {:>13.4e} {:>9.3}V {:>9.3}V",
             name, vdd, ion, ion_paper, snm, snm_paper
         );
+        table.row([
+            name.to_string(),
+            format!("{vdd:.2}"),
+            format!("{ion:.4e}"),
+            format!("{ion_paper:.4e}"),
+            format!("{snm:.3}"),
+            format!("{snm_paper:.3}"),
+        ]);
     }
+    report.add_table("table3_8t_cell", &table);
     println!();
     let ratio = FinFet::dual_gate().ion(STV) / FinFet::front_gate_only().ion(STV);
     println!(
@@ -55,4 +74,8 @@ fn main() {
          6T is larger yet has only {:.3}V at STV (paper §IV-A).",
         SramCell::T6.snm(STV, BackGate::Vdd)
     );
+    report.add_metric("dual_gate_drive_ratio", ratio);
+    report.add_metric("t8_snm_ntv_v", SramCell::T8.snm(NTV, BackGate::Vdd));
+    report.add_metric("t6_snm_stv_v", SramCell::T6.snm(STV, BackGate::Vdd));
+    report.write();
 }

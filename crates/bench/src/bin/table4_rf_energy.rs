@@ -2,7 +2,8 @@
 //! register file structures and the monolithic baseline, plus the §III-B
 //! swapping-table CAM characterisation and the <10% area-overhead claim.
 
-use prf_bench::header;
+use prf_bench::report::CsvTable;
+use prf_bench::{header, RunReport};
 use prf_finfet::array::{characterize, partitioned_rf_area_mm2, ArraySpec};
 use prf_finfet::{SwapTableCam, TechNode};
 
@@ -21,13 +22,33 @@ fn main() {
         "{:<10} {:>10} {:>10} {:>11} {:>11} {:>8} {:>10}",
         "RF type", "E/acc pJ", "paper pJ", "leak mW", "paper mW", "size KB", "t_acc ns"
     );
+    let mut report = RunReport::new("table4_rf_energy");
+    let mut table = CsvTable::new([
+        "rf_type",
+        "access_energy_pj",
+        "paper_pj",
+        "leakage_mw",
+        "paper_mw",
+        "size_kb",
+        "access_time_ns",
+    ]);
     for (name, spec, e_paper, l_paper, kb) in rows {
         let c = characterize(&spec);
         println!(
             "{:<10} {:>10.2} {:>10.2} {:>11.2} {:>11.2} {:>8.0} {:>10.3}",
             name, c.access_energy_pj, e_paper, c.leakage_mw, l_paper, kb, c.access_time_ns
         );
+        table.row([
+            name.to_string(),
+            format!("{:.3}", c.access_energy_pj),
+            format!("{e_paper:.2}"),
+            format!("{:.3}", c.leakage_mw),
+            format!("{l_paper:.2}"),
+            format!("{kb:.0}"),
+            format!("{:.3}", c.access_time_ns),
+        ]);
     }
+    report.add_table("table4_rf_structures", &table);
     println!();
     let base_area = characterize(&ArraySpec::mrf_stv()).area_mm2;
     let prop_area = partitioned_rf_area_mm2();
@@ -56,4 +77,8 @@ fn main() {
         assert!(cam.fits_in_cycle_fraction(0.10), "<10% of a 900MHz cycle");
     }
     println!("all nodes < 10% of a 900 MHz clock cycle, as in §III-B");
+    report.add_metric("baseline_area_mm2", base_area);
+    report.add_metric("proposed_area_mm2", prop_area);
+    report.add_metric("area_overhead", (prop_area - base_area) / base_area);
+    report.write();
 }

@@ -9,7 +9,7 @@
 //! consumes 13.4% and 17.2% of the GTX-480 and Quadro FX5600 chips
 //! power").
 
-use prf_bench::{header, run_cells_averaged, Cell};
+use prf_bench::{header, run_cells_reported, Cell};
 use prf_core::{ChipProfile, PartitionedRfConfig, RfKind};
 use prf_sim::{GpuConfig, RfPartition, SchedulerPolicy};
 
@@ -41,7 +41,7 @@ fn main() {
             })
         })
         .collect();
-    let (results, report) = run_cells_averaged(&cells, 1);
+    let (results, report, run_report) = run_cells_reported("validation_multi_sm", &cells, 1);
 
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
@@ -80,4 +80,5 @@ fn main() {
     }
     println!();
     println!("{}", report.footer());
+    run_report.write();
 }

@@ -2,7 +2,8 @@
 //! under LER + work-function process variation, the study behind the
 //! paper's choice of the 8T cell.
 
-use prf_bench::header;
+use prf_bench::report::CsvTable;
+use prf_bench::{header, RunReport};
 use prf_finfet::montecarlo::{sigma_vth_total, snm_yield};
 use prf_finfet::{BackGate, SramCell, NTV, STV};
 
@@ -20,9 +21,26 @@ fn main() {
         "{:<6} {:>6} {:>12} {:>10} {:>10} {:>10} {:>12}",
         "cell", "Vdd", "SNM nominal", "SNM mean", "SNM std", "yield", "fails/Mcell"
     );
+    let mut report = RunReport::new("yield_mc");
+    let mut table = CsvTable::new([
+        "cell",
+        "vdd",
+        "snm_mean_v",
+        "snm_std_v",
+        "yield",
+        "fails_ppm",
+    ]);
     for cell in SramCell::ALL {
         for (vname, vdd) in [("STV", STV), ("NTV", NTV)] {
             let r = snm_yield(cell, vdd, BackGate::Vdd, 50_000, 0xC0FFEE);
+            table.row([
+                cell.to_string(),
+                vname.to_string(),
+                format!("{:.4}", r.snm_mean),
+                format!("{:.4}", r.snm_std),
+                format!("{:.6}", r.yield_fraction),
+                format!("{:.0}", r.failures_ppm()),
+            ]);
             println!(
                 "{:<6} {:>6} {:>11.3}V {:>9.3}V {:>9.3}V {:>9.2}% {:>12.0}",
                 cell.to_string(),
@@ -43,4 +61,9 @@ fn main() {
         100.0 * bg.yield_fraction,
         bg.snm_mean
     );
+    report.add_table("snm_yield", &table);
+    report.add_metric("sigma_vth_v", sigma_vth_total());
+    report.add_metric("t8_stv_bg0_yield", bg.yield_fraction);
+    report.add_metric("t8_stv_bg0_snm_mean_v", bg.snm_mean);
+    report.write();
 }

@@ -22,18 +22,23 @@
 //! | `sens_epoch` | §V-C — epoch-length sensitivity |
 //! | `yield_mc` | §IV-A — SRAM Monte Carlo yield study |
 
+pub mod bench_report;
+pub mod chrometrace;
+pub mod json;
 pub mod report;
 pub mod runner;
+
+pub use bench_report::RunReport;
 
 use std::ops::Deref;
 use std::sync::OnceLock;
 
 use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, RepairPolicy, RfKind};
 use prf_finfet::{FaultGeometry, FaultMap, SramCell};
-use prf_sim::{GpuConfig, SchedulerPolicy};
+use prf_sim::{GpuConfig, SamplingConfig, SchedulerPolicy};
 use prf_workloads::Workload;
 
-use crate::runner::Job;
+use crate::runner::{Job, RetryPolicy};
 
 /// True when the binary was invoked with `--audit`: opts every simulation
 /// into the conservation-invariant audit harness (`prf_sim::audit`). The
@@ -42,6 +47,39 @@ use crate::runner::Job;
 /// surfaced (none, unless someone broke the accounting chain).
 pub fn audit_from_args() -> bool {
     std::env::args().any(|a| a == "--audit")
+}
+
+/// The sampled-telemetry window requested via `--sample <cycles>` (or
+/// `--sample=<cycles>`), falling back to the `PRF_SAMPLE_WINDOW`
+/// environment variable. `None` — the default — disables sampling, which
+/// keeps simulation output bit-identical to builds predating telemetry.
+///
+/// # Panics
+///
+/// Panics when a window is present but not a positive integer.
+pub fn sampling_from_args() -> Option<SamplingConfig> {
+    fn parse(source: &str, v: &str) -> SamplingConfig {
+        match v.trim().parse::<u64>() {
+            Ok(w) if w >= 1 => SamplingConfig::every(w),
+            _ => panic!("{source}: sampling window `{v}` is not a positive cycle count"),
+        }
+    }
+    let mut args = std::env::args();
+    loop {
+        let Some(arg) = args.next() else { break };
+        if arg == "--sample" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--sample needs a window argument (cycles)"));
+            return Some(parse("--sample", &v));
+        }
+        if let Some(v) = arg.strip_prefix("--sample=") {
+            return Some(parse("--sample", v));
+        }
+    }
+    std::env::var("PRF_SAMPLE_WINDOW")
+        .ok()
+        .map(|v| parse("PRF_SAMPLE_WINDOW", &v))
 }
 
 /// Parses a `--faults` spec of the form `"<seed>,<vdd>"`, e.g. `"42,0.3"`.
@@ -106,11 +144,19 @@ pub fn campaign_faults() -> Option<FaultConfig> {
 
 /// The single-SM Kepler configuration used by the workload experiments
 /// (register-file behaviour is per-SM; see DESIGN.md). Honours the
-/// `--audit` command-line flag (see [`audit_from_args`]).
+/// `--audit`, `--sample` (see [`sampling_from_args`]) and `--trace-out`
+/// command-line flags — the last turns on the pipeline trace ring so the
+/// Chrome-trace exporter has events to render.
 pub fn experiment_gpu(scheduler: SchedulerPolicy) -> GpuConfig {
     GpuConfig {
         scheduler,
         audit: audit_from_args(),
+        sampling: sampling_from_args(),
+        trace_capacity: if chrometrace::trace_out_from_args().is_some() {
+            65_536
+        } else {
+            0
+        },
         ..GpuConfig::kepler_single_sm()
     }
 }
@@ -182,6 +228,9 @@ pub fn average_seed_results(results: &[ExperimentResult]) -> AveragedResult {
         merged.baseline_dynamic_energy_pj += r.baseline_dynamic_energy_pj;
         merged.leakage_energy_pj += r.leakage_energy_pj;
         merged.baseline_leakage_energy_pj += r.baseline_leakage_energy_pj;
+        // Wall-clock phases are summed, not averaged: the cell genuinely
+        // cost this much compute across its seeds.
+        merged.phases.merge(&r.phases);
         merged.per_launch.extend(r.per_launch.iter().cloned());
         if let (Some(m), Some(a)) = (merged.audit.as_mut(), r.audit.as_ref()) {
             m.merge(a);
@@ -290,6 +339,105 @@ pub fn run_cells_averaged(
         })
         .collect();
     (averaged, report)
+}
+
+/// [`run_cells_averaged`] with the observability layer attached: runs the
+/// matrix, emits the `BENCH_<bench>.json` run report (per-seed-job
+/// outcomes, timings, energy, audit status plus the matrix footer data —
+/// see [`bench_report`]), writes a Chrome trace when `--trace-out` was
+/// passed, and *then* averages. The simulation results are identical to
+/// [`run_cells_averaged`] — reporting only observes.
+///
+/// The returned [`RunReport`] still accepts metrics/tables; binaries add
+/// their figure-specific numbers and call [`RunReport::write`] at the end.
+///
+/// # Panics
+///
+/// Like [`run_cells_averaged`], panics (after writing the report, so
+/// failures are still on record) when any job fails beyond the retry
+/// budget.
+pub fn run_cells_reported(
+    bench: &str,
+    cells: &[Cell],
+    seeds: u64,
+) -> (Vec<AveragedResult>, runner::MatrixReport, RunReport) {
+    assert!(seeds >= 1);
+    let jobs: Vec<Job> = cells
+        .iter()
+        .flat_map(|c| seed_jobs(&c.workload, &c.gpu, &c.rf, seeds))
+        .collect();
+    let (outcome, report) = runner::run_matrix_resilient_timed(&jobs, RetryPolicy::from_env());
+
+    let mut run_report = RunReport::new(bench);
+    for jr in &outcome.reports {
+        run_report.add_job(&jr.name, &jr.outcome, jr.elapsed, jr.result.as_ref());
+    }
+    run_report.set_matrix(&report);
+
+    if let Some(path) = chrometrace::trace_out_from_args() {
+        let mut trace = chrometrace::ChromeTrace::new();
+        for jr in &outcome.reports {
+            trace.add_job(jr);
+        }
+        if let Err(e) = trace.write(&path) {
+            eprintln!("--trace-out: cannot write {}: {e}", path.display());
+        }
+    }
+
+    if outcome.failed_jobs() > 0 {
+        // Persist what we have before re-raising, so a crashed matrix
+        // still leaves a diffable record of which jobs died and how.
+        run_report.write();
+    }
+    let mut results = outcome.expect_complete().into_iter().map(|jr| jr.result);
+    let averaged = cells
+        .iter()
+        .map(|_| {
+            let per_seed: Vec<ExperimentResult> = results.by_ref().take(seeds as usize).collect();
+            average_seed_results(&per_seed)
+        })
+        .collect();
+    (averaged, report, run_report)
+}
+
+/// The observability wrapper for single-run binaries: a [`RunReport`] to
+/// fill, plus a Chrome trace fed from each result's pipeline events when
+/// `--trace-out` was passed. Call [`SingleRunReporter::finish`] last.
+#[derive(Debug)]
+pub struct SingleRunReporter {
+    /// The accumulating JSON run report (add metrics/tables freely).
+    pub report: RunReport,
+    trace: Option<(std::path::PathBuf, chrometrace::ChromeTrace)>,
+}
+
+impl SingleRunReporter {
+    /// Starts reporting for the named bench binary.
+    pub fn new(bench: &str) -> Self {
+        SingleRunReporter {
+            report: RunReport::new(bench),
+            trace: chrometrace::trace_out_from_args().map(|p| (p, chrometrace::ChromeTrace::new())),
+        }
+    }
+
+    /// Records one completed experiment under `name`.
+    pub fn add(&mut self, name: &str, result: &ExperimentResult) {
+        self.report.add_result(name, result);
+        if let Some((_, trace)) = &mut self.trace {
+            for launch in &result.per_launch {
+                trace.add_sim_events(&launch.trace);
+            }
+        }
+    }
+
+    /// Writes `BENCH_<bench>.json` and, when requested, the Chrome trace.
+    pub fn finish(self) {
+        self.report.write();
+        if let Some((path, trace)) = &self.trace {
+            if let Err(e) = trace.write(path) {
+                eprintln!("--trace-out: cannot write {}: {e}", path.display());
+            }
+        }
+    }
 }
 
 /// Geometric mean of a non-empty slice.

@@ -43,6 +43,16 @@ impl CsvTable {
         self
     }
 
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -77,6 +87,8 @@ impl CsvTable {
 
     /// Writes the table to `$PRF_CSV_DIR/<name>.csv` when the environment
     /// variable is set; otherwise does nothing. Returns the path written.
+    /// The name is passed through [`safe_file_name`] first, so a label
+    /// containing `/` or `..` cannot escape the configured directory.
     pub fn write_if_configured(&self, name: &str) -> Option<PathBuf> {
         let dir = std::env::var_os("PRF_CSV_DIR")?;
         let dir = PathBuf::from(dir);
@@ -84,7 +96,7 @@ impl CsvTable {
             eprintln!("PRF_CSV_DIR: cannot create {}: {e}", dir.display());
             return None;
         }
-        let path = dir.join(format!("{name}.csv"));
+        let path = dir.join(format!("{}.csv", safe_file_name(name)));
         match fs::File::create(&path).and_then(|mut f| f.write_all(self.to_csv().as_bytes())) {
             Ok(()) => {
                 eprintln!("wrote {}", path.display());
@@ -101,6 +113,25 @@ impl CsvTable {
 /// Formats a fraction as a percentage string with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}", 100.0 * x)
+}
+
+/// Restricts a report name to `[A-Za-z0-9_.-]` for use as a file stem:
+/// every other byte (path separators, spaces, `..` smuggled via `/`)
+/// becomes `_`, so names derived from job labels cannot escape the
+/// configured output directory. Empty input yields `"unnamed"`.
+///
+/// The CSV, JSON-report, and Chrome-trace writers all route file names
+/// through this.
+pub fn safe_file_name(name: &str) -> String {
+    if name.is_empty() {
+        return "unnamed".to_string();
+    }
+    name.chars()
+        .map(|c| match c {
+            'A'..='Z' | 'a'..='z' | '0'..='9' | '_' | '.' | '-' => c,
+            _ => '_',
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +171,40 @@ mod tests {
     }
 
     #[test]
+    fn safe_file_name_defuses_path_escapes() {
+        assert_eq!(safe_file_name("fig11_energy"), "fig11_energy");
+        assert_eq!(safe_file_name("../../etc/passwd"), ".._.._etc_passwd");
+        assert_eq!(safe_file_name("/absolute/path"), "_absolute_path");
+        assert_eq!(
+            safe_file_name("BFS/partitioned seed 2"),
+            "BFS_partitioned_seed_2"
+        );
+        assert_eq!(safe_file_name("nul\0byte"), "nul_byte");
+        assert_eq!(safe_file_name(""), "unnamed");
+    }
+
+    /// Serialises the tests that mutate `PRF_CSV_DIR` (the test harness
+    /// runs tests concurrently and the environment is process-global).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn write_sanitizes_hostile_names() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("prf_csv_sanitize_test");
+        std::env::set_var("PRF_CSV_DIR", &dir);
+        let mut t = CsvTable::new(["k"]);
+        t.row(["v"]);
+        let path = t.write_if_configured("../escape").expect("written");
+        std::env::remove_var("PRF_CSV_DIR");
+        // The file landed inside the directory, not beside it.
+        assert_eq!(path.parent().unwrap(), dir.as_path());
+        assert_eq!(path.file_name().unwrap(), ".._escape.csv");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn write_respects_env() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("prf_csv_test");
         std::env::set_var("PRF_CSV_DIR", &dir);
         let mut t = CsvTable::new(["k", "v"]);

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, RfKind};
+use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, PhaseTimings, RfKind};
 use prf_sim::GpuConfig;
 use prf_workloads::Workload;
 
@@ -197,6 +197,12 @@ pub struct JobReport {
     pub name: String,
     /// How the job ended.
     pub outcome: JobOutcome,
+    /// When this job started, as an offset from the matrix start (jobs
+    /// run concurrently, so offsets overlap).
+    pub started: Duration,
+    /// Wall-clock time this job occupied its worker (all attempts,
+    /// including backoff sleeps).
+    pub elapsed: Duration,
     /// The experiment result; `None` iff the outcome is a failure.
     pub result: Option<ExperimentResult>,
 }
@@ -299,18 +305,19 @@ pub struct MatrixReport {
     pub retried_jobs: usize,
     /// Jobs that failed outright (panicked or timed out).
     pub failed_jobs: usize,
+    /// Per-phase wall-clock totals summed over every successful job
+    /// (CPU-time-like: with N workers this exceeds `elapsed`).
+    pub phase_totals: PhaseTimings,
 }
 
 impl MatrixReport {
     /// One-line throughput footer, e.g.
     /// `[matrix] 45 jobs on 8 threads in 12.3 s (3.7 jobs/s)`.
     pub fn footer(&self) -> String {
+        // Clamp the denominator: a sub-millisecond matrix (empty or trivial
+        // job list) must not print `inf`/`NaN` jobs/s.
         let secs = self.elapsed.as_secs_f64();
-        let rate = if secs > 0.0 {
-            self.jobs as f64 / secs
-        } else {
-            f64::INFINITY
-        };
+        let rate = self.jobs as f64 / secs.max(1e-3);
         let audit = if self.audited_jobs > 0 {
             format!(
                 " [audit: {}/{} jobs, {} violations]",
@@ -327,8 +334,13 @@ impl MatrixReport {
         } else {
             String::new()
         };
+        let phases = if self.phase_totals.total() > Duration::ZERO {
+            format!(" [phases: {}]", self.phase_totals)
+        } else {
+            String::new()
+        };
         format!(
-            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}{degraded}",
+            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}{degraded}{phases}",
             self.jobs, self.threads, secs, rate
         )
     }
@@ -481,6 +493,12 @@ pub fn run_matrix_resilient_timed(
         .iter()
         .filter_map(|r| r.result.as_ref().and_then(|res| res.audit.as_ref()))
         .collect();
+    let mut phase_totals = PhaseTimings::default();
+    for r in outcome.healthy() {
+        if let Some(res) = &r.result {
+            phase_totals.merge(&res.phases);
+        }
+    }
     let report = MatrixReport {
         jobs: jobs.len(),
         threads: threads.min(jobs.len().max(1)),
@@ -489,6 +507,7 @@ pub fn run_matrix_resilient_timed(
         audit_violations: audited.iter().map(|a| a.violations.len()).sum(),
         retried_jobs: outcome.retried_jobs(),
         failed_jobs: outcome.failed_jobs(),
+        phase_totals,
     };
     (outcome, report)
 }
@@ -504,8 +523,9 @@ pub fn run_matrix_resilient_with_threads(
 ) -> MatrixOutcome {
     let threads = threads.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(JobOutcome, Option<ExperimentResult>)>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let t0 = Instant::now();
+    type Slot = Mutex<Option<(JobOutcome, Duration, Duration, Option<ExperimentResult>)>>;
+    let slots: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -515,8 +535,10 @@ pub fn run_matrix_resilient_with_threads(
                 // Owned clone so watchdog attempts can move to a detached
                 // thread (cheap: kernels are behind `Arc`).
                 let owned = job.clone();
-                let outcome = run_resilient_job(policy, move || owned.run());
-                *slots[i].lock().unwrap() = Some(outcome);
+                let started = t0.elapsed();
+                let job_start = Instant::now();
+                let (outcome, result) = run_resilient_job(policy, move || owned.run());
+                *slots[i].lock().unwrap() = Some((outcome, started, job_start.elapsed(), result));
             });
         }
     });
@@ -526,7 +548,7 @@ pub fn run_matrix_resilient_with_threads(
         .zip(jobs)
         .enumerate()
         .map(|(index, (slot, job))| {
-            let (outcome, result) = slot
+            let (outcome, started, elapsed, result) = slot
                 .into_inner()
                 .unwrap_or_else(|e| e.into_inner())
                 .unwrap_or_else(|| panic!("job `{}` was never executed", job.name));
@@ -534,6 +556,8 @@ pub fn run_matrix_resilient_with_threads(
                 index,
                 name: job.name.clone(),
                 outcome,
+                started,
+                elapsed,
                 result,
             }
         })
@@ -614,6 +638,7 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 0,
             failed_jobs: 0,
+            phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
         assert!(f.contains("10 jobs"), "{f}");
@@ -639,6 +664,7 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 0,
             failed_jobs: 0,
+            phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
         assert!(f.contains("[audit: 10/10 jobs, 0 violations]"), "{f}");
@@ -654,9 +680,67 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 2,
             failed_jobs: 1,
+            phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
         assert!(f.contains("[degraded: 2 retried, 1 failed]"), "{f}");
+    }
+
+    #[test]
+    fn footer_survives_sub_millisecond_matrices() {
+        // Satellite regression: a zero-duration run used to print
+        // `inf jobs/s` (and an empty matrix `NaN jobs/s`).
+        for jobs in [0, 10] {
+            let r = MatrixReport {
+                jobs,
+                threads: 4,
+                elapsed: Duration::ZERO,
+                audited_jobs: 0,
+                audit_violations: 0,
+                retried_jobs: 0,
+                failed_jobs: 0,
+                phase_totals: PhaseTimings::default(),
+            };
+            let f = r.footer();
+            assert!(!f.contains("inf"), "{f}");
+            assert!(!f.contains("NaN"), "{f}");
+        }
+    }
+
+    #[test]
+    fn footer_reports_phase_totals() {
+        let r = MatrixReport {
+            jobs: 1,
+            threads: 1,
+            elapsed: Duration::from_secs(1),
+            audited_jobs: 0,
+            audit_violations: 0,
+            retried_jobs: 0,
+            failed_jobs: 0,
+            phase_totals: PhaseTimings {
+                setup: Duration::from_millis(5),
+                simulate: Duration::from_millis(900),
+                energy: Duration::from_millis(2),
+                audit: Duration::from_millis(40),
+            },
+        };
+        let f = r.footer();
+        assert!(f.contains("[phases: "), "{f}");
+        assert!(f.contains("simulate 900.0ms"), "{f}");
+    }
+
+    #[test]
+    fn timed_matrix_measures_phases_and_job_elapsed() {
+        let jobs = tiny_jobs(2);
+        let (outcome, report) = run_matrix_resilient_timed(&jobs, RetryPolicy::none());
+        assert!(report.phase_totals.simulate > Duration::ZERO);
+        assert!(report.phase_totals.total() > Duration::ZERO);
+        for r in &outcome.reports {
+            assert!(r.elapsed > Duration::ZERO);
+            let phases = r.result.as_ref().expect("healthy job").phases;
+            // A job's phase breakdown cannot exceed its wall-clock span.
+            assert!(phases.total() <= r.elapsed + Duration::from_millis(50));
+        }
     }
 
     #[test]

@@ -51,13 +51,28 @@ impl AdaptiveFrfConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `epoch_length` is zero.
+    /// Panics if `epoch_length` is zero, or if the epoch's issue-slot
+    /// count (`epoch_length * issue_width`) does not fit the u32 hardware
+    /// threshold counter — `epoch_length as u32` used to truncate here
+    /// silently, deriving a nonsense threshold for large sweep points.
     pub fn with_epoch(epoch_length: u64, issue_width: u32) -> Self {
         assert!(epoch_length > 0, "epoch length must be positive");
-        let slots = epoch_length as u32 * issue_width;
+        let slots = epoch_length
+            .checked_mul(u64::from(issue_width))
+            .expect("epoch_length * issue_width overflows u64");
+        // slots/5 + slots*5/400, with the second term reduced to slots/80
+        // (identical for integers) so the intermediate cannot overflow.
+        let threshold = slots / 5 + slots / 80;
+        let threshold = u32::try_from(threshold).unwrap_or_else(|_| {
+            panic!(
+                "epoch of {epoch_length} cycles x {issue_width}-issue gives a \
+                 threshold of {threshold} slots, which exceeds the u32 \
+                 threshold counter"
+            )
+        });
         AdaptiveFrfConfig {
             epoch_length,
-            threshold: slots / 5 + slots * 5 / 400,
+            threshold,
         }
     }
 }
@@ -151,6 +166,26 @@ mod tests {
         assert_eq!(c.threshold, 170);
         // 50-cycle epoch recovers the paper threshold.
         assert_eq!(AdaptiveFrfConfig::with_epoch(50, 8).threshold, 85);
+    }
+
+    #[test]
+    fn with_epoch_handles_large_epochs_without_truncation() {
+        // Regression: `epoch_length as u32 * issue_width` truncated the
+        // epoch length, so epochs beyond u32::MAX slots got tiny (or
+        // wrapped) thresholds. 2^29 cycles x 8-issue = 2^32 slots is
+        // exactly the first point the old arithmetic destroyed.
+        let epoch = 1u64 << 29;
+        let c = AdaptiveFrfConfig::with_epoch(epoch, 8);
+        let slots = epoch * 8;
+        assert_eq!(u64::from(c.threshold), slots / 5 + slots / 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 threshold counter")]
+    fn with_epoch_rejects_epochs_beyond_the_hardware_counter() {
+        // 2^32 cycles x 8-issue wants a ~915M-slot threshold x 8 — over
+        // u32::MAX; the old code silently truncated instead of panicking.
+        AdaptiveFrfConfig::with_epoch(1u64 << 34, 8);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! performance plus energy.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use prf_finfet::array::ArraySpec;
 use prf_isa::{GridConfig, Kernel};
@@ -71,6 +72,50 @@ impl Launch {
     }
 }
 
+/// Wall-clock time an experiment spent in each of its phases, measured by
+/// [`run_experiment_with_faults`]. Zero-valued phases mean "not measured"
+/// (e.g. a hand-built result); the runner sums these across jobs and seeds
+/// to show where the experiment matrix actually spends its time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// GPU construction, memory loads, and model-factory setup.
+    pub setup: Duration,
+    /// The cycle-level simulation itself (all launches).
+    pub simulate: Duration,
+    /// Energy accounting (dynamic, leakage, repair premiums).
+    pub energy: Duration,
+    /// Conservation-invariant audit (zero when auditing is off).
+    pub audit: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.setup + self.simulate + self.energy + self.audit
+    }
+
+    /// Accumulates another run's timings into this one.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        self.setup += other.setup;
+        self.simulate += other.simulate;
+        self.energy += other.energy;
+        self.audit += other.audit;
+    }
+}
+
+impl std::fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "setup {:.1}ms, simulate {:.1}ms, energy {:.1}ms, audit {:.1}ms",
+            self.setup.as_secs_f64() * 1e3,
+            self.simulate.as_secs_f64() * 1e3,
+            self.energy.as_secs_f64() * 1e3,
+            self.audit.as_secs_f64() * 1e3,
+        )
+    }
+}
+
 /// Result of running a workload under one RF organisation.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -97,6 +142,8 @@ pub struct ExperimentResult {
     /// Energy premium paid repairing accesses to faulty rows (pJ), already
     /// included in `dynamic_energy_pj`. Zero for fault-free runs.
     pub repair_energy_pj: f64,
+    /// Wall-clock phase profile of this run (setup/simulate/energy/audit).
+    pub phases: PhaseTimings,
     /// Conservation-invariant audit, merged over launches and extended
     /// with the cross-crate checks (telemetry vs model evict events,
     /// energy recomputed from raw events). Present iff `GpuConfig::audit`.
@@ -245,6 +292,8 @@ pub fn run_experiment_with_faults(
     mem_init: &[(u32, Vec<u32>)],
     faults: Option<&FaultConfig>,
 ) -> Result<ExperimentResult, SimError> {
+    let mut phases = PhaseTimings::default();
+    let phase_start = Instant::now();
     let telemetry = shared_telemetry();
     let mut gpu = Gpu::new(gpu_config.clone());
     for (base, words) in mem_init {
@@ -253,12 +302,16 @@ pub fn run_experiment_with_faults(
 
     let factory =
         faulted_rf_model_factory(rf, gpu_config.num_rf_banks, &telemetry, faults.cloned());
+    phases.setup = phase_start.elapsed();
+
+    let phase_start = Instant::now();
     let mut per_launch = Vec::with_capacity(launches.len());
     for launch in launches {
         // `Arc::clone`, not a deep copy of the instruction stream.
         let r = gpu.run(Arc::clone(&launch.kernel), launch.grid, &factory)?;
         per_launch.push(r);
     }
+    phases.simulate = phase_start.elapsed();
 
     let mut stats = SmStats::new();
     let mut cycles = 0;
@@ -268,6 +321,7 @@ pub fn run_experiment_with_faults(
     }
 
     // Energy accounting.
+    let phase_start = Instant::now();
     let (energy_model, rfc_writebacks) = match rf {
         RfKind::Rfc(cfg) => {
             let spec = ArraySpec::rfc(
@@ -332,6 +386,7 @@ pub fn run_experiment_with_faults(
         telemetry.fault_escalations,
     );
     let dynamic_energy_pj = dynamic_energy_pj + repair_energy_pj;
+    phases.energy = phase_start.elapsed();
 
     // Cross-crate conservation audit: extend the merged per-launch report
     // with the checks only this layer can make — the telemetry write-back
@@ -339,6 +394,7 @@ pub fn run_experiment_with_faults(
     // telemetry against the per-access `RfRepair` trace events, and the
     // dynamic energy recomputed from raw RF-port events against the
     // telemetry-derived value above.
+    let phase_start = Instant::now();
     let audit = if gpu_config.audit {
         let mut merged = AuditReport::default();
         for r in &per_launch {
@@ -383,6 +439,7 @@ pub fn run_experiment_with_faults(
     } else {
         None
     };
+    phases.audit = phase_start.elapsed();
 
     Ok(ExperimentResult {
         rf_name: rf.name(),
@@ -395,6 +452,7 @@ pub fn run_experiment_with_faults(
         leakage_energy_pj,
         baseline_leakage_energy_pj,
         repair_energy_pj,
+        phases,
         audit,
     })
 }

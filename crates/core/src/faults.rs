@@ -308,6 +308,10 @@ impl RegisterFileModel for FaultedRf {
         self.inner.rfc_evictions()
     }
 
+    fn frf_low_mode(&self) -> Option<bool> {
+        self.inner.frf_low_mode()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

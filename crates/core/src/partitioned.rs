@@ -148,6 +148,13 @@ impl RegisterFileModel for PartitionedRf {
         }
     }
 
+    fn frf_low_mode(&self) -> Option<bool> {
+        self.config
+            .adaptive
+            .is_some()
+            .then(|| self.frf_mode() == FrfMode::Low)
+    }
+
     fn tick(&mut self, _cycle: u64, issued: u32) {
         if self.config.adaptive.is_some() {
             self.adaptive.tick(issued);

@@ -119,6 +119,12 @@ pub struct GpuConfig {
     pub max_cycles: u64,
     /// Per-SM pipeline-trace ring capacity (events). 0 disables tracing.
     pub trace_capacity: usize,
+    /// Sampled time-series telemetry: when set, each SM records
+    /// cycle-windowed counter deltas (IPC, per-partition RF traffic,
+    /// active warps, FRF mode, stall breakdown) into a preallocated
+    /// buffer ([`crate::sampling`]). `None` (the default) records nothing
+    /// and costs one branch per SM per cycle.
+    pub sampling: Option<crate::sampling::SamplingConfig>,
     /// Run the conservation-invariant auditor ([`crate::audit`]): every
     /// pipeline event is counted and cross-checked against the statistics
     /// counters at end of run. Costs a few percent of simulation speed;
@@ -156,6 +162,7 @@ impl GpuConfig {
             cta_dispatch_interval: 25,
             max_cycles: 50_000_000,
             trace_capacity: 0,
+            sampling: None,
             audit: false,
         }
     }

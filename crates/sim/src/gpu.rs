@@ -174,16 +174,21 @@ impl Gpu {
         let mut stats = SmStats::new();
         let mut per_sm_instructions = Vec::with_capacity(sms.len());
         let mut trace = Vec::new();
+        let mut samples = Vec::new();
         let mut audit = self.config.audit.then(crate::audit::AuditReport::default);
         for sm in &mut sms {
             stats.merge(&sm.stats);
             per_sm_instructions.push(sm.stats.instructions);
             trace.extend(sm.trace.drain());
+            // Close the sampler before the audit so the conservation check
+            // sees the flushed partial window.
+            sm.finish_sampling();
             if let Some(merged) = audit.as_mut() {
                 if let Some(report) = sm.finish_audit(self.cycle) {
                     merged.merge(&report);
                 }
             }
+            samples.extend(sm.take_samples());
         }
         trace.sort_by_key(|e| e.cycle());
         Ok(SimResult {
@@ -193,6 +198,7 @@ impl Gpu {
             pilot_warp_finish: pilot_finish,
             per_sm_instructions,
             trace,
+            samples,
             audit,
         })
     }

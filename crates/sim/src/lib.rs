@@ -28,6 +28,7 @@ pub mod gpu;
 pub mod mem;
 pub mod occupancy;
 pub mod rf;
+pub mod sampling;
 pub mod scheduler;
 pub mod scoreboard;
 pub mod sm;
@@ -44,6 +45,7 @@ pub use rf::{
     AccessKind, BaselineRf, RegisterFileModel, RepairKind, ResolvedAccess, RfPartition,
     WarpLifecycle,
 };
+pub use sampling::{SampleSeries, SampleWindow, SamplingConfig, SmSampler};
 pub use sm::{KernelImage, Sm};
 pub use stats::{PartitionAccessCounts, RegisterAccessHistogram, SimResult, SmStats};
 pub use trace::{TraceEvent, TraceRing};

@@ -224,6 +224,14 @@ pub trait RegisterFileModel: fmt::Debug + Send {
         0
     }
 
+    /// Telemetry hook for the sampled time-series ([`crate::sampling`]):
+    /// `Some(true)` while the model's fast partition runs in low-power
+    /// mode, `Some(false)` in high-power mode, `None` (the default) for
+    /// organisations without an adaptive FRF.
+    fn frf_low_mode(&self) -> Option<bool> {
+        None
+    }
+
     /// Model name for reports.
     fn name(&self) -> &str;
 }

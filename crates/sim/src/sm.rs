@@ -18,6 +18,7 @@ use crate::config::GpuConfig;
 use crate::exec::{execute_warp_instruction, ExecEnv};
 use crate::mem::{GlobalMemory, L1Cache, LoadStoreUnit, SharedMemory};
 use crate::rf::{AccessKind, RegisterFileModel, WarpLifecycle};
+use crate::sampling::{SampleSeries, SmSampler};
 use crate::scheduler::{build_scheduler, SchedulerEvent, WarpScheduler, WarpView};
 use crate::scoreboard::Scoreboard;
 use crate::stats::SmStats;
@@ -102,6 +103,12 @@ pub struct Sm {
     /// Conservation-invariant auditor (enabled via `GpuConfig::audit`);
     /// consumed by [`Sm::finish_audit`].
     audit: Option<Auditor>,
+    /// Windowed time-series sampler (enabled via `GpuConfig::sampling`);
+    /// consumed by [`Sm::finish_sampling`].
+    sampler: Option<SmSampler>,
+    /// The closed series, parked between [`Sm::finish_sampling`] and
+    /// [`Sm::take_samples`] so [`Sm::finish_audit`] can cross-check it.
+    samples: Option<SampleSeries>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -160,6 +167,8 @@ impl Sm {
             audit: config
                 .audit
                 .then(|| Auditor::new(id, config.max_warps_per_sm)),
+            sampler: config.sampling.map(SmSampler::new),
+            samples: None,
             image,
         }
     }
@@ -179,11 +188,37 @@ impl Sm {
         self.trace.enabled() || self.audit.is_some()
     }
 
+    /// Closes the time-series sampler (flushing the partial final window);
+    /// call once after the run, *before* [`Sm::finish_audit`] so the audit
+    /// can cross-check the series. No-op without `GpuConfig::sampling`.
+    pub fn finish_sampling(&mut self) {
+        if let Some(sampler) = self.sampler.take() {
+            self.samples = Some(sampler.finish(self.id, &self.stats, self.resident_warps()));
+        }
+    }
+
+    /// Takes the closed sampled series out of the SM (drained into
+    /// [`crate::SimResult`] by the GPU driver).
+    pub fn take_samples(&mut self) -> Option<SampleSeries> {
+        self.samples.take()
+    }
+
     /// Finalises the auditor against this SM's statistics; `None` unless
-    /// `GpuConfig::audit` was set. Call once, after the run completes.
+    /// `GpuConfig::audit` was set. Call once, after the run completes (and
+    /// after [`Sm::finish_sampling`], whose series is audited here too).
     pub fn finish_audit(&mut self, final_cycle: u64) -> Option<AuditReport> {
         let auditor = self.audit.take()?;
-        Some(auditor.finish(&self.stats, self.rf.rfc_evictions(), final_cycle))
+        let mut report = auditor.finish(&self.stats, self.rf.rfc_evictions(), final_cycle);
+        if let Some(series) = &self.samples {
+            crate::sampling::check_series_conservation(
+                &mut report,
+                series,
+                &self.stats,
+                final_cycle,
+                self.id,
+            );
+        }
+        Some(report)
     }
 
     /// Notifies the register-file model that a new kernel begins.
@@ -844,6 +879,14 @@ impl Sm {
 
         // 6. RF model per-cycle hook (adaptive FRF epoch counting).
         self.rf.tick(cycle, issued_total);
+
+        // 7. Time-series sampling (window close is amortised; off = one
+        // branch). Runs after the RF tick so the FRF-mode gauge reflects
+        // this cycle's epoch decision.
+        if let Some(sampler) = self.sampler.as_mut() {
+            let active_warps = self.warps.iter().filter(|w| w.is_some()).count();
+            sampler.on_cycle(cycle, &self.stats, active_warps, self.rf.frf_low_mode());
+        }
 
         issued_total
     }

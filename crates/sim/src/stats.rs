@@ -16,7 +16,9 @@ use crate::rf::{AccessKind, RepairKind, RfPartition};
 #[must_use]
 pub fn div_round_nearest(x: u64, n: u64) -> u64 {
     assert!(n >= 1);
-    (x + n / 2) / n
+    // `(x + n / 2) / n` would wrap for x near u64::MAX; round by looking
+    // at the remainder instead, which cannot overflow.
+    x / n + u64::from(x % n >= n.div_ceil(2))
 }
 
 /// Per-register dynamic access counts (reads + writes), the raw material of
@@ -204,7 +206,7 @@ impl fmt::Display for PartitionAccessCounts {
 }
 
 /// Statistics for one SM.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Instructions issued (warp-instructions).
     pub instructions: u64,
@@ -370,6 +372,9 @@ pub struct SimResult {
     /// Merged pipeline trace (empty unless `GpuConfig::trace_capacity` is
     /// set), sorted by cycle.
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Per-SM sampled time series (empty unless `GpuConfig::sampling` is
+    /// set), one series per SM.
+    pub samples: Vec<crate::sampling::SampleSeries>,
     /// Conservation-invariant audit report (present iff `GpuConfig::audit`
     /// was set); merged over all SMs.
     pub audit: Option<crate::audit::AuditReport>,
@@ -476,6 +481,7 @@ mod tests {
             pilot_warp_finish: Some(30),
             per_sm_instructions: vec![250],
             trace: Vec::new(),
+            samples: Vec::new(),
             audit: None,
         };
         assert!((r.ipc() - 2.5).abs() < 1e-12);
@@ -490,6 +496,23 @@ mod tests {
         assert_eq!(div_round_nearest(3, 3), 1);
         assert_eq!(div_round_nearest(5, 2), 3);
         assert_eq!(div_round_nearest(7, 1), 7);
+    }
+
+    #[test]
+    fn div_round_nearest_survives_the_u64_boundary() {
+        // Regression: `(x + n / 2) / n` wrapped here and returned ~0.
+        assert_eq!(div_round_nearest(u64::MAX, 1), u64::MAX);
+        assert_eq!(div_round_nearest(u64::MAX, 2), 1 << 63);
+        assert_eq!(div_round_nearest(u64::MAX - 1, 2), (1 << 63) - 1);
+        assert_eq!(div_round_nearest(u64::MAX, u64::MAX), 1);
+        assert_eq!(div_round_nearest(u64::MAX - 1, u64::MAX), 1);
+        assert_eq!(div_round_nearest(u64::MAX / 2, u64::MAX), 0);
+        // Half-way cases still round up (away from zero).
+        assert_eq!(div_round_nearest(3, 6), 1);
+        assert_eq!(div_round_nearest(2, 6), 0);
+        // Odd divisors: remainder of (n-1)/2 rounds down, (n+1)/2 up.
+        assert_eq!(div_round_nearest(1, 3), 0);
+        assert_eq!(div_round_nearest(2, 3), 1);
     }
 
     #[test]
