@@ -789,6 +789,88 @@ mod tests {
         }
     }
 
+    /// The full cross-product guard for the SM-parallel path: stateful RF
+    /// models (telemetry, epoch detectors, drowsy wake tracking) x
+    /// schedulers with different prioritize behaviour, all audited and
+    /// sampled, must produce bit-identical experiment results whether the
+    /// SMs step serially or on a worker pool.
+    #[test]
+    fn sm_parallel_experiments_are_bit_identical() {
+        let schedulers = [
+            prf_sim::SchedulerPolicy::Gto,
+            prf_sim::SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 2,
+            },
+        ];
+        for scheduler in schedulers {
+            let base_gpu = GpuConfig {
+                num_sms: 4,
+                audit: true,
+                trace_capacity: 1 << 12,
+                sampling: Some(prf_sim::SamplingConfig { window: 64 }),
+                scheduler,
+                ..small_gpu()
+            };
+            let kinds = [
+                RfKind::Partitioned(PartitionedRfConfig::paper_default(base_gpu.num_rf_banks)),
+                RfKind::Drowsy(DrowsyConfig::paper_adjacent(
+                    base_gpu.num_rf_banks,
+                    base_gpu.max_warps_per_sm,
+                )),
+            ];
+            for rf in kinds {
+                let serial = run_experiment(&base_gpu, &rf, &launches(), &[]).unwrap();
+                let parallel_gpu = GpuConfig {
+                    sm_threads: 4,
+                    ..base_gpu.clone()
+                };
+                let parallel = run_experiment(&parallel_gpu, &rf, &launches(), &[]).unwrap();
+                let tag = format!("{} under {scheduler:?}", rf.name());
+                assert_eq!(serial.cycles, parallel.cycles, "{tag}: cycles");
+                assert_eq!(serial.stats, parallel.stats, "{tag}: stats");
+                assert_eq!(serial.per_launch, parallel.per_launch, "{tag}: launches");
+                assert_eq!(serial.audit, parallel.audit, "{tag}: audit");
+                assert!(parallel.audit.as_ref().unwrap().is_clean(), "{tag}");
+                assert_eq!(
+                    serial.dynamic_energy_pj.to_bits(),
+                    parallel.dynamic_energy_pj.to_bits(),
+                    "{tag}: energy"
+                );
+            }
+        }
+    }
+
+    /// Skip-ahead must be invisible to audited experiments: same stats,
+    /// trace, samples, audit, and energy as the fully stepped run.
+    #[test]
+    fn skip_ahead_experiments_are_bit_identical() {
+        let base_gpu = GpuConfig {
+            num_sms: 2,
+            audit: true,
+            trace_capacity: 1 << 12,
+            sampling: Some(prf_sim::SamplingConfig { window: 64 }),
+            skip_ahead: false,
+            ..small_gpu()
+        };
+        let kinds = [
+            RfKind::MrfNtv { latency: 3 },
+            RfKind::Partitioned(PartitionedRfConfig::paper_default(base_gpu.num_rf_banks)),
+        ];
+        for rf in kinds {
+            let stepped = run_experiment(&base_gpu, &rf, &launches(), &[]).unwrap();
+            let skipping_gpu = GpuConfig {
+                skip_ahead: true,
+                ..base_gpu.clone()
+            };
+            let skipping = run_experiment(&skipping_gpu, &rf, &launches(), &[]).unwrap();
+            assert_eq!(stepped.cycles, skipping.cycles, "{}", rf.name());
+            assert_eq!(stepped.stats, skipping.stats, "{}", rf.name());
+            assert_eq!(stepped.per_launch, skipping.per_launch, "{}", rf.name());
+            assert_eq!(stepped.audit, skipping.audit, "{}", rf.name());
+            assert!(skipping.audit.as_ref().unwrap().is_clean(), "{}", rf.name());
+        }
+    }
+
     #[test]
     fn rf_kind_names() {
         assert_eq!(RfKind::MrfStv.name(), "MRF@STV");

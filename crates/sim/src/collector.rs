@@ -111,6 +111,15 @@ pub struct OperandCollector {
     /// Stat: grants denied because the bank was busy or already granted.
     pub bank_conflict_waits: u64,
     pipelined: bool,
+    /// Scratch reused across ticks: per-bank granted flags.
+    granted_scratch: Vec<bool>,
+    /// Scratch reused across ticks: occupied units in age order.
+    order_scratch: Vec<usize>,
+    /// Scratch reused across ticks: writebacks denied this cycle.
+    wb_scratch: VecDeque<WritebackRequest>,
+    /// Recycled `reads` vectors of released entries, so steady-state
+    /// allocation performs no heap allocation.
+    reads_pool: Vec<Vec<PendingRead>>,
 }
 
 impl OperandCollector {
@@ -132,6 +141,10 @@ impl OperandCollector {
             next_seq: 0,
             bank_conflict_waits: 0,
             pipelined,
+            granted_scratch: vec![false; num_banks],
+            order_scratch: Vec::with_capacity(num_units),
+            wb_scratch: VecDeque::new(),
+            reads_pool: Vec::with_capacity(num_units),
         }
     }
 
@@ -169,15 +182,15 @@ impl OperandCollector {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
+        let mut pending = self.reads_pool.pop().unwrap_or_default();
+        pending.clear();
+        pending.extend(reads.iter().map(|&access| PendingRead {
+            access,
+            ready_at: None,
+        }));
         self.units[slot] = Some(CollectorEntry {
             warp_slot,
-            reads: reads
-                .iter()
-                .map(|&access| PendingRead {
-                    access,
-                    ready_at: None,
-                })
-                .collect(),
+            reads: pending,
             dest,
             seq,
             token,
@@ -216,10 +229,28 @@ impl OperandCollector {
     pub fn tick(
         &mut self,
         cycle: u64,
-        mut on_access: impl FnMut(ResolvedAccess, AccessKind),
+        on_access: impl FnMut(ResolvedAccess, AccessKind),
     ) -> (Vec<CollectedInstr>, Vec<CompletedWrite>) {
-        // 1. Completed writes.
+        let mut collected = Vec::new();
         let mut done_writes = Vec::new();
+        self.tick_into(cycle, on_access, &mut collected, &mut done_writes);
+        (collected, done_writes)
+    }
+
+    /// The allocation-free form of [`OperandCollector::tick`]: appends the
+    /// released instructions and completed writes to caller-provided
+    /// buffers (cleared here) and reuses internal scratch for arbitration.
+    pub fn tick_into(
+        &mut self,
+        cycle: u64,
+        mut on_access: impl FnMut(ResolvedAccess, AccessKind),
+        collected: &mut Vec<CollectedInstr>,
+        done_writes: &mut Vec<CompletedWrite>,
+    ) {
+        collected.clear();
+        done_writes.clear();
+
+        // 1. Completed writes.
         self.inflight_writes.retain(|(done_at, w)| {
             if *done_at <= cycle {
                 done_writes.push(*w);
@@ -231,10 +262,13 @@ impl OperandCollector {
 
         // 2. Bank arbitration. One grant per bank per cycle.
         let num_banks = self.bank_busy_until.len();
-        let mut granted_bank = vec![false; num_banks];
+        let mut granted_bank = std::mem::take(&mut self.granted_scratch);
+        granted_bank.clear();
+        granted_bank.resize(num_banks, false);
 
         // 2a. Writebacks (age order, priority over reads).
-        let mut remaining = VecDeque::new();
+        let mut remaining = std::mem::take(&mut self.wb_scratch);
+        remaining.clear();
         while let Some(req) = self.writeback_queue.pop_front() {
             let bank = req.access.bank % num_banks;
             if !granted_bank[bank] && self.bank_busy_until[bank] <= cycle {
@@ -256,7 +290,7 @@ impl OperandCollector {
                 remaining.push_back(req);
             }
         }
-        self.writeback_queue = remaining;
+        self.wb_scratch = std::mem::replace(&mut self.writeback_queue, remaining);
 
         // 2b. Collector reads, oldest entry first.
         let pipelined = self.pipelined;
@@ -267,11 +301,11 @@ impl OperandCollector {
                 u64::from(latency.max(1))
             }
         };
-        let mut order: Vec<usize> = (0..self.units.len())
-            .filter(|&i| self.units[i].is_some())
-            .collect();
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.extend((0..self.units.len()).filter(|&i| self.units[i].is_some()));
         order.sort_by_key(|&i| self.units[i].as_ref().map(|e| e.seq));
-        for i in order {
+        for &i in &order {
             let entry = self.units[i].as_mut().expect("filtered to occupied units");
             for pr in entry.reads.iter_mut().filter(|r| r.ready_at.is_none()) {
                 let bank = pr.access.bank % num_banks;
@@ -287,8 +321,10 @@ impl OperandCollector {
             }
         }
 
+        self.order_scratch = order;
+        self.granted_scratch = granted_bank;
+
         // 3. Release fully-collected entries.
-        let mut collected = Vec::new();
         for unit in self.units.iter_mut() {
             let ready = unit.as_ref().is_some_and(|e| {
                 e.reads
@@ -296,15 +332,62 @@ impl OperandCollector {
                     .all(|r| r.ready_at.is_some_and(|t| t <= cycle))
             });
             if ready {
-                let e = unit.take().expect("checked is_some");
+                let mut e = unit.take().expect("checked is_some");
                 collected.push(CollectedInstr {
                     warp_slot: e.warp_slot,
                     dest: e.dest,
                     token: e.token,
                 });
+                e.reads.clear();
+                self.reads_pool.push(e.reads);
             }
         }
-        (collected, done_writes)
+    }
+
+    /// The next cycle (strictly after `cycle`) at which ticking the
+    /// collector could have an observable effect, or `None` when idle.
+    ///
+    /// Conservative: any state still subject to arbitration (an un-granted
+    /// read, a queued writeback, an entry whose reads are all ready) pins
+    /// the horizon to `cycle + 1`; only work waiting purely on known data
+    /// latencies (granted reads in flight, writes draining) reports its
+    /// real completion time. An early wake-up is always safe — the skipped
+    /// span is exactly the cycles where `tick` provably does nothing.
+    pub fn next_event(&self, cycle: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut merge = |t: u64| {
+            let t = t.max(cycle + 1);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if !self.writeback_queue.is_empty() {
+            merge(cycle + 1);
+        }
+        for &(done_at, _) in &self.inflight_writes {
+            merge(done_at);
+        }
+        for entry in self.units.iter().flatten() {
+            let mut all_ready_now = true;
+            for r in &entry.reads {
+                match r.ready_at {
+                    None => {
+                        // Still competing for a bank: retry next cycle.
+                        merge(cycle + 1);
+                        all_ready_now = false;
+                    }
+                    Some(t) => {
+                        if t > cycle {
+                            merge(t);
+                            all_ready_now = false;
+                        }
+                    }
+                }
+            }
+            if all_ready_now {
+                // Fully collected: the entry releases on the next tick.
+                merge(cycle + 1);
+            }
+        }
+        next
     }
 
     /// True when no instruction or write is outstanding.
@@ -527,6 +610,32 @@ mod tests {
             oc.tick(cyc, |a, k| seen.push((a.partition, k)));
         }
         assert_eq!(seen, vec![(RfPartition::Srf, AccessKind::Read)]);
+    }
+
+    #[test]
+    fn next_event_is_conservative_and_tracks_data_return() {
+        let mut oc = OperandCollector::new(4, 24, true);
+        assert_eq!(oc.next_event(0), None, "idle collector has no horizon");
+        let slow = acc(0, 3, RfPartition::Srf);
+        oc.allocate(
+            0,
+            &[slow],
+            CollectDest::Execute {
+                latency: 1,
+                writeback: None,
+            },
+            1,
+        );
+        // Un-granted read: must retry next cycle.
+        assert_eq!(oc.next_event(0), Some(1));
+        oc.tick(0, |_, _| {}); // grant at 0, data ready at 3
+        assert_eq!(oc.next_event(0), Some(3), "waiting purely on data return");
+        let (c, _) = oc.tick(3, |_, _| {});
+        assert_eq!(c.len(), 1);
+        assert_eq!(oc.next_event(3), None);
+        // A queued writeback pins the horizon to the next cycle.
+        oc.request_writeback(0, Reg(0), stv(0), 9);
+        assert_eq!(oc.next_event(3), Some(4));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use prf_isa::{Dst, Instruction, Opcode, Operand, ReconvergenceTable, SpecialReg, WARP_SIZE};
 
-use crate::mem::{GlobalMemory, SharedMemory};
+use crate::mem::{GmemView, SharedMemory};
 use crate::warp::WarpContext;
 
 /// Geometry facts the executor needs to evaluate special registers.
@@ -51,6 +51,23 @@ impl ExecOutcome {
             branch: None,
         }
     }
+
+    /// An empty outcome reusing `addrs` as the address buffer — the SM's
+    /// issue path recycles retired instructions' buffers through a pool so
+    /// steady-state execution performs no per-instruction allocation.
+    pub fn with_buffer(mut addrs: Vec<u32>) -> Self {
+        addrs.clear();
+        ExecOutcome {
+            global_addrs: addrs,
+            ..Self::none()
+        }
+    }
+}
+
+impl Default for ExecOutcome {
+    fn default() -> Self {
+        Self::none()
+    }
 }
 
 fn lane_operand(warp: &WarpContext, env: &ExecEnv, lane: usize, op: Operand) -> u32 {
@@ -86,12 +103,29 @@ pub fn execute_warp_instruction(
     instr: &Instruction,
     rt: &ReconvergenceTable,
     env: &ExecEnv,
-    global: &mut GlobalMemory,
+    global: &mut GmemView<'_>,
     shared: &mut SharedMemory,
 ) -> ExecOutcome {
+    let mut outcome = ExecOutcome::none();
+    execute_warp_instruction_into(warp, instr, rt, env, global, shared, &mut outcome);
+    outcome
+}
+
+/// [`execute_warp_instruction`] writing into a caller-provided outcome
+/// (typically built with [`ExecOutcome::with_buffer`] from a recycled
+/// address buffer, keeping the issue path allocation-free).
+#[allow(clippy::missing_panics_doc)] // same contract as the wrapper above
+pub fn execute_warp_instruction_into(
+    warp: &mut WarpContext,
+    instr: &Instruction,
+    rt: &ReconvergenceTable,
+    env: &ExecEnv,
+    global: &mut GmemView<'_>,
+    shared: &mut SharedMemory,
+    outcome: &mut ExecOutcome,
+) {
     let pc = warp.stack.pc().expect("executing an exited warp");
     let active = warp.stack.active_mask();
-    let mut outcome = ExecOutcome::none();
     outcome.active_lanes = active.count_ones();
 
     // Lanes where the guard holds.
@@ -114,7 +148,7 @@ pub fn execute_warp_instruction(
             let not_taken = active & !guard_mask;
             outcome.branch = Some(guard_mask != 0 && not_taken != 0);
             warp.stack.branch(pc, target, guard_mask, rt);
-            return outcome;
+            return;
         }
         Opcode::Exit => {
             // Exit applies to guarded lanes; unguarded exit retires all
@@ -130,12 +164,12 @@ pub fn execute_warp_instruction(
             } else {
                 warp.stack.exit_lanes(guard_mask);
             }
-            return outcome;
+            return;
         }
         Opcode::Bar => {
             outcome.hit_barrier = true;
             warp.stack.advance(pc + 1);
-            return outcome;
+            return;
         }
         _ => {}
     }
@@ -148,12 +182,17 @@ pub fn execute_warp_instruction(
         guard_mask
     };
 
-    // Shuffle needs a snapshot of the source register across lanes.
-    let shfl_snapshot: Option<Vec<u32>> = if instr.opcode == Opcode::Shfl {
+    // Shuffle needs a snapshot of the source register across lanes
+    // (stack array: this runs on the per-issue hot path).
+    let shfl_snapshot: Option<[u32; WARP_SIZE]> = if instr.opcode == Opcode::Shfl {
         let src = instr.srcs[0]
             .and_then(|o| o.as_reg())
             .expect("shfl source must be a register");
-        Some((0..WARP_SIZE).map(|l| warp.regs[l][src.index()]).collect())
+        let mut snap = [0u32; WARP_SIZE];
+        for (l, s) in snap.iter_mut().enumerate() {
+            *s = warp.regs[l][src.index()];
+        }
+        Some(snap)
     } else {
         None
     };
@@ -217,7 +256,6 @@ pub fn execute_warp_instruction(
     }
 
     warp.stack.advance(pc + 1);
-    outcome
 }
 
 /// `Selp` executes in *all* active lanes (it is a value select, not a
@@ -231,7 +269,29 @@ pub fn guard_squashes(instr: &Instruction) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mem::GlobalMemory;
     use prf_isa::{CmpOp, CtaId, KernelBuilder, PredReg, Reg};
+
+    /// Executes one instruction with serial (commit-immediately) memory
+    /// semantics, as the SM's per-cycle commit produces.
+    fn exec_step(
+        warp: &mut WarpContext,
+        instr: &Instruction,
+        rt: &ReconvergenceTable,
+        e: &ExecEnv,
+        global: &mut GlobalMemory,
+        shared: &mut SharedMemory,
+    ) -> ExecOutcome {
+        let mut log = Vec::new();
+        let out = {
+            let mut view = GmemView::new(global, &mut log);
+            execute_warp_instruction(warp, instr, rt, e, &mut view, shared)
+        };
+        for (a, v) in log {
+            global.write(a, v);
+        }
+        out
+    }
 
     fn env() -> ExecEnv {
         ExecEnv {
@@ -255,7 +315,7 @@ mod tests {
         let mut steps = 0;
         while let Some(pc) = warp.stack.pc() {
             let instr = kernel.fetch(pc).clone();
-            execute_warp_instruction(warp, &instr, &rt, &e, global, &mut shared);
+            exec_step(warp, &instr, &rt, &e, global, &mut shared);
             steps += 1;
             assert!(steps < 100_000, "kernel did not terminate");
         }
@@ -418,13 +478,13 @@ mod tests {
         for _ in 0..3 {
             let pc = w.stack.pc().unwrap();
             let i = k.fetch(pc).clone();
-            execute_warp_instruction(&mut w, &i, &rt, &e, &mut g, &mut s);
+            exec_step(&mut w, &i, &rt, &e, &mut g, &mut s);
         }
         assert_eq!(w.stack.active_mask(), 0x0000_FFFF);
         // Finish.
         while let Some(pc) = w.stack.pc() {
             let i = k.fetch(pc).clone();
-            execute_warp_instruction(&mut w, &i, &rt, &e, &mut g, &mut s);
+            exec_step(&mut w, &i, &rt, &e, &mut g, &mut s);
         }
         assert_eq!(w.regs[0][1], 9);
         assert_eq!(w.regs[31][1], 0, "exited lane never ran the mov");
@@ -440,8 +500,7 @@ mod tests {
         let mut w = fresh_warp(1);
         let mut g = GlobalMemory::new(1024);
         let mut s = SharedMemory::new(64);
-        let out =
-            execute_warp_instruction(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
+        let out = exec_step(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
         assert!(out.hit_barrier);
         assert_eq!(w.stack.pc(), Some(1));
     }
@@ -458,7 +517,7 @@ mod tests {
         let mut w = WarpContext::new(1, 0, CtaId(0), 1, mask, 1, 0);
         let mut g = GlobalMemory::new(1024);
         let mut s = SharedMemory::new(64);
-        execute_warp_instruction(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
+        exec_step(&mut w, &k.fetch(0).clone(), &rt, &env(), &mut g, &mut s);
         assert_eq!(w.regs[0][0], 1);
         assert_eq!(w.regs[29][0], 0, "inactive lane untouched");
         assert_eq!(w.regs[31][0], 0);

@@ -1,15 +1,125 @@
 //! The whole-GPU simulation driver: CTA dispatch across SMs and the main
 //! cycle loop.
+//!
+//! # Determinism under SM-parallel stepping
+//!
+//! Every cycle is a barrier: all SMs step cycle `c` before any SM sees
+//! cycle `c + 1`. Within the cycle, SMs only *read* global memory (their
+//! stores are staged in a per-SM log, see [`crate::GmemView`]); the driver
+//! then commits the logs in ascending SM order. Both the serial and the
+//! SM-parallel paths follow this exact schedule, so a parallel run is
+//! bit-for-bit identical to a serial one — same stats, trace, samples, and
+//! audit — regardless of worker count or thread interleaving.
+//!
+//! # Skip-ahead
+//!
+//! After a cycle in which no SM issued an instruction, the driver asks
+//! every SM for its next-event horizon ([`Sm::next_event`]) and, while
+//! CTAs remain undispatched, the dispatch-interval horizon. If the
+//! earliest interesting cycle is more than one ahead, the intervening
+//! provably-idle cycles are replayed with the cheap [`Sm::idle_advance`]
+//! bookkeeping instead of the full pipeline. The horizons are conservative
+//! (they may wake early, never late) and `idle_advance` mirrors every
+//! counter a stalled [`Sm::cycle`] advances, so skipping is exact.
+//! Schedulers that mutate state inside `prioritize` (two-level,
+//! fetch-group) veto skip-ahead via
+//! [`crate::scheduler::WarpScheduler::idle_prioritize_is_noop`].
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use prf_isa::{CtaId, GridConfig, Kernel};
 
 use crate::config::GpuConfig;
 use crate::mem::GlobalMemory;
 use crate::rf::RegisterFileModel;
+use crate::scheduler::build_scheduler;
 use crate::sm::{KernelImage, Sm};
 use crate::stats::{SimResult, SmStats};
+
+/// Records the pilot warp's finish cycle (warp 0 of CTA 0) from an SM's
+/// drained finish list, translated to kernel-relative cycles. No-op once
+/// the pilot has been seen.
+fn note_pilot_finish(pilot: &mut Option<u64>, finished: &[(u32, u32, u64)], start_cycle: u64) {
+    if pilot.is_some() {
+        return;
+    }
+    for &(cta, warp, at) in finished {
+        if cta == 0 && warp == 0 {
+            *pilot = Some(at - start_cycle);
+            return;
+        }
+    }
+}
+
+/// A sense-reversing spin-then-block barrier for the SM-parallel cycle
+/// loop.
+///
+/// The loop synchronises twice per simulated cycle, so barrier cost is on
+/// the critical path. When each thread has its own core, waits almost
+/// always resolve in the bounded spin phase (~100ns, no syscall) — far
+/// cheaper than the mutex + condvar handoff of `std::sync::Barrier`, whose
+/// ~µs per wait dwarfed the per-SM work and made parallel stepping slower
+/// than serial. When threads outnumber cores, spinning burns the
+/// timeslice the *other* threads need, so the barrier detects
+/// oversubscription at construction and blocks on a condvar immediately,
+/// matching `std::sync::Barrier` behaviour.
+struct SpinBarrier {
+    total: usize,
+    spin_limit: u32,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    lock: Mutex<()>,
+    condvar: std::sync::Condvar,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // `total` counts the driver thread too; it parks between barriers,
+        // so workers only need cores for themselves most of the time.
+        let spin_limit = if cores >= total { 1 << 14 } else { 0 };
+        SpinBarrier {
+            total,
+            spin_limit,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            condvar: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until `total` threads have called `wait` for this generation.
+    ///
+    /// The last arrival resets the count *before* publishing the new
+    /// generation, so a thread that races ahead into the next `wait`
+    /// starts the next generation from zero; a spinning thread can never
+    /// miss a generation because advancing again requires its own arrival.
+    /// The generation bump happens under `lock`, which a blocking waiter
+    /// holds between its re-check and `condvar.wait`, so wakeups are never
+    /// lost.
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            let guard = self.lock.lock().expect("barrier lock");
+            self.generation.fetch_add(1, Ordering::Release);
+            drop(guard);
+            self.condvar.notify_all();
+            return;
+        }
+        for _ in 0..self.spin_limit {
+            if self.generation.load(Ordering::Acquire) != generation {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().expect("barrier lock");
+        while self.generation.load(Ordering::Acquire) == generation {
+            guard = self.condvar.wait(guard).expect("barrier condvar");
+        }
+    }
+}
 
 /// Errors from running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +179,14 @@ pub struct Gpu {
     /// Cycle counter carried across kernel launches (a workload may launch
     /// several kernels back to back, as backprop does).
     pub cycle: u64,
+    /// Cycles fast-forwarded by skip-ahead (accumulated across launches).
+    /// Diagnostic only — deliberately not part of [`SimResult`], which
+    /// stays bit-identical whether or not skipping is enabled.
+    pub skipped_cycles: u64,
+    /// Warp contexts recycled across kernel launches: each launch seeds
+    /// its SMs from this pool and reclaims it afterwards, so multi-launch
+    /// workloads allocate register storage once. Never affects results.
+    warp_pool: Vec<crate::warp::WarpContext>,
 }
 
 impl Gpu {
@@ -80,7 +198,21 @@ impl Gpu {
             config,
             global,
             cycle: 0,
+            skipped_cycles: 0,
+            warp_pool: Vec::new(),
         }
+    }
+
+    /// Moves recycled warp contexts into this GPU's cross-launch pool
+    /// (e.g. from [`Gpu::take_warp_pool`] of a finished instance). Purely
+    /// an allocation optimisation; simulation results are unaffected.
+    pub fn adopt_warp_pool(&mut self, pool: Vec<crate::warp::WarpContext>) {
+        self.warp_pool.extend(pool);
+    }
+
+    /// Takes the recycled warp contexts accumulated by previous runs.
+    pub fn take_warp_pool(&mut self) -> Vec<crate::warp::WarpContext> {
+        std::mem::take(&mut self.warp_pool)
     }
 
     /// The configuration in use.
@@ -120,6 +252,15 @@ impl Gpu {
             .map(|i| Sm::new(i, &self.config, Arc::clone(&image), rf_factory(i)))
             .collect();
         let start_cycle = self.cycle;
+        // Seed SMs with recycled warp contexts from earlier launches
+        // (spread evenly; pool contents never affect results).
+        let n = sms.len();
+        let mut pool = std::mem::take(&mut self.warp_pool);
+        for (i, sm) in sms.iter_mut().enumerate() {
+            let keep = pool.len() * (n - i - 1) / (n - i);
+            let mut chunk = pool.split_off(keep);
+            sm.donate_warp_contexts(&mut chunk);
+        }
         for sm in &mut sms {
             sm.notify_kernel_launch(start_cycle);
         }
@@ -127,48 +268,33 @@ impl Gpu {
         let mut next_cta = 0u32;
         let mut pilot_finish: Option<u64> = None;
         let limit = start_cycle + self.config.max_cycles;
+        // Skip-ahead is exact only when an idle `prioritize` call leaves
+        // the scheduler untouched; probe a throwaway instance.
+        let skip_ok = self.config.skip_ahead
+            && build_scheduler(self.config.scheduler).idle_prioritize_is_noop();
+        let threads = self.config.sm_threads.min(sms.len());
 
-        loop {
-            // CTA dispatch: round-robin over SMs, as many as fit.
-            'dispatch: loop {
-                if next_cta >= grid.num_ctas {
-                    break;
-                }
-                let mut dispatched = false;
-                for sm in sms.iter_mut() {
-                    if next_cta >= grid.num_ctas {
-                        break 'dispatch;
-                    }
-                    if sm.try_dispatch_cta(CtaId(next_cta), self.cycle) {
-                        next_cta += 1;
-                        dispatched = true;
-                    }
-                }
-                if !dispatched {
-                    break;
-                }
-            }
-
-            for sm in sms.iter_mut() {
-                sm.cycle(self.cycle, &mut self.global);
-                for &(cta, warp, at) in &sm.finished_warps {
-                    if cta == 0 && warp == 0 && pilot_finish.is_none() {
-                        pilot_finish = Some(at - start_cycle);
-                    }
-                    let _ = at;
-                }
-                sm.finished_warps.clear();
-            }
-            self.cycle += 1;
-
-            if next_cta >= grid.num_ctas && sms.iter().all(|sm| sm.is_idle()) {
-                break;
-            }
-            if self.cycle >= limit {
-                return Err(SimError::CycleLimitExceeded {
-                    limit: self.config.max_cycles,
-                });
-            }
+        if threads > 1 {
+            self.run_parallel(
+                &mut sms,
+                grid,
+                &mut next_cta,
+                &mut pilot_finish,
+                start_cycle,
+                limit,
+                skip_ok,
+                threads,
+            )?;
+        } else {
+            self.run_serial(
+                &mut sms,
+                grid,
+                &mut next_cta,
+                &mut pilot_finish,
+                start_cycle,
+                limit,
+                skip_ok,
+            )?;
         }
 
         let mut stats = SmStats::new();
@@ -189,8 +315,9 @@ impl Gpu {
                 }
             }
             samples.extend(sm.take_samples());
+            self.warp_pool.append(&mut sm.reclaim_warp_contexts());
         }
-        trace.sort_by_key(|e| e.cycle());
+        crate::trace::normalize_trace(&mut trace);
         Ok(SimResult {
             kernel: name,
             cycles: self.cycle - start_cycle,
@@ -202,13 +329,252 @@ impl Gpu {
             audit,
         })
     }
+
+    /// Round-robin CTA dispatch over SMs, as many as fit this cycle.
+    fn dispatch_ctas(&self, sms: &mut [Sm], grid: GridConfig, next_cta: &mut u32, cycle: u64) {
+        'dispatch: loop {
+            if *next_cta >= grid.num_ctas {
+                break;
+            }
+            let mut dispatched = false;
+            for sm in sms.iter_mut() {
+                if *next_cta >= grid.num_ctas {
+                    break 'dispatch;
+                }
+                if sm.try_dispatch_cta(CtaId(*next_cta), cycle) {
+                    *next_cta += 1;
+                    dispatched = true;
+                }
+            }
+            if !dispatched {
+                break;
+            }
+        }
+    }
+
+    /// After a zero-issue cycle, fast-forwards `self.cycle` (clamped to
+    /// `limit`) to the earliest cycle any SM or the CTA dispatcher could
+    /// make progress, replaying the skipped span with [`Sm::idle_advance`].
+    /// `self.cycle` is the not-yet-stepped cycle; horizons are computed
+    /// relative to the cycle just stepped (`self.cycle - 1`).
+    fn skip_idle_span(&mut self, sms: &mut [Sm], grid: GridConfig, next_cta: u32, limit: u64) {
+        let stepped = self.cycle - 1;
+        let mut target: Option<u64> = None;
+        let mut merge = |c: u64| target = Some(target.map_or(c, |t| t.min(c)));
+        for sm in sms.iter() {
+            if let Some(c) = sm.next_event(stepped) {
+                merge(c);
+            }
+        }
+        if next_cta < grid.num_ctas {
+            for sm in sms.iter() {
+                merge(sm.next_dispatch_ready(stepped));
+            }
+        }
+        let Some(target) = target else { return };
+        let target = target.min(limit);
+        while self.cycle < target {
+            for sm in sms.iter_mut() {
+                sm.idle_advance(self.cycle);
+            }
+            self.cycle += 1;
+            self.skipped_cycles += 1;
+        }
+    }
+
+    /// The single-threaded cycle loop (also used when `sm_threads <= 1` or
+    /// only one SM exists).
+    #[allow(clippy::too_many_arguments)]
+    fn run_serial(
+        &mut self,
+        sms: &mut [Sm],
+        grid: GridConfig,
+        next_cta: &mut u32,
+        pilot_finish: &mut Option<u64>,
+        start_cycle: u64,
+        limit: u64,
+        skip_ok: bool,
+    ) -> Result<(), SimError> {
+        loop {
+            self.dispatch_ctas(sms, grid, next_cta, self.cycle);
+
+            // Execute: every SM steps the cycle against the frozen memory
+            // image, staging its stores.
+            let mut issued = 0u64;
+            for sm in sms.iter_mut() {
+                issued += u64::from(sm.cycle(self.cycle, &self.global));
+            }
+            // Commit: apply staged stores in SM order, drain finishes.
+            for sm in sms.iter_mut() {
+                sm.commit_global_writes(&mut self.global);
+                note_pilot_finish(pilot_finish, &sm.finished_warps, start_cycle);
+                sm.finished_warps.clear();
+            }
+            self.cycle += 1;
+
+            if *next_cta >= grid.num_ctas && sms.iter().all(|sm| sm.is_idle()) {
+                return Ok(());
+            }
+            if skip_ok && issued == 0 {
+                self.skip_idle_span(sms, grid, *next_cta, limit);
+            }
+            if self.cycle >= limit {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.max_cycles,
+                });
+            }
+        }
+    }
+
+    /// The SM-parallel cycle loop: a persistent pool of `threads` scoped
+    /// workers steps the SMs of each cycle concurrently (strided
+    /// assignment), separated from the driver's dispatch/commit work by a
+    /// pair of barriers. The schedule — and therefore every stat, trace
+    /// event, sample, and audit counter — is identical to
+    /// [`Gpu::run_serial`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel(
+        &mut self,
+        sms: &mut [Sm],
+        grid: GridConfig,
+        next_cta: &mut u32,
+        pilot_finish: &mut Option<u64>,
+        start_cycle: u64,
+        limit: u64,
+        skip_ok: bool,
+        threads: usize,
+    ) -> Result<(), SimError> {
+        let start = SpinBarrier::new(threads + 1);
+        let done = SpinBarrier::new(threads + 1);
+        let cycle_now = AtomicU64::new(self.cycle);
+        let issued_now = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        // Workers take shared read access during the execute phase; the
+        // driver takes exclusive access for the commit phase. The barriers
+        // keep the phases disjoint, so the locks never contend.
+        let global = RwLock::new(&mut self.global);
+        let cells: Vec<Mutex<&mut Sm>> = sms.iter_mut().map(Mutex::new).collect();
+        let cycle_ref = &mut self.cycle;
+        let max_cycles = self.config.max_cycles;
+        let mut skipped = 0u64;
+
+        let mut outcome = Ok(());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (start, done) = (&start, &done);
+                let (cycle_now, issued_now, stop) = (&cycle_now, &issued_now, &stop);
+                let (global, cells) = (&global, &cells);
+                scope.spawn(move || loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let cycle = cycle_now.load(Ordering::Acquire);
+                    let mut issued = 0u64;
+                    {
+                        let mem = global.read().expect("gmem lock");
+                        for cell in cells.iter().skip(t).step_by(threads) {
+                            let sm = &mut *cell.lock().expect("sm lock");
+                            issued += u64::from(sm.cycle(cycle, &mem));
+                        }
+                    }
+                    issued_now.fetch_add(issued, Ordering::AcqRel);
+                    done.wait();
+                });
+            }
+
+            loop {
+                // Dispatch + commit run on the driver thread, between the
+                // `done` barrier of the previous cycle and the `start`
+                // barrier of the next, so the uncontended locks are exact.
+                {
+                    'dispatch: loop {
+                        if *next_cta >= grid.num_ctas {
+                            break;
+                        }
+                        let mut dispatched = false;
+                        for cell in cells.iter() {
+                            if *next_cta >= grid.num_ctas {
+                                break 'dispatch;
+                            }
+                            let sm = &mut *cell.lock().expect("sm lock");
+                            if sm.try_dispatch_cta(CtaId(*next_cta), *cycle_ref) {
+                                *next_cta += 1;
+                                dispatched = true;
+                            }
+                        }
+                        if !dispatched {
+                            break;
+                        }
+                    }
+                }
+
+                issued_now.store(0, Ordering::Release);
+                cycle_now.store(*cycle_ref, Ordering::Release);
+                start.wait();
+                // Workers execute the cycle here.
+                done.wait();
+
+                let mut all_idle = true;
+                {
+                    let mem = &mut **global.write().expect("gmem lock");
+                    for cell in cells.iter() {
+                        let sm = &mut *cell.lock().expect("sm lock");
+                        sm.commit_global_writes(mem);
+                        note_pilot_finish(pilot_finish, &sm.finished_warps, start_cycle);
+                        sm.finished_warps.clear();
+                        all_idle &= sm.is_idle();
+                    }
+                }
+                *cycle_ref += 1;
+
+                if *next_cta >= grid.num_ctas && all_idle {
+                    break;
+                }
+                if skip_ok && issued_now.load(Ordering::Acquire) == 0 {
+                    let stepped = *cycle_ref - 1;
+                    let mut target: Option<u64> = None;
+                    let mut merge = |c: u64| target = Some(target.map_or(c, |t| t.min(c)));
+                    for cell in cells.iter() {
+                        let sm = &*cell.lock().expect("sm lock");
+                        if let Some(c) = sm.next_event(stepped) {
+                            merge(c);
+                        }
+                        if *next_cta < grid.num_ctas {
+                            merge(sm.next_dispatch_ready(stepped));
+                        }
+                    }
+                    if let Some(target) = target {
+                        let target = target.min(limit);
+                        while *cycle_ref < target {
+                            for cell in cells.iter() {
+                                cell.lock().expect("sm lock").idle_advance(*cycle_ref);
+                            }
+                            *cycle_ref += 1;
+                            skipped += 1;
+                        }
+                    }
+                }
+                if *cycle_ref >= limit {
+                    outcome = Err(SimError::CycleLimitExceeded { limit: max_cycles });
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Release);
+            start.wait();
+        });
+        self.skipped_cycles += skipped;
+        outcome
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SchedulerPolicy;
     use crate::rf::BaselineRf;
-    use prf_isa::{KernelBuilder, Reg, SpecialReg};
+    use crate::sampling::SamplingConfig;
+    use prf_isa::{CmpOp, KernelBuilder, PredReg, Reg, SpecialReg};
 
     fn store_kernel() -> Kernel {
         let mut kb = KernelBuilder::new("store");
@@ -217,6 +583,146 @@ mod tests {
         kb.stg(Reg(0), Reg(1), 0);
         kb.exit();
         kb.build().unwrap()
+    }
+
+    /// A kernel that exercises every wake source skip-ahead must model:
+    /// L1-missing loads (LSU horizon), dependent ALU chains (exec-pipe
+    /// horizon), a barrier (release edge), and a loop (repeated issue).
+    fn varied_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("varied");
+        kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+        kb.mov_imm(Reg(4), 0);
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.ldg(Reg(1), Reg(0), 0);
+        kb.iadd(Reg(2), Reg(1), Reg(0));
+        kb.imul_imm(Reg(2), Reg(2), 3);
+        kb.stg(Reg(0), Reg(2), 0);
+        kb.bar();
+        kb.iadd_imm(Reg(4), Reg(4), 1);
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(4), 3);
+        kb.bra_if(PredReg(0), true, top);
+        kb.exit();
+        kb.build().unwrap()
+    }
+
+    /// Runs `varied_kernel` on `config` and returns the result plus a
+    /// global-memory fingerprint.
+    fn run_varied(config: GpuConfig) -> (SimResult, u64, Vec<u32>) {
+        let mut gpu = Gpu::new(config);
+        let r = gpu
+            .run(varied_kernel(), GridConfig::new(24, 128), &|_| {
+                Box::new(BaselineRf::stv(24))
+            })
+            .unwrap();
+        let mem: Vec<u32> = (0..24 * 128)
+            .map(|a| gpu.global_mem_ref().read(a))
+            .collect();
+        (r, gpu.skipped_cycles, mem)
+    }
+
+    fn observed_config(num_sms: usize) -> GpuConfig {
+        GpuConfig {
+            num_sms,
+            global_mem_words: 1 << 14,
+            trace_capacity: 1 << 14,
+            audit: true,
+            sampling: Some(SamplingConfig { window: 64 }),
+            skip_ahead: false,
+            ..GpuConfig::kepler_gtx780()
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let (serial, _, serial_mem) = run_varied(observed_config(4));
+        for threads in [2, 3, 4, 7] {
+            let config = GpuConfig {
+                sm_threads: threads,
+                ..observed_config(4)
+            };
+            let (parallel, _, parallel_mem) = run_varied(config);
+            assert_eq!(
+                serial, parallel,
+                "SM-parallel run ({threads} threads) diverged from serial"
+            );
+            assert_eq!(
+                serial_mem, parallel_mem,
+                "memory diverged ({threads} threads)"
+            );
+            assert!(parallel.audit.as_ref().unwrap().is_clean());
+        }
+    }
+
+    #[test]
+    fn parallel_identity_holds_for_every_scheduler() {
+        for policy in [
+            SchedulerPolicy::Gto,
+            SchedulerPolicy::Lrr,
+            SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 4,
+            },
+            SchedulerPolicy::FetchGroup { group_size: 4 },
+        ] {
+            let base = GpuConfig {
+                scheduler: policy,
+                ..observed_config(4)
+            };
+            let (serial, _, serial_mem) = run_varied(base.clone());
+            let (parallel, _, parallel_mem) = run_varied(GpuConfig {
+                sm_threads: 4,
+                ..base
+            });
+            assert_eq!(serial, parallel, "{policy:?} diverged under SM-parallelism");
+            assert_eq!(serial_mem, parallel_mem);
+        }
+    }
+
+    #[test]
+    fn skip_ahead_is_bit_identical_and_actually_skips() {
+        let (stepped, stepped_skips, stepped_mem) = run_varied(observed_config(2));
+        assert_eq!(stepped_skips, 0);
+        let (skipping, skips, skipping_mem) = run_varied(GpuConfig {
+            skip_ahead: true,
+            ..observed_config(2)
+        });
+        assert_eq!(stepped, skipping, "skip-ahead changed observable results");
+        assert_eq!(stepped_mem, skipping_mem);
+        assert!(
+            skips > 0,
+            "memory-bound kernel should produce skippable idle spans"
+        );
+        assert!(skipping.audit.as_ref().unwrap().is_clean());
+    }
+
+    #[test]
+    fn skip_ahead_is_vetoed_for_impure_schedulers() {
+        for policy in [
+            SchedulerPolicy::TwoLevel {
+                active_per_scheduler: 4,
+            },
+            SchedulerPolicy::FetchGroup { group_size: 4 },
+        ] {
+            let (_, skips, _) = run_varied(GpuConfig {
+                scheduler: policy,
+                skip_ahead: true,
+                ..observed_config(2)
+            });
+            assert_eq!(skips, 0, "{policy:?} must veto skip-ahead");
+        }
+    }
+
+    #[test]
+    fn parallel_skip_ahead_matches_serial_stepped() {
+        let (serial, _, serial_mem) = run_varied(observed_config(4));
+        let (fast, skips, fast_mem) = run_varied(GpuConfig {
+            sm_threads: 4,
+            skip_ahead: true,
+            ..observed_config(4)
+        });
+        assert_eq!(serial, fast);
+        assert_eq!(serial_mem, fast_mem);
+        assert!(skips > 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod warp;
 pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use config::{GpuConfig, SchedulerPolicy};
 pub use gpu::{Gpu, SimError};
-pub use mem::{GlobalMemory, SharedMemory};
+pub use mem::{GlobalMemory, GmemView, SharedMemory};
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use rf::{
     AccessKind, BaselineRf, RegisterFileModel, RepairKind, ResolvedAccess, RfPartition,
@@ -48,5 +48,5 @@ pub use rf::{
 pub use sampling::{SampleSeries, SampleWindow, SamplingConfig, SmSampler};
 pub use sm::{KernelImage, Sm};
 pub use stats::{PartitionAccessCounts, RegisterAccessHistogram, SimResult, SmStats};
-pub use trace::{TraceEvent, TraceRing};
+pub use trace::{normalize_trace, TraceEvent, TraceRing};
 pub use warp::{SimtStack, WarpContext};

@@ -63,6 +63,52 @@ impl GlobalMemory {
     }
 }
 
+/// A per-SM, per-cycle view of global memory: reads see the cycle-start
+/// state plus this SM's own earlier writes of the same cycle; writes are
+/// buffered and committed by the GPU driver in SM-id order at the cycle
+/// barrier.
+///
+/// This two-phase execute/commit scheme is what makes SM-parallel stepping
+/// bit-identical to the serial loop: an SM's view of memory depends only on
+/// the committed state and its own write log, never on how far the other
+/// SMs have progressed within the cycle. The one semantic difference from
+/// stepping SMs in-place is that an SM no longer observes a *same-cycle*
+/// write from a lower-numbered SM; cross-SM communication at single-cycle
+/// granularity is not representable in the CTA programming model (there is
+/// no inter-CTA barrier), so no workload can depend on it.
+#[derive(Debug)]
+pub struct GmemView<'a> {
+    base: &'a GlobalMemory,
+    /// Masked (address, value) writes in program order.
+    writes: &'a mut Vec<(u32, u32)>,
+}
+
+impl<'a> GmemView<'a> {
+    /// A view over `base` logging writes into `writes` (not cleared here:
+    /// the log accumulates for the cycle and is drained at commit).
+    pub fn new(base: &'a GlobalMemory, writes: &'a mut Vec<(u32, u32)>) -> Self {
+        GmemView { base, writes }
+    }
+
+    /// Reads the word at `addr`, observing this view's own earlier writes.
+    pub fn read(&self, addr: u32) -> u32 {
+        let key = (addr as usize & self.base.mask) as u32;
+        // The log is short (at most one cycle's stores); scan newest-first.
+        for &(a, v) in self.writes.iter().rev() {
+            if a == key {
+                return v;
+            }
+        }
+        self.base.words[key as usize]
+    }
+
+    /// Buffers a write of `value` to `addr`.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        let key = (addr as usize & self.base.mask) as u32;
+        self.writes.push((key, value));
+    }
+}
+
 /// Per-CTA shared memory (word-addressed, wraps).
 #[derive(Debug, Clone)]
 pub struct SharedMemory {
@@ -75,6 +121,15 @@ impl SharedMemory {
         SharedMemory {
             words: vec![0; num_words.max(1)],
         }
+    }
+
+    /// Zeroes the memory in place, resizing to `num_words` if the CTA's
+    /// requirement changed. Equivalent to `*self = SharedMemory::new(..)`
+    /// without giving up the existing buffer.
+    pub fn reset(&mut self, num_words: usize) {
+        let n = num_words.max(1);
+        self.words.clear();
+        self.words.resize(n, 0);
     }
 
     /// Reads the word at `addr` (wraps).
@@ -214,10 +269,19 @@ impl LoadStoreUnit {
 
     /// Counts coalesced transactions for a set of word addresses.
     pub fn coalesce(addrs: &[u32]) -> u32 {
-        let mut segs: Vec<u32> = addrs.iter().map(|a| a / LINE_WORDS).collect();
+        let mut segs = Vec::new();
+        Self::coalesce_into(addrs, &mut segs);
+        segs.len() as u32
+    }
+
+    /// Fills `segs` with the sorted, deduplicated 128-byte segments touched
+    /// by `addrs` (the allocation-free form of [`LoadStoreUnit::coalesce`];
+    /// the hot path reuses one scratch buffer across instructions).
+    pub fn coalesce_into(addrs: &[u32], segs: &mut Vec<u32>) {
+        segs.clear();
+        segs.extend(addrs.iter().map(|a| a / LINE_WORDS));
         segs.sort_unstable();
         segs.dedup();
-        segs.len() as u32
     }
 
     /// Submits a warp memory instruction. `latency` is the full service
@@ -232,6 +296,14 @@ impl LoadStoreUnit {
 
     /// Advances one cycle; returns tokens of completed operations.
     pub fn tick(&mut self, cycle: u64) -> Vec<u64> {
+        let mut done = Vec::new();
+        self.tick_into(cycle, &mut done);
+        done
+    }
+
+    /// Advances one cycle, appending tokens of completed operations to
+    /// `done` (the allocation-free form of [`LoadStoreUnit::tick`]).
+    pub fn tick_into(&mut self, cycle: u64, done: &mut Vec<u64>) {
         // One instruction enters service per cycle.
         if let Some((token, lat)) = self.accept_queue.pop_front() {
             self.inflight.push(LsuOp {
@@ -239,7 +311,6 @@ impl LoadStoreUnit {
                 finish_at: cycle + u64::from(lat),
             });
         }
-        let mut done = Vec::new();
         self.inflight.retain(|op| {
             if op.finish_at <= cycle {
                 done.push(op.token);
@@ -248,7 +319,20 @@ impl LoadStoreUnit {
                 true
             }
         });
-        done
+    }
+
+    /// The next cycle (strictly after `cycle`) at which ticking this unit
+    /// could have an observable effect, or `None` when idle. A queued
+    /// instruction enters service on the very next tick, so a non-empty
+    /// accept queue pins the horizon to `cycle + 1`.
+    pub fn next_event(&self, cycle: u64) -> Option<u64> {
+        if !self.accept_queue.is_empty() {
+            return Some(cycle + 1);
+        }
+        self.inflight
+            .iter()
+            .map(|op| op.finish_at.max(cycle + 1))
+            .min()
     }
 
     /// True when nothing is queued or in flight.
@@ -474,6 +558,55 @@ mod tests {
         assert!(sb.is_clear(), "every reserve matched by a release");
         assert!(!sb.blocked(consumer));
         assert!(lsu.is_idle());
+    }
+
+    #[test]
+    fn gmem_view_buffers_writes_and_serves_own_reads() {
+        let mut base = GlobalMemory::new(1024);
+        base.write(7, 70);
+        let mut log = Vec::new();
+        {
+            let mut v = GmemView::new(&base, &mut log);
+            assert_eq!(v.read(7), 70, "reads fall through to base");
+            v.write(7, 71);
+            v.write(9, 90);
+            assert_eq!(v.read(7), 71, "own write visible");
+            v.write(7, 72);
+            assert_eq!(v.read(7), 72, "newest own write wins");
+            // Wrapping: 1024+9 aliases 9.
+            assert_eq!(v.read(1024 + 9), 90);
+            v.write(1024 + 5, 55);
+            assert_eq!(v.read(5), 55);
+        }
+        assert_eq!(base.read(7), 70, "base untouched until commit");
+        for (a, val) in log {
+            base.write(a, val);
+        }
+        assert_eq!(base.read(7), 72);
+        assert_eq!(base.read(9), 90);
+        assert_eq!(base.read(5), 55);
+    }
+
+    #[test]
+    fn coalesce_into_matches_coalesce() {
+        let addrs = vec![0, 1, 40, 41, 999];
+        let mut segs = vec![123, 456]; // stale scratch must be cleared
+        LoadStoreUnit::coalesce_into(&addrs, &mut segs);
+        assert_eq!(segs.len() as u32, LoadStoreUnit::coalesce(&addrs));
+        assert_eq!(segs, vec![0, 1, 31]);
+    }
+
+    #[test]
+    fn lsu_next_event_tracks_queue_and_inflight() {
+        let mut lsu = LoadStoreUnit::new();
+        assert_eq!(lsu.next_event(10), None);
+        lsu.submit(1, 20, 1);
+        // Queued: next tick enters service.
+        assert_eq!(lsu.next_event(10), Some(11));
+        lsu.tick(11); // enters service, finishes at 31
+        assert_eq!(lsu.next_event(11), Some(31));
+        assert_eq!(lsu.tick(31), vec![1]);
+        assert_eq!(lsu.next_event(31), None);
     }
 
     #[test]

@@ -62,6 +62,16 @@ pub trait WarpScheduler: fmt::Debug + Send {
         let _ = out;
     }
 
+    /// True when calling [`WarpScheduler::prioritize`] on a cycle where no
+    /// warp issues leaves the scheduler's observable state unchanged. The
+    /// skip-ahead fast-forward relies on this to elide idle cycles: GTO and
+    /// LRR mutate state only in `on_issue`, while the two-level scheduler
+    /// demotes/promotes and the fetch-group scheduler rotates inside
+    /// `prioritize` itself, so those two veto skipping.
+    fn idle_prioritize_is_noop(&self) -> bool {
+        false
+    }
+
     /// Policy name.
     fn name(&self) -> &'static str;
 }
@@ -89,6 +99,8 @@ pub fn build_scheduler(policy: SchedulerPolicy) -> Box<dyn WarpScheduler> {
 #[derive(Debug, Default)]
 pub struct GtoScheduler {
     greedy: Option<usize>,
+    /// Scratch reused across cycles for age sorting.
+    rest: Vec<(u64, usize)>,
 }
 
 impl GtoScheduler {
@@ -106,12 +118,15 @@ impl WarpScheduler for GtoScheduler {
                 out.push(g);
             }
         }
-        let mut rest: Vec<&WarpView> = warps
-            .iter()
-            .filter(|w| w.resident && Some(w.slot) != self.greedy)
-            .collect();
-        rest.sort_by_key(|w| (w.dispatch_cycle, w.slot));
-        out.extend(rest.iter().map(|w| w.slot));
+        self.rest.clear();
+        self.rest.extend(
+            warps
+                .iter()
+                .filter(|w| w.resident && Some(w.slot) != self.greedy)
+                .map(|w| (w.dispatch_cycle, w.slot)),
+        );
+        self.rest.sort_unstable();
+        out.extend(self.rest.iter().map(|&(_, slot)| slot));
     }
 
     fn on_issue(&mut self, slot: usize, _cycle: u64) {
@@ -124,6 +139,10 @@ impl WarpScheduler for GtoScheduler {
         if self.greedy == Some(slot) {
             self.greedy = None;
         }
+    }
+
+    fn idle_prioritize_is_noop(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -139,6 +158,8 @@ impl WarpScheduler for GtoScheduler {
 #[derive(Debug, Default)]
 pub struct LrrScheduler {
     last: Option<usize>,
+    /// Scratch reused across cycles.
+    slots: Vec<usize>,
 }
 
 impl LrrScheduler {
@@ -151,20 +172,18 @@ impl LrrScheduler {
 impl WarpScheduler for LrrScheduler {
     fn prioritize(&mut self, warps: &[WarpView], _cycle: u64, out: &mut Vec<usize>) {
         out.clear();
-        let mut slots: Vec<usize> = warps
-            .iter()
-            .filter(|w| w.resident)
-            .map(|w| w.slot)
-            .collect();
-        slots.sort_unstable();
-        if slots.is_empty() {
+        self.slots.clear();
+        self.slots
+            .extend(warps.iter().filter(|w| w.resident).map(|w| w.slot));
+        self.slots.sort_unstable();
+        if self.slots.is_empty() {
             return;
         }
         let start = match self.last {
-            Some(l) => slots.iter().position(|&s| s > l).unwrap_or(0),
+            Some(l) => self.slots.iter().position(|&s| s > l).unwrap_or(0),
             None => 0,
         };
-        out.extend(slots[start..].iter().chain(slots[..start].iter()));
+        out.extend(self.slots[start..].iter().chain(self.slots[..start].iter()));
     }
 
     fn on_issue(&mut self, slot: usize, _cycle: u64) {
@@ -174,6 +193,10 @@ impl WarpScheduler for LrrScheduler {
     fn on_warp_start(&mut self, _slot: usize) {}
 
     fn on_warp_finish(&mut self, _slot: usize) {}
+
+    fn idle_prioritize_is_noop(&self) -> bool {
+        true
+    }
 
     fn name(&self) -> &'static str {
         "LRR"
@@ -304,6 +327,8 @@ impl WarpScheduler for TwoLevelScheduler {
 pub struct FetchGroupScheduler {
     group_size: usize,
     current_group: usize,
+    /// Scratch reused across cycles: (slot, long_latency_pending).
+    slots: Vec<(usize, bool)>,
 }
 
 impl FetchGroupScheduler {
@@ -312,6 +337,7 @@ impl FetchGroupScheduler {
         FetchGroupScheduler {
             group_size: group_size.max(1),
             current_group: 0,
+            slots: Vec::new(),
         }
     }
 }
@@ -319,33 +345,38 @@ impl FetchGroupScheduler {
 impl WarpScheduler for FetchGroupScheduler {
     fn prioritize(&mut self, warps: &[WarpView], _cycle: u64, out: &mut Vec<usize>) {
         out.clear();
-        let mut slots: Vec<&WarpView> = warps.iter().filter(|w| w.resident).collect();
-        if slots.is_empty() {
+        self.slots.clear();
+        self.slots.extend(
+            warps
+                .iter()
+                .filter(|w| w.resident)
+                .map(|w| (w.slot, w.long_latency_pending)),
+        );
+        if self.slots.is_empty() {
             return;
         }
-        slots.sort_by_key(|w| w.slot);
-        let num_groups = slots.len().div_ceil(self.group_size);
+        self.slots.sort_unstable();
+        let num_groups = self.slots.len().div_ceil(self.group_size);
         let cur = self.current_group % num_groups;
         // If every warp of the current group is long-latency blocked, rotate.
-        let group = |g: usize, slots: &[&WarpView]| -> Vec<usize> {
-            slots
-                .iter()
-                .skip(g * self.group_size)
-                .take(self.group_size)
-                .map(|w| w.slot)
-                .collect()
-        };
-        let cur_blocked = slots
+        let cur_blocked = self
+            .slots
             .iter()
             .skip(cur * self.group_size)
             .take(self.group_size)
-            .all(|w| w.long_latency_pending);
+            .all(|&(_, long)| long);
         if cur_blocked {
             self.current_group = (cur + 1) % num_groups;
         }
         let cur = self.current_group % num_groups;
         for g in 0..num_groups {
-            out.extend(group((cur + g) % num_groups, &slots));
+            out.extend(
+                self.slots
+                    .iter()
+                    .skip(((cur + g) % num_groups) * self.group_size)
+                    .take(self.group_size)
+                    .map(|&(slot, _)| slot),
+            );
         }
     }
 

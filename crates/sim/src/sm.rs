@@ -13,11 +13,11 @@ use std::sync::Arc;
 use prf_isa::{CtaId, GridConfig, Kernel, PredReg, ReconvergenceTable, Reg};
 
 use crate::audit::{AuditReport, Auditor};
-use crate::collector::{CollectDest, OperandCollector};
+use crate::collector::{CollectDest, CollectedInstr, CompletedWrite, OperandCollector};
 use crate::config::GpuConfig;
-use crate::exec::{execute_warp_instruction, ExecEnv};
-use crate::mem::{GlobalMemory, L1Cache, LoadStoreUnit, SharedMemory};
-use crate::rf::{AccessKind, RegisterFileModel, WarpLifecycle};
+use crate::exec::{execute_warp_instruction_into, ExecEnv, ExecOutcome};
+use crate::mem::{GlobalMemory, GmemView, L1Cache, LoadStoreUnit, SharedMemory};
+use crate::rf::{AccessKind, RegisterFileModel, ResolvedAccess, WarpLifecycle};
 use crate::sampling::{SampleSeries, SmSampler};
 use crate::scheduler::{build_scheduler, SchedulerEvent, WarpScheduler, WarpView};
 use crate::scoreboard::Scoreboard;
@@ -109,6 +109,31 @@ pub struct Sm {
     /// The closed series, parked between [`Sm::finish_sampling`] and
     /// [`Sm::take_samples`] so [`Sm::finish_audit`] can cross-check it.
     samples: Option<SampleSeries>,
+    // Reusable per-cycle scratch buffers (allocation-free hot path): each
+    // is taken out of `self` for the duration of one phase and put back,
+    // so steady-state cycles perform no heap allocation.
+    mem_done_scratch: Vec<u64>,
+    due_scratch: Vec<u64>,
+    collected_scratch: Vec<CollectedInstr>,
+    writes_done_scratch: Vec<CompletedWrite>,
+    segs_scratch: Vec<u32>,
+    views_scratch: Vec<WarpView>,
+    order_scratch: Vec<usize>,
+    reads_scratch: Vec<Reg>,
+    resolved_scratch: Vec<ResolvedAccess>,
+    /// Recycled address buffers for [`ExecOutcome::with_buffer`]; in-flight
+    /// memory instructions return theirs on retire.
+    addr_pool: Vec<Vec<u32>>,
+    /// Retired warp contexts kept for reuse: dispatching a warp reinits a
+    /// pooled context instead of allocating ~`WARP_SIZE` register vectors.
+    /// Pool contents never affect results ([`WarpContext::reinit`]).
+    warp_pool: Vec<WarpContext>,
+    /// Scratch for the free-slot scan in [`Sm::try_dispatch_cta`].
+    dispatch_slots_scratch: Vec<usize>,
+    /// Global-memory writes staged by this SM during the current cycle,
+    /// applied by [`Sm::commit_global_writes`] in SM-id order (two-phase
+    /// execute/commit, identical under serial and SM-parallel stepping).
+    global_writes: Vec<(u32, u32)>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -169,6 +194,19 @@ impl Sm {
                 .then(|| Auditor::new(id, config.max_warps_per_sm)),
             sampler: config.sampling.map(SmSampler::new),
             samples: None,
+            mem_done_scratch: Vec::new(),
+            due_scratch: Vec::new(),
+            collected_scratch: Vec::new(),
+            writes_done_scratch: Vec::new(),
+            segs_scratch: Vec::new(),
+            views_scratch: Vec::new(),
+            order_scratch: Vec::new(),
+            reads_scratch: Vec::new(),
+            resolved_scratch: Vec::new(),
+            addr_pool: Vec::new(),
+            warp_pool: Vec::new(),
+            dispatch_slots_scratch: Vec::new(),
+            global_writes: Vec::new(),
             image,
         }
     }
@@ -264,20 +302,31 @@ impl Sm {
         if regs_in_use + warps_needed * 32 * regs > self.config.rf_registers {
             return false;
         }
-        let free_slots: Vec<usize> = (0..self.warps.len())
-            .filter(|&i| self.warps[i].is_none())
-            .take(warps_needed)
-            .collect();
+        let mut free_slots = std::mem::take(&mut self.dispatch_slots_scratch);
+        free_slots.clear();
+        free_slots.extend(
+            (0..self.warps.len())
+                .filter(|&i| self.warps[i].is_none())
+                .take(warps_needed),
+        );
         if free_slots.len() < warps_needed {
+            self.dispatch_slots_scratch = free_slots;
             return false;
         }
         let Some(cta_slot) = self.cta_slots.iter().position(|c| c.is_none()) else {
+            self.dispatch_slots_scratch = free_slots;
             return false;
         };
 
         for (w, &slot) in free_slots.iter().enumerate() {
             let mask = grid.active_mask(w as u32);
-            let warp = WarpContext::new(slot, cta_slot, cta, w as u32, mask, regs, cycle);
+            let warp = match self.warp_pool.pop() {
+                Some(mut ctx) => {
+                    ctx.reinit(slot, cta_slot, cta, w as u32, mask, regs, cycle);
+                    ctx
+                }
+                None => WarpContext::new(slot, cta_slot, cta, w as u32, mask, regs, cycle),
+            };
             self.scoreboards[slot] = Scoreboard::new();
             self.pending_loads[slot] = 0;
             let nsched = self.schedulers.len();
@@ -295,8 +344,8 @@ impl Sm {
         self.cta_slots[cta_slot] = Some(CtaState {
             warp_slots: free_slots,
         });
-        // Fresh shared memory for the CTA.
-        self.shared_mem[cta_slot] = SharedMemory::new(self.config.shared_mem_words);
+        // Fresh shared memory for the CTA (zeroed in place).
+        self.shared_mem[cta_slot].reset(self.config.shared_mem_words);
         self.next_dispatch_allowed = cycle + self.config.cta_dispatch_interval;
         self.emit(TraceEvent::CtaDispatch {
             cycle,
@@ -333,6 +382,9 @@ impl Sm {
         if let Some(w) = self.warps[info.warp_slot].as_mut() {
             w.inflight = w.inflight.saturating_sub(1);
         }
+        let mut buf = info.global_addrs;
+        buf.clear();
+        self.addr_pool.push(buf);
         self.maybe_finish_warp(info.warp_slot, cycle);
     }
 
@@ -371,12 +423,25 @@ impl Sm {
         self.finished_warps.push((w.cta.0, w.warp_in_cta, cycle));
         // CTA completion check.
         let cta_slot = w.cta_slot;
+        self.warp_pool.push(w);
         let cta_done = self.cta_slots[cta_slot]
             .as_ref()
             .is_some_and(|c| c.warp_slots.iter().all(|&s| self.warps[s].is_none()));
         if cta_done {
             self.cta_slots[cta_slot] = None;
         }
+    }
+
+    /// Seeds the warp-context pool with recycled contexts from an earlier
+    /// run (see [`crate::Gpu`]'s cross-launch pool). Purely an allocation
+    /// optimisation; never changes results.
+    pub fn donate_warp_contexts(&mut self, pool: &mut Vec<WarpContext>) {
+        self.warp_pool.append(pool);
+    }
+
+    /// Returns the pooled warp contexts so a later run can reuse them.
+    pub fn reclaim_warp_contexts(&mut self) -> Vec<WarpContext> {
+        std::mem::take(&mut self.warp_pool)
     }
 
     fn release_barriers(&mut self) {
@@ -397,20 +462,31 @@ impl Sm {
                 }
             }
             if live > 0 && waiting == live {
-                let slots = c.warp_slots.clone();
-                for s in slots {
+                // Borrow dance: take the slot list so releasing warps does
+                // not alias the CTA entry (and does not clone the list).
+                let slots = std::mem::take(
+                    &mut self.cta_slots[cta_slot]
+                        .as_mut()
+                        .expect("checked above")
+                        .warp_slots,
+                );
+                for &s in &slots {
                     if let Some(w) = self.warps[s].as_mut() {
                         if w.block == WarpBlock::Barrier {
                             w.block = WarpBlock::None;
                         }
                     }
                 }
+                self.cta_slots[cta_slot]
+                    .as_mut()
+                    .expect("still resident")
+                    .warp_slots = slots;
             }
         }
     }
 
-    fn warp_views(&self, sched: usize) -> Vec<WarpView> {
-        let mut views = Vec::new();
+    fn warp_views_into(&self, sched: usize, views: &mut Vec<WarpView>) {
+        views.clear();
         for slot in (sched..self.warps.len()).step_by(self.schedulers.len()) {
             if let Some(w) = self.warps[slot].as_ref() {
                 if w.exited() {
@@ -434,7 +510,6 @@ impl Sm {
                 });
             }
         }
-        views
     }
 
     /// Returns true when the warp at `slot` can issue its next instruction.
@@ -460,7 +535,7 @@ impl Sm {
 
     /// Issues the next instruction of warp `slot`. Caller must have checked
     /// [`Sm::can_issue`].
-    fn issue(&mut self, slot: usize, cycle: u64, global: &mut GlobalMemory) {
+    fn issue(&mut self, slot: usize, cycle: u64, global: &mut GmemView<'_>) {
         let image = Arc::clone(&self.image);
         let w = self.warps[slot]
             .as_mut()
@@ -473,13 +548,15 @@ impl Sm {
         // predicates / memory).
         let cta_slot = w.cta_slot;
         let trace_pc = pc;
-        let outcome = execute_warp_instruction(
+        let mut outcome = ExecOutcome::with_buffer(self.addr_pool.pop().unwrap_or_default());
+        execute_warp_instruction_into(
             w,
             &instr,
             &image.rt,
             &env,
             global,
             &mut self.shared_mem[cta_slot],
+            &mut outcome,
         );
         if outcome.hit_barrier {
             w.block = WarpBlock::Barrier;
@@ -511,9 +588,12 @@ impl Sm {
 
         // Register-file bookkeeping. Reads are resolved here, exactly once
         // per access (stateful models depend on this).
-        let reads: Vec<Reg> = instr.reg_reads().collect();
+        let mut reads = std::mem::take(&mut self.reads_scratch);
+        reads.clear();
+        reads.extend(instr.reg_reads());
         let dst_reg = instr.reg_write();
-        let mut resolved_reads = Vec::with_capacity(reads.len());
+        let mut resolved_reads = std::mem::take(&mut self.resolved_scratch);
+        resolved_reads.clear();
         for &r in &reads {
             self.rf.observe_access(slot, r, AccessKind::Read, cycle);
             resolved_reads.push(self.rf.resolve(slot, r, AccessKind::Read, cycle));
@@ -586,8 +666,15 @@ impl Sm {
             if let Some(w) = self.warps[slot].as_mut() {
                 w.inflight += 1;
             }
+        } else {
+            // Control instructions (Bra/Exit/Bar/Nop) retire at issue;
+            // their address buffer goes straight back to the pool.
+            let mut buf = outcome.global_addrs;
+            buf.clear();
+            self.addr_pool.push(buf);
         }
-        // Control instructions (Bra/Exit/Bar/Nop) retire at issue.
+        self.reads_scratch = reads;
+        self.resolved_scratch = resolved_reads;
 
         self.stats.instructions += 1;
         self.maybe_finish_warp(slot, cycle);
@@ -595,16 +682,23 @@ impl Sm {
 
     /// Advances the SM by one cycle. Returns the number of instructions
     /// issued.
-    pub fn cycle(&mut self, cycle: u64, global: &mut GlobalMemory) -> u32 {
+    ///
+    /// Global-memory writes are *staged*, not applied: the driver must call
+    /// [`Sm::commit_global_writes`] (in ascending SM order) after every SM
+    /// of the cycle has stepped. Reads through the [`GmemView`] still see
+    /// this SM's own same-cycle stores, in program order.
+    pub fn cycle(&mut self, cycle: u64, global: &GlobalMemory) -> u32 {
         if self.resident_warps() > 0 {
             self.stats.active_cycles += 1;
         }
 
         // 1. LSU + shared-memory-unit completions -> writeback (loads) or
         // retire (stores).
-        let mut mem_done = self.lsu.tick(cycle);
-        mem_done.extend(self.shared_unit.tick(cycle));
-        for token in mem_done {
+        let mut mem_done = std::mem::take(&mut self.mem_done_scratch);
+        mem_done.clear();
+        self.lsu.tick_into(cycle, &mut mem_done);
+        self.shared_unit.tick_into(cycle, &mut mem_done);
+        for &token in &mem_done {
             let (slot, dst) = match self.inflight.get(&token) {
                 Some(i) => (i.warp_slot, i.dst_reg),
                 None => continue,
@@ -634,9 +728,11 @@ impl Sm {
                 None => self.retire(token, cycle),
             }
         }
+        self.mem_done_scratch = mem_done;
 
         // 2. Execution-pipe completions -> writeback or retire.
-        let mut due = Vec::new();
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
         self.exec_completions.retain(|&(at, token)| {
             if at <= cycle {
                 due.push(token);
@@ -645,7 +741,7 @@ impl Sm {
                 true
             }
         });
-        for token in due {
+        for &token in &due {
             let (slot, dst) = match self.inflight.get(&token) {
                 Some(i) => (i.warp_slot, i.dst_reg),
                 None => continue,
@@ -667,6 +763,7 @@ impl Sm {
                 None => self.retire(token, cycle),
             }
         }
+        self.due_scratch = due;
 
         // 3. Operand collectors + bank arbiter. The RF-port callback feeds
         // the stats counters and (disjoint borrows) the event sinks, so the
@@ -679,42 +776,50 @@ impl Sm {
         let mut audit = self.audit.as_mut();
         let sm_id = self.id;
         let observing = trace.enabled() || audit.is_some();
-        let (collected, completed_writes) = self.collector.tick(cycle, |access, k| {
-            stats_pa.record(access.partition, k);
-            if let Some(repair) = access.repair {
-                stats_repairs[repair.index()] += 1;
-            }
-            if observing {
-                let ev = match k {
-                    AccessKind::Read => TraceEvent::RfRead {
-                        cycle,
-                        sm: sm_id,
-                        partition: access.partition,
-                    },
-                    AccessKind::Write => TraceEvent::RfWrite {
-                        cycle,
-                        sm: sm_id,
-                        partition: access.partition,
-                    },
-                };
-                if let Some(a) = audit.as_deref_mut() {
-                    a.observe(&ev);
-                }
-                trace.record(ev);
+        let mut collected = std::mem::take(&mut self.collected_scratch);
+        let mut completed_writes = std::mem::take(&mut self.writes_done_scratch);
+        let collector = &mut self.collector;
+        collector.tick_into(
+            cycle,
+            |access, k| {
+                stats_pa.record(access.partition, k);
                 if let Some(repair) = access.repair {
-                    let rev = TraceEvent::RfRepair {
-                        cycle,
-                        sm: sm_id,
-                        repair,
+                    stats_repairs[repair.index()] += 1;
+                }
+                if observing {
+                    let ev = match k {
+                        AccessKind::Read => TraceEvent::RfRead {
+                            cycle,
+                            sm: sm_id,
+                            partition: access.partition,
+                        },
+                        AccessKind::Write => TraceEvent::RfWrite {
+                            cycle,
+                            sm: sm_id,
+                            partition: access.partition,
+                        },
                     };
                     if let Some(a) = audit.as_deref_mut() {
-                        a.observe(&rev);
+                        a.observe(&ev);
                     }
-                    trace.record(rev);
+                    trace.record(ev);
+                    if let Some(repair) = access.repair {
+                        let rev = TraceEvent::RfRepair {
+                            cycle,
+                            sm: sm_id,
+                            repair,
+                        };
+                        if let Some(a) = audit.as_deref_mut() {
+                            a.observe(&rev);
+                        }
+                        trace.record(rev);
+                    }
                 }
-            }
-        });
-        for c in collected {
+            },
+            &mut collected,
+            &mut completed_writes,
+        );
+        for c in collected.drain(..) {
             if self.observing() {
                 self.emit(TraceEvent::Collect {
                     cycle,
@@ -740,20 +845,16 @@ impl Sm {
                         continue;
                     }
                     let (latency, transactions) = {
-                        let txns = LoadStoreUnit::coalesce(&info.global_addrs).max(1);
+                        let mut segs = std::mem::take(&mut self.segs_scratch);
+                        LoadStoreUnit::coalesce_into(&info.global_addrs, &mut segs);
+                        let txns = (segs.len() as u32).max(1);
                         let mut any_miss = false;
-                        let mut segs: Vec<u32> = info
-                            .global_addrs
-                            .iter()
-                            .map(|a| a / crate::mem::LINE_WORDS)
-                            .collect();
-                        segs.sort_unstable();
-                        segs.dedup();
-                        for s in segs {
+                        for &s in &segs {
                             if !self.l1.access(s * crate::mem::LINE_WORDS) {
                                 any_miss = true;
                             }
                         }
+                        self.segs_scratch = segs;
                         let lat = if any_miss {
                             self.config.l1_miss_latency
                         } else {
@@ -765,7 +866,7 @@ impl Sm {
                 }
             }
         }
-        for wdone in completed_writes {
+        for &wdone in &completed_writes {
             // Scoreboard was already released at result forwarding; the
             // completed write just retires the instruction.
             if self.observing() {
@@ -778,6 +879,8 @@ impl Sm {
             }
             self.retire(wdone.token, cycle);
         }
+        self.collected_scratch = collected;
+        self.writes_done_scratch = completed_writes;
         self.stats.bank_conflict_waits = self.collector.bank_conflict_waits;
         self.stats.l1_hits = self.l1.hits;
         self.stats.l1_misses = self.l1.misses;
@@ -787,14 +890,20 @@ impl Sm {
         // 4. Barrier release.
         self.release_barriers();
 
-        // 5. Issue.
+        // 5. Issue. Global writes are staged into `global_writes` through a
+        // GmemView; the driver commits them in SM-id order after all SMs
+        // have stepped this cycle.
         let mut issued_total = 0u32;
+        let mut views = std::mem::take(&mut self.views_scratch);
+        let mut order = std::mem::take(&mut self.order_scratch);
+        let mut staged = std::mem::take(&mut self.global_writes);
+        let mut gmem = GmemView::new(global, &mut staged);
         for sched in 0..self.schedulers.len() {
-            let views = self.warp_views(sched);
-            let mut order = Vec::new();
+            self.warp_views_into(sched, &mut views);
+            order.clear();
             self.schedulers[sched].prioritize(&views, cycle, &mut order);
             let mut issued = 0usize;
-            for slot in order {
+            for &slot in &order {
                 if issued >= self.config.issue_per_scheduler {
                     break;
                 }
@@ -814,7 +923,7 @@ impl Sm {
                 // GTO greediness: a warp may issue both slots of its
                 // scheduler in one cycle if it stays ready.
                 while issued < self.config.issue_per_scheduler && self.can_issue(slot) {
-                    self.issue(slot, cycle, global);
+                    self.issue(slot, cycle, &mut gmem);
                     self.schedulers[sched].on_issue(slot, cycle);
                     issued += 1;
                 }
@@ -827,6 +936,9 @@ impl Sm {
             // Export scheduler pool demotions to the RF model (RFC flush).
             self.schedulers[sched].drain_events(&mut self.sched_events);
         }
+        self.global_writes = staged;
+        self.views_scratch = views;
+        self.order_scratch = order;
         for ev in self.sched_events.drain(..) {
             match ev {
                 SchedulerEvent::Deactivated { slot } => {
@@ -838,43 +950,7 @@ impl Sm {
         if issued_total > 0 {
             self.stats.issue_cycles += 1;
         } else if self.resident_warps() > 0 {
-            // Classify the zero-issue cycle by the dominant blocker.
-            let (mut mem, mut barrier, mut coll, mut alu) = (0u32, 0u32, 0u32, 0u32);
-            for slot in 0..self.warps.len() {
-                let Some(w) = self.warps[slot].as_ref() else {
-                    continue;
-                };
-                if w.exited() {
-                    continue;
-                }
-                if w.block == WarpBlock::Barrier {
-                    barrier += 1;
-                    continue;
-                }
-                let Some(pc) = w.stack.pc() else { continue };
-                let instr = self.image.kernel.fetch(pc);
-                if self.scoreboards[slot].blocked(instr) {
-                    if self.pending_loads[slot] > 0 {
-                        mem += 1;
-                    } else {
-                        alu += 1;
-                    }
-                } else {
-                    coll += 1; // ready but starved (collector / width)
-                }
-            }
-            let max = mem.max(barrier).max(coll).max(alu);
-            if max > 0 {
-                if max == mem {
-                    self.stats.stall_mem += 1;
-                } else if max == barrier {
-                    self.stats.stall_barrier += 1;
-                } else if max == alu {
-                    self.stats.stall_alu_dep += 1;
-                } else {
-                    self.stats.stall_collector += 1;
-                }
-            }
+            self.classify_zero_issue_stall();
         }
 
         // 6. RF model per-cycle hook (adaptive FRF epoch counting).
@@ -889,6 +965,138 @@ impl Sm {
         }
 
         issued_total
+    }
+
+    /// Classifies a zero-issue cycle with resident warps by its dominant
+    /// blocker. Shared by [`Sm::cycle`] and [`Sm::idle_advance`] so skipped
+    /// idle spans account stalls identically to stepped ones.
+    fn classify_zero_issue_stall(&mut self) {
+        let (mut mem, mut barrier, mut coll, mut alu) = (0u32, 0u32, 0u32, 0u32);
+        for slot in 0..self.warps.len() {
+            let Some(w) = self.warps[slot].as_ref() else {
+                continue;
+            };
+            if w.exited() {
+                continue;
+            }
+            if w.block == WarpBlock::Barrier {
+                barrier += 1;
+                continue;
+            }
+            let Some(pc) = w.stack.pc() else { continue };
+            let instr = self.image.kernel.fetch(pc);
+            if self.scoreboards[slot].blocked(instr) {
+                if self.pending_loads[slot] > 0 {
+                    mem += 1;
+                } else {
+                    alu += 1;
+                }
+            } else {
+                coll += 1; // ready but starved (collector / width)
+            }
+        }
+        let max = mem.max(barrier).max(coll).max(alu);
+        if max > 0 {
+            if max == mem {
+                self.stats.stall_mem += 1;
+            } else if max == barrier {
+                self.stats.stall_barrier += 1;
+            } else if max == alu {
+                self.stats.stall_alu_dep += 1;
+            } else {
+                self.stats.stall_collector += 1;
+            }
+        }
+    }
+
+    /// Applies the global-memory writes staged during [`Sm::cycle`]. The
+    /// driver calls this once per stepped cycle, in ascending SM order, so
+    /// serial and SM-parallel schedules commit identical memory states.
+    pub fn commit_global_writes(&mut self, global: &mut GlobalMemory) {
+        for (addr, value) in self.global_writes.drain(..) {
+            global.write(addr, value);
+        }
+    }
+
+    /// Replays the per-cycle bookkeeping of a provably idle cycle — one
+    /// where [`Sm::next_event`] guarantees no unit, scoreboard, barrier, or
+    /// issue slot can make progress — without running the heavy pipeline
+    /// phases. Mirrors [`Sm::cycle`] for every counter that advances on a
+    /// stalled cycle (active cycles, stall classification, the RF model's
+    /// per-cycle hook, sampling), so a skip-ahead run is bit-identical to a
+    /// stepped one.
+    pub fn idle_advance(&mut self, cycle: u64) {
+        if self.resident_warps() > 0 {
+            self.stats.active_cycles += 1;
+            self.classify_zero_issue_stall();
+        }
+        self.rf.tick(cycle, 0);
+        if let Some(sampler) = self.sampler.as_mut() {
+            let active_warps = self.warps.iter().filter(|w| w.is_some()).count();
+            sampler.on_cycle(cycle, &self.stats, active_warps, self.rf.frf_low_mode());
+        }
+    }
+
+    /// The next cycle, strictly after `cycle`, at which stepping this SM
+    /// could have an observable effect: a warp can issue, a fully arrived
+    /// barrier releases, a load/store or execution pipe completes, or the
+    /// operand collector makes progress. `None` when the SM is completely
+    /// idle. Conservative by construction — it may wake the driver early,
+    /// never late — which keeps skip-ahead exact.
+    pub fn next_event(&self, cycle: u64) -> Option<u64> {
+        let mut horizon: Option<u64> = None;
+        let mut merge = |c: u64| {
+            let c = c.max(cycle + 1);
+            horizon = Some(horizon.map_or(c, |h| h.min(c)));
+        };
+        if (0..self.warps.len()).any(|slot| self.can_issue(slot)) {
+            merge(cycle + 1);
+        }
+        // A fully arrived barrier releases on the next cycle (phase 4).
+        for c in self.cta_slots.iter().flatten() {
+            let mut waiting = 0usize;
+            let mut live = 0usize;
+            for &s in &c.warp_slots {
+                if let Some(w) = self.warps[s].as_ref() {
+                    if !w.exited() {
+                        live += 1;
+                        if w.block == WarpBlock::Barrier {
+                            waiting += 1;
+                        }
+                    }
+                }
+            }
+            if live > 0 && waiting == live {
+                merge(cycle + 1);
+            }
+        }
+        if let Some(c) = self.lsu.next_event(cycle) {
+            merge(c);
+        }
+        if let Some(c) = self.shared_unit.next_event(cycle) {
+            merge(c);
+        }
+        if let Some(c) = self.collector.next_event(cycle) {
+            merge(c);
+        }
+        for &(at, _) in &self.exec_completions {
+            merge(at);
+        }
+        if horizon.is_none() && self.resident_warps() > 0 {
+            // Resident warps without any pending event would mean a hang;
+            // step normally rather than skipping so the cycle limit and
+            // audit see it.
+            return Some(cycle + 1);
+        }
+        horizon
+    }
+
+    /// The earliest cycle, strictly after `cycle`, at which the CTA
+    /// dispatch interval permits this SM to accept another CTA (capacity
+    /// permitting). Used for the skip-ahead dispatch horizon while
+    /// undispatched CTAs remain.
+    pub fn next_dispatch_ready(&self, cycle: u64) -> u64 {
+        self.next_dispatch_allowed.max(cycle + 1)
     }
 
     /// Access to the register-file model (for tests and reports).
@@ -929,7 +1137,8 @@ mod tests {
             while next_cta < grid.num_ctas && sm.try_dispatch_cta(CtaId(next_cta), cycle) {
                 next_cta += 1;
             }
-            sm.cycle(cycle, &mut global);
+            sm.cycle(cycle, &global);
+            sm.commit_global_writes(&mut global);
             cycle += 1;
             if next_cta == grid.num_ctas && sm.is_idle() {
                 break;
@@ -1070,7 +1279,8 @@ mod tests {
                 while next_cta < grid.num_ctas && sm.try_dispatch_cta(CtaId(next_cta), cycle) {
                     next_cta += 1;
                 }
-                sm.cycle(cycle, &mut global);
+                sm.cycle(cycle, &global);
+                sm.commit_global_writes(&mut global);
                 cycle += 1;
                 if next_cta == grid.num_ctas && sm.is_idle() {
                     return cycle;

@@ -356,7 +356,7 @@ impl SmStats {
 }
 
 /// The result of simulating one kernel launch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Kernel name.
     pub kernel: String,

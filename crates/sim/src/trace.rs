@@ -161,6 +161,33 @@ impl TraceEvent {
             | TraceEvent::ScoreboardRelease { cycle, .. } => *cycle,
         }
     }
+
+    /// The SM the event occurred on.
+    pub fn sm(&self) -> usize {
+        match self {
+            TraceEvent::CtaDispatch { sm, .. }
+            | TraceEvent::Issue { sm, .. }
+            | TraceEvent::BarrierWait { sm, .. }
+            | TraceEvent::WarpFinish { sm, .. }
+            | TraceEvent::Collect { sm, .. }
+            | TraceEvent::RfRead { sm, .. }
+            | TraceEvent::RfWrite { sm, .. }
+            | TraceEvent::RfRepair { sm, .. }
+            | TraceEvent::Writeback { sm, .. }
+            | TraceEvent::LsuComplete { sm, .. }
+            | TraceEvent::ScoreboardReserve { sm, .. }
+            | TraceEvent::ScoreboardRelease { sm, .. } => *sm,
+        }
+    }
+}
+
+/// Canonical ordering for a merged multi-SM trace: stable-sorts by
+/// `(cycle, sm)`, so events keep their intra-SM emission order while the
+/// interleaving across SMs becomes deterministic — the same no matter the
+/// order the per-SM rings were concatenated in (serial or SM-parallel
+/// stepping, any worker assignment).
+pub fn normalize_trace(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| (e.cycle(), e.sm()));
 }
 
 impl fmt::Display for TraceEvent {
@@ -322,6 +349,37 @@ mod tests {
         let drained = r.drain();
         assert_eq!(drained.len(), 1);
         assert_eq!(r.events().count(), 0);
+    }
+
+    #[test]
+    fn normalize_is_independent_of_merge_order() {
+        let ev = |cycle: u64, sm: usize, warp: usize| TraceEvent::Issue {
+            cycle,
+            sm,
+            warp,
+            pc: 0,
+        };
+        // Two per-SM streams; intra-SM order is the emission order and must
+        // survive normalisation.
+        let sm0 = vec![ev(1, 0, 0), ev(1, 0, 1), ev(3, 0, 2)];
+        let sm1 = vec![ev(1, 1, 7), ev(2, 1, 8)];
+
+        let mut merged_a: Vec<TraceEvent> = sm0.iter().chain(sm1.iter()).copied().collect();
+        let mut merged_b: Vec<TraceEvent> = sm1.iter().chain(sm0.iter()).copied().collect();
+        normalize_trace(&mut merged_a);
+        normalize_trace(&mut merged_b);
+        assert_eq!(merged_a, merged_b);
+        // (cycle, sm) blocks, intra-SM order preserved.
+        let key: Vec<(u64, usize)> = merged_a.iter().map(|e| (e.cycle(), e.sm())).collect();
+        assert_eq!(key, vec![(1, 0), (1, 0), (1, 1), (2, 1), (3, 0)]);
+        let warps: Vec<usize> = merged_a
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Issue { warp, .. } => *warp,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(warps, vec![0, 1, 7, 8, 2]);
     }
 
     #[test]

@@ -46,6 +46,17 @@ impl SimtStack {
         }
     }
 
+    /// Resets the stack to a fresh single entry at pc 0, reusing the
+    /// existing entry storage (no allocation).
+    pub fn reset(&mut self, mask: u32) {
+        self.entries.clear();
+        self.entries.push(SimtEntry {
+            pc: 0,
+            rpc: RPC_EXIT,
+            mask,
+        });
+    }
+
     /// The active entry (top of stack), if any lanes remain.
     pub fn top(&self) -> Option<SimtEntry> {
         self.entries.last().copied()
@@ -220,6 +231,39 @@ impl WarpContext {
     /// in-flight instructions).
     pub fn exited(&self) -> bool {
         self.stack.is_done()
+    }
+
+    /// Reinitialises a recycled context in place, reusing the register and
+    /// predicate storage. After this call the context is indistinguishable
+    /// from one built with [`WarpContext::new`] with the same arguments, so
+    /// pooling contexts never changes simulation results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reinit(
+        &mut self,
+        slot: usize,
+        cta_slot: usize,
+        cta: CtaId,
+        warp_in_cta: u32,
+        active_mask: u32,
+        regs_per_thread: usize,
+        dispatch_cycle: u64,
+    ) {
+        self.slot = slot;
+        self.cta_slot = cta_slot;
+        self.cta = cta;
+        self.warp_in_cta = warp_in_cta;
+        self.stack.reset(active_mask);
+        for lane in self.regs.iter_mut() {
+            lane.clear();
+            lane.resize(regs_per_thread, 0);
+        }
+        for p in self.preds.iter_mut() {
+            *p = [false; prf_isa::NUM_PRED_REGS];
+        }
+        self.block = WarpBlock::None;
+        self.dispatch_cycle = dispatch_cycle;
+        self.finished = false;
+        self.inflight = 0;
     }
 }
 
