@@ -37,7 +37,7 @@ fn phases_json(p: &PhaseTimings) -> Json {
         .field("audit_ms", ms(p.audit))
 }
 
-fn outcome_json(outcome: &JobOutcome) -> Json {
+pub(crate) fn outcome_json(outcome: &JobOutcome) -> Json {
     match outcome {
         JobOutcome::Completed => Json::obj().field("kind", "completed"),
         JobOutcome::Retried { attempts } => Json::obj()
@@ -49,10 +49,11 @@ fn outcome_json(outcome: &JobOutcome) -> Json {
         JobOutcome::TimedOut { timeout } => Json::obj()
             .field("kind", "timed_out")
             .field("timeout_s", timeout.as_secs_f64()),
+        JobOutcome::Skipped => Json::obj().field("kind", "skipped"),
     }
 }
 
-fn result_json(r: &ExperimentResult) -> Json {
+pub(crate) fn result_json(r: &ExperimentResult) -> Json {
     let audit = match &r.audit {
         Some(a) => Json::obj()
             .field("checks", a.checks)

@@ -1,0 +1,74 @@
+//! `prf-serve` — a long-lived experiment server over TCP.
+//!
+//! Listens on `--addr <host:port>` (default `127.0.0.1:7878`) and speaks
+//! the newline-delimited JSON protocol documented in [`prf_bench::serve`]:
+//! `ping`, `submit`, `poll`, `fetch`, `shutdown`. Batches run through the
+//! resilient matrix runner with the `PRF_JOB_TIMEOUT_SECS` /
+//! `PRF_JOB_RETRIES` / `PRF_RETRY_BACKOFF_MS` policy, `PRF_THREADS`
+//! worker threads, and — when `PRF_CACHE_DIR` is set — the on-disk
+//! result cache, so repeated submissions of the same job are served
+//! without re-simulating.
+//!
+//! ```text
+//! $ PRF_CACHE_DIR=/tmp/prf-cache prf-serve --addr 127.0.0.1:7878 &
+//! $ printf '%s\n' '{"op":"submit","jobs":[{"workload":"BFS","rf":"partitioned","audit":true}]}' \
+//!     | nc 127.0.0.1 7878
+//! {"ok":true,"batch":0,"jobs":1}
+//! ```
+
+use std::net::TcpListener;
+
+use prf_bench::cache::ResultCache;
+use prf_bench::runner::RetryPolicy;
+use prf_bench::serve::{serve, ServeConfig};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(args.next().unwrap_or_else(|| {
+                panic!("{flag} needs a value");
+            }));
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let config = ServeConfig {
+        threads: prf_bench::runner::threads_from_env(),
+        policy: RetryPolicy::from_env(),
+        max_inflight: arg_value("--max-inflight")
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        panic!("--max-inflight must be a positive integer, got {v:?}")
+                    })
+            })
+            .unwrap_or(4),
+    };
+    let cache = ResultCache::from_env();
+    match &cache {
+        Some(c) => eprintln!("prf-serve: result cache at {}", c.dir().display()),
+        None => eprintln!("prf-serve: no result cache (set PRF_CACHE_DIR to enable)"),
+    }
+
+    let listener =
+        TcpListener::bind(&addr).unwrap_or_else(|e| panic!("cannot listen on {addr}: {e}"));
+    eprintln!(
+        "prf-serve: listening on {} ({} threads, {} batches in flight max)",
+        listener
+            .local_addr()
+            .map_or(addr.clone(), |a| a.to_string()),
+        config.threads,
+        config.max_inflight
+    );
+    serve(listener, config, cache);
+    eprintln!("prf-serve: shut down cleanly");
+}

@@ -146,13 +146,31 @@ impl Json {
                 '\n' => out.push_str("\\n"),
                 '\r' => out.push_str("\\r"),
                 '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    let _ = write!(out, "\\u{:04x}", c as u32);
-                }
+                // Control characters must be escaped; everything past
+                // ASCII is escaped too so the output is 7-bit clean (and
+                // the surrogate-pair path below is actually exercised).
+                c if (c as u32) < 0x20 || (c as u32) > 0x7E => Self::write_u_escape(c, out),
                 c => out.push(c),
             }
         }
         out.push('"');
+    }
+
+    /// Writes one `\uXXXX` escape — as a UTF-16 surrogate pair for
+    /// supplementary-plane characters. A single `\u{:04x}` would silently
+    /// truncate any code point above U+FFFF into invalid JSON (RFC 8259
+    /// §7 requires the pair encoding), which the crate's own parser —
+    /// which decodes pairs — would then reject or mis-read.
+    fn write_u_escape(c: char, out: &mut String) {
+        let code = c as u32;
+        if code <= 0xFFFF {
+            let _ = write!(out, "\\u{code:04x}");
+        } else {
+            let v = code - 0x10000;
+            let hi = 0xD800 + (v >> 10);
+            let lo = 0xDC00 + (v & 0x3FF);
+            let _ = write!(out, "\\u{hi:04x}\\u{lo:04x}");
+        }
     }
 
     /// Parses a JSON document.
@@ -496,6 +514,37 @@ mod tests {
     fn parses_surrogate_pairs() {
         let parsed = Json::parse(r#""😀""#).unwrap();
         assert_eq!(parsed.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn writes_surrogate_pairs_for_non_bmp_chars() {
+        // Regression: U+1F600 used to serialise as the single (invalid)
+        // escape `ὠ0`-style truncation; it must be the RFC 8259
+        // surrogate pair.
+        assert_eq!(Json::Str("😀".into()).to_json(), "\"\\ud83d\\ude00\"");
+        // BMP non-ASCII gets a single escape; output stays 7-bit clean.
+        assert_eq!(Json::Str("é".into()).to_json(), "\"\\u00e9\"");
+        assert!(Json::Str("naïve 🚀 κόσμε".into()).to_json().is_ascii());
+    }
+
+    #[test]
+    fn strings_round_trip_through_own_parser() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "control \u{1}\u{1f}\u{7f}",
+            "bmp: é κ ‚ \u{fffd}",
+            "astral: 😀 🚀 \u{10FFFF} \u{10000}",
+            "mixed\n\t😀é\r",
+            "",
+        ] {
+            let rendered = Json::Str(s.to_string()).to_json();
+            assert_eq!(
+                Json::parse(&rendered).unwrap().as_str(),
+                Some(s),
+                "rendered: {rendered}"
+            );
+        }
     }
 
     #[test]

@@ -23,10 +23,13 @@
 //! | `yield_mc` | §IV-A — SRAM Monte Carlo yield study |
 
 pub mod bench_report;
+pub mod cache;
 pub mod chrometrace;
+pub mod digest;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod serve;
 
 pub use bench_report::RunReport;
 
@@ -65,8 +68,7 @@ pub fn sampling_from_args() -> Option<SamplingConfig> {
         }
     }
     let mut args = std::env::args();
-    loop {
-        let Some(arg) = args.next() else { break };
+    while let Some(arg) = args.next() {
         if arg == "--sample" {
             let v = args
                 .next()
@@ -425,6 +427,14 @@ pub fn run_cells_reported(
         // Persist what we have before re-raising, so a crashed matrix
         // still leaves a diffable record of which jobs died and how.
         run_report.write();
+    }
+    if outcome.skipped_jobs() > 0 && outcome.failed_jobs() == 0 {
+        // A PRF_SHARD run: this process computed (and cached) its slice
+        // of the matrix; averaging needs the full set, so persist the
+        // partial report and stop here. Merging is a subsequent unsharded
+        // run over the shared PRF_CACHE_DIR.
+        run_report.write();
+        runner::exit_if_shard_run(&outcome, Some(&report));
     }
     let mut results = outcome.expect_complete().into_iter().map(|jr| jr.result);
     let averaged = cells

@@ -120,18 +120,36 @@ pub fn pct(x: f64) -> String {
 /// becomes `_`, so names derived from job labels cannot escape the
 /// configured output directory. Empty input yields `"unnamed"`.
 ///
-/// The CSV, JSON-report, and Chrome-trace writers all route file names
-/// through this.
+/// The mapping is **injective**: whenever any character was substituted
+/// (or the input was empty), a short content hash of the *original* name
+/// is appended, so distinct labels like `"a/b"` and `"a_b"` can never
+/// sanitise to the same file and silently clobber each other's
+/// `BENCH_*.json`/CSV/cache artifacts. Names that are already clean pass
+/// through unchanged, keeping existing file names (and the committed
+/// baselines) stable.
+///
+/// The CSV, JSON-report, Chrome-trace, and result-cache writers all
+/// route file names through this.
 pub fn safe_file_name(name: &str) -> String {
     if name.is_empty() {
-        return "unnamed".to_string();
+        return format!("unnamed-{}", crate::digest::short_hash(name));
     }
-    name.chars()
+    let mut substituted = false;
+    let sanitized: String = name
+        .chars()
         .map(|c| match c {
             'A'..='Z' | 'a'..='z' | '0'..='9' | '_' | '.' | '-' => c,
-            _ => '_',
+            _ => {
+                substituted = true;
+                '_'
+            }
         })
-        .collect()
+        .collect();
+    if substituted {
+        format!("{sanitized}-{}", crate::digest::short_hash(name))
+    } else {
+        sanitized
+    }
 }
 
 #[cfg(test)]
@@ -172,15 +190,42 @@ mod tests {
 
     #[test]
     fn safe_file_name_defuses_path_escapes() {
+        use crate::digest::short_hash;
+        // Already-clean names pass through untouched (committed baseline
+        // files keep their names).
         assert_eq!(safe_file_name("fig11_energy"), "fig11_energy");
-        assert_eq!(safe_file_name("../../etc/passwd"), ".._.._etc_passwd");
-        assert_eq!(safe_file_name("/absolute/path"), "_absolute_path");
+        // Substituted names carry a short hash of the original.
+        assert_eq!(
+            safe_file_name("../../etc/passwd"),
+            format!(".._.._etc_passwd-{}", short_hash("../../etc/passwd"))
+        );
+        assert_eq!(
+            safe_file_name("/absolute/path"),
+            format!("_absolute_path-{}", short_hash("/absolute/path"))
+        );
         assert_eq!(
             safe_file_name("BFS/partitioned seed 2"),
-            "BFS_partitioned_seed_2"
+            format!(
+                "BFS_partitioned_seed_2-{}",
+                short_hash("BFS/partitioned seed 2")
+            )
         );
-        assert_eq!(safe_file_name("nul\0byte"), "nul_byte");
-        assert_eq!(safe_file_name(""), "unnamed");
+        assert!(safe_file_name("nul\0byte").starts_with("nul_byte-"));
+        assert!(safe_file_name("").starts_with("unnamed-"));
+    }
+
+    #[test]
+    fn safe_file_name_is_injective_on_colliding_labels() {
+        // Regression: "a/b" and "a_b" used to both map to "a_b", letting
+        // two benches silently overwrite each other's artifacts.
+        assert_ne!(safe_file_name("a/b"), safe_file_name("a_b"));
+        assert_ne!(safe_file_name("a/b"), safe_file_name("a b"));
+        assert_ne!(safe_file_name("a/b"), safe_file_name("a\\b"));
+        assert_ne!(safe_file_name(""), safe_file_name("unnamed"));
+        // Both still start with the readable sanitised stem.
+        assert!(safe_file_name("a/b").starts_with("a_b-"));
+        // Deterministic across calls.
+        assert_eq!(safe_file_name("a/b"), safe_file_name("a/b"));
     }
 
     /// Serialises the tests that mutate `PRF_CSV_DIR` (the test harness
@@ -198,7 +243,8 @@ mod tests {
         std::env::remove_var("PRF_CSV_DIR");
         // The file landed inside the directory, not beside it.
         assert_eq!(path.parent().unwrap(), dir.as_path());
-        assert_eq!(path.file_name().unwrap(), ".._escape.csv");
+        let expected = format!(".._escape-{}.csv", crate::digest::short_hash("../escape"));
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), expected);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -31,6 +31,9 @@ use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, PhaseT
 use prf_sim::GpuConfig;
 use prf_workloads::Workload;
 
+use crate::cache::ResultCache;
+use crate::digest::job_digest;
+
 /// One cell of an evaluation matrix: a workload to run under a GPU
 /// configuration (which carries the scheduler and jitter seed) and an RF
 /// organisation.
@@ -111,6 +114,9 @@ pub enum JobOutcome {
         /// The watchdog budget that was exceeded.
         timeout: Duration,
     },
+    /// The job belongs to another shard of a `PRF_SHARD=i/n` run and was
+    /// not executed here. Not a failure — the owning shard computes it.
+    Skipped,
 }
 
 impl JobOutcome {
@@ -120,9 +126,10 @@ impl JobOutcome {
     }
 
     /// True when the job needed retries or failed outright — anything a
-    /// campaign report should flag.
+    /// campaign report should flag. Skipped (sharded-away) jobs are not
+    /// degraded; another process computes them.
     pub fn is_degraded(&self) -> bool {
-        !matches!(self, JobOutcome::Completed)
+        !matches!(self, JobOutcome::Completed | JobOutcome::Skipped)
     }
 }
 
@@ -135,7 +142,65 @@ impl std::fmt::Display for JobOutcome {
             JobOutcome::TimedOut { timeout } => {
                 write!(f, "timed out after {:.1} s", timeout.as_secs_f64())
             }
+            JobOutcome::Skipped => write!(f, "skipped (owned by another shard)"),
         }
+    }
+}
+
+/// One shard of a multi-process matrix split: this process owns every job
+/// whose input index is ≡ `index` (mod `count`). Because every job is
+/// self-contained (per-row-seeded fault maps, own jitter seed), the union
+/// of all shards' cached results is bit-identical to a serial run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This process's shard index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parses an `i/n` spec, e.g. `"0/2"`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed specs, `n == 0`, and `i ≥ n`.
+    pub fn parse(spec: &str) -> Result<ShardSpec, String> {
+        let (i, n) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("`{spec}`: expected `<i>/<n>` (e.g. `0/2`)"))?;
+        let index = i
+            .trim()
+            .parse::<usize>()
+            .map_err(|e| format!("`{spec}`: bad shard index: {e}"))?;
+        let count = n
+            .trim()
+            .parse::<usize>()
+            .map_err(|e| format!("`{spec}`: bad shard count: {e}"))?;
+        if count == 0 {
+            return Err(format!("`{spec}`: shard count must be ≥ 1"));
+        }
+        if index >= count {
+            return Err(format!("`{spec}`: shard index {index} ≥ count {count}"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// True when this shard executes the job at `job_index`.
+    pub fn owns(&self, job_index: usize) -> bool {
+        job_index % self.count == self.index
+    }
+}
+
+/// The shard spec from `PRF_SHARD=i/n`, or `None` when unset. Invalid
+/// specs abort the process — silently running the whole matrix (or the
+/// wrong slice) would waste exactly the work sharding exists to split.
+pub fn shard_from_env() -> Option<ShardSpec> {
+    let v = std::env::var("PRF_SHARD").ok()?;
+    match ShardSpec::parse(&v) {
+        Ok(spec) if spec.count == 1 => None,
+        Ok(spec) => Some(spec),
+        Err(e) => panic!("PRF_SHARD invalid: {e}"),
     }
 }
 
@@ -185,6 +250,15 @@ impl RetryPolicy {
             backoff: Duration::from_millis(parse_env("PRF_RETRY_BACKOFF_MS").unwrap_or(100)),
         }
     }
+
+    /// Back-off to sleep before retry `attempt_no` (1-based): linear
+    /// `attempt_no × backoff`, saturating at `Duration::MAX`. The naive
+    /// `backoff * attempt_no` panics on overflow, so a campaign run with
+    /// huge `PRF_RETRY_BACKOFF_MS` × `PRF_JOB_RETRIES` values would crash
+    /// the worker instead of retrying.
+    pub fn backoff_delay(&self, attempt_no: u32) -> Duration {
+        self.backoff.saturating_mul(attempt_no)
+    }
 }
 
 /// One job's report in a resilient matrix run: its input position, label,
@@ -201,10 +275,16 @@ pub struct JobReport {
     /// run concurrently, so offsets overlap).
     pub started: Duration,
     /// Wall-clock time this job occupied its worker (all attempts,
-    /// including backoff sleeps).
+    /// including backoff sleeps). For a cache hit this replays the
+    /// *original* run's wall-clock, so reports stay bit-identical.
     pub elapsed: Duration,
-    /// The experiment result; `None` iff the outcome is a failure.
+    /// The experiment result; `None` iff the outcome is a failure or the
+    /// job was skipped by sharding.
     pub result: Option<ExperimentResult>,
+    /// Cache disposition: `Some(true)` = served from the result cache,
+    /// `Some(false)` = executed while a cache was configured (a miss),
+    /// `None` = no cache configured, or the job was skipped.
+    pub cached: Option<bool>,
 }
 
 /// The partial-results view of a matrix run: one [`JobReport`] per input
@@ -221,9 +301,20 @@ impl MatrixOutcome {
         self.reports.iter().filter(|r| r.result.is_some())
     }
 
-    /// Reports of jobs that failed (panicked or timed out).
+    /// Reports of jobs that failed (panicked or timed out). Jobs skipped
+    /// by sharding are not failures — another shard computes them.
     pub fn failures(&self) -> impl Iterator<Item = &JobReport> {
-        self.reports.iter().filter(|r| r.result.is_none())
+        self.reports
+            .iter()
+            .filter(|r| r.result.is_none() && r.outcome != JobOutcome::Skipped)
+    }
+
+    /// Jobs skipped because another `PRF_SHARD` process owns them.
+    pub fn skipped_jobs(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Skipped)
+            .count()
     }
 
     /// Jobs that needed retries but eventually succeeded.
@@ -256,8 +347,18 @@ impl MatrixOutcome {
     ///
     /// # Panics
     ///
-    /// Panics when any job panicked or timed out.
+    /// Panics when any job panicked or timed out, or when the run was
+    /// sharded (a shard never holds the complete result set — merge by
+    /// re-running unsharded against the shared `PRF_CACHE_DIR`).
     pub fn expect_complete(self) -> Vec<JobResult> {
+        if self.skipped_jobs() > 0 {
+            panic!(
+                "sharded run is incomplete: {} of {} jobs were skipped by PRF_SHARD; \
+                 merge by re-running unsharded with the same PRF_CACHE_DIR",
+                self.skipped_jobs(),
+                self.reports.len()
+            );
+        }
         if self.failed_jobs() > 0 {
             let manifest = self.failure_manifest();
             let first = self
@@ -305,6 +406,13 @@ pub struct MatrixReport {
     pub retried_jobs: usize,
     /// Jobs that failed outright (panicked or timed out).
     pub failed_jobs: usize,
+    /// Jobs answered from the on-disk result cache (no simulation ran).
+    pub cache_hits: usize,
+    /// Jobs executed while a cache was configured (simulated, then stored
+    /// when cacheable). Zero when `PRF_CACHE_DIR` is unset.
+    pub cache_misses: usize,
+    /// Jobs skipped because another `PRF_SHARD` process owns them.
+    pub skipped_jobs: usize,
     /// Per-phase wall-clock totals summed over every successful job
     /// (CPU-time-like: with N workers this exceeds `elapsed`).
     pub phase_totals: PhaseTimings,
@@ -334,13 +442,26 @@ impl MatrixReport {
         } else {
             String::new()
         };
+        let cache = if self.cache_hits + self.cache_misses > 0 {
+            format!(
+                " [cache: {} hit / {} miss]",
+                self.cache_hits, self.cache_misses
+            )
+        } else {
+            String::new()
+        };
+        let shard = if self.skipped_jobs > 0 {
+            format!(" [shard: {} jobs skipped]", self.skipped_jobs)
+        } else {
+            String::new()
+        };
         let phases = if self.phase_totals.total() > Duration::ZERO {
             format!(" [phases: {}]", self.phase_totals)
         } else {
             String::new()
         };
         format!(
-            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}{degraded}{phases}",
+            "[matrix] {} jobs on {} threads in {:.2} s ({:.1} jobs/s){audit}{degraded}{cache}{shard}{phases}",
             self.jobs, self.threads, secs, rate
         )
     }
@@ -372,10 +493,27 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// A watchdog attempt's message: the generation (attempt ordinal) that
+/// produced it plus the attempt's result or panic payload.
+type AttemptMsg = (u32, Result<ExperimentResult, String>);
+
 /// Runs one attempt, catching panics; with a watchdog the attempt runs on
 /// a detached thread and is abandoned (not killed — the thread keeps
 /// spinning until the process exits) when the budget elapses.
-fn run_attempt<F>(attempt: &F, timeout: Option<Duration>) -> Result<ExperimentResult, JobOutcome>
+///
+/// All attempts of one job share a single channel, so an abandoned
+/// attempt that completes *later* can still deliver its message while a
+/// retry is waiting. Every message therefore carries the generation that
+/// produced it; messages from older generations are discarded, so a
+/// timed-out-then-retried job can never report (or cache) the stale
+/// attempt's result.
+fn run_attempt<F>(
+    attempt: &F,
+    timeout: Option<Duration>,
+    generation: u32,
+    tx: &mpsc::Sender<AttemptMsg>,
+    rx: &mpsc::Receiver<AttemptMsg>,
+) -> Result<ExperimentResult, JobOutcome>
 where
     F: Fn() -> ExperimentResult + Clone + Send + 'static,
 {
@@ -384,17 +522,26 @@ where
             message: panic_message(p),
         }),
         Some(budget) => {
-            let (tx, rx) = mpsc::channel();
             let attempt = attempt.clone();
+            let tx = tx.clone();
             std::thread::spawn(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(&attempt)).map_err(panic_message);
                 // The receiver may have given up already; that's fine.
-                let _ = tx.send(outcome);
+                let _ = tx.send((generation, outcome));
             });
-            match rx.recv_timeout(budget) {
-                Ok(Ok(result)) => Ok(result),
-                Ok(Err(message)) => Err(JobOutcome::Panicked { message }),
-                Err(_) => Err(JobOutcome::TimedOut { timeout: budget }),
+            let deadline = Instant::now() + budget;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(remaining) {
+                    // A previous, abandoned attempt finally finished.
+                    // Its result is stale — the watchdog already declared
+                    // that generation timed out — so drop it and keep
+                    // waiting for the current attempt.
+                    Ok((gen, _)) if gen != generation => continue,
+                    Ok((_, Ok(result))) => return Ok(result),
+                    Ok((_, Err(message))) => return Err(JobOutcome::Panicked { message }),
+                    Err(_) => return Err(JobOutcome::TimedOut { timeout: budget }),
+                }
             }
         }
     }
@@ -414,11 +561,15 @@ where
     F: Fn() -> ExperimentResult + Clone + Send + 'static,
 {
     let mut last_failure = None;
+    // One channel for every attempt of this job: abandoned watchdog
+    // threads keep a sender clone, and their late messages are filtered
+    // out by generation in `run_attempt`.
+    let (tx, rx) = mpsc::channel();
     for attempt_no in 0..=policy.retries {
         if attempt_no > 0 && !policy.backoff.is_zero() {
-            std::thread::sleep(policy.backoff * attempt_no);
+            std::thread::sleep(policy.backoff_delay(attempt_no));
         }
-        match run_attempt(&attempt, policy.timeout) {
+        match run_attempt(&attempt, policy.timeout, attempt_no, &tx, &rx) {
             Ok(result) => {
                 let outcome = if attempt_no == 0 {
                     JobOutcome::Completed
@@ -450,6 +601,7 @@ pub fn run_matrix(jobs: &[Job]) -> Vec<JobResult> {
 /// environment's retry budget.
 pub fn run_matrix_timed(jobs: &[Job]) -> (Vec<JobResult>, MatrixReport) {
     let (outcome, report) = run_matrix_resilient_timed(jobs, RetryPolicy::from_env());
+    exit_if_shard_run(&outcome, Some(&report));
     (outcome.expect_complete(), report)
 }
 
@@ -469,7 +621,9 @@ pub fn run_matrix_timed(jobs: &[Job]) -> (Vec<JobResult>, MatrixReport) {
 /// Re-raises the first (in input order) job failure with the full failure
 /// manifest.
 pub fn run_matrix_with_threads(jobs: &[Job], threads: usize) -> Vec<JobResult> {
-    run_matrix_resilient_with_threads(jobs, RetryPolicy::from_env(), threads).expect_complete()
+    let outcome = run_matrix_resilient_with_threads(jobs, RetryPolicy::from_env(), threads);
+    exit_if_shard_run(&outcome, None);
+    outcome.expect_complete()
 }
 
 /// Crash-proof matrix run on [`threads_from_env`] workers: never panics,
@@ -507,9 +661,47 @@ pub fn run_matrix_resilient_timed(
         audit_violations: audited.iter().map(|a| a.violations.len()).sum(),
         retried_jobs: outcome.retried_jobs(),
         failed_jobs: outcome.failed_jobs(),
+        cache_hits: outcome
+            .reports
+            .iter()
+            .filter(|r| r.cached == Some(true))
+            .count(),
+        cache_misses: outcome
+            .reports
+            .iter()
+            .filter(|r| r.cached == Some(false))
+            .count(),
+        skipped_jobs: outcome.skipped_jobs(),
         phase_totals,
     };
     (outcome, report)
+}
+
+/// Terminates a shard run cleanly: when any job was skipped by `PRF_SHARD`
+/// (and nothing failed), this shard's purpose — computing its slice into
+/// the shared `PRF_CACHE_DIR` — is fulfilled, so print a summary and exit
+/// 0 instead of letting `expect_complete` panic on the missing results.
+/// Merging is a subsequent *unsharded* run over the warmed cache, which is
+/// bit-identical to a serial run. A no-op for unsharded runs; failures
+/// fall through so the normal failure path reports them.
+pub fn exit_if_shard_run(outcome: &MatrixOutcome, report: Option<&MatrixReport>) {
+    let skipped = outcome.skipped_jobs();
+    if skipped == 0 || outcome.failed_jobs() > 0 {
+        return;
+    }
+    if let Some(report) = report {
+        println!("{}", report.footer());
+    }
+    let executed = outcome.reports.len() - skipped;
+    let spec = shard_from_env()
+        .map(|s| format!("{}/{}", s.index, s.count))
+        .unwrap_or_else(|| "?/?".to_string());
+    eprintln!(
+        "[shard {spec}] executed {executed} of {} jobs ({skipped} owned by other shards); \
+         merge by re-running unsharded with the same PRF_CACHE_DIR",
+        outcome.reports.len()
+    );
+    std::process::exit(0);
 }
 
 /// Crash-proof matrix run: every job gets `1 + policy.retries` attempts
@@ -521,24 +713,99 @@ pub fn run_matrix_resilient_with_threads(
     policy: RetryPolicy,
     threads: usize,
 ) -> MatrixOutcome {
+    run_matrix_resilient_configured(
+        jobs,
+        policy,
+        threads,
+        shard_from_env(),
+        ResultCache::from_env().as_ref(),
+    )
+}
+
+/// One worker slot's record of a finished job.
+struct SlotData {
+    outcome: JobOutcome,
+    started: Duration,
+    elapsed: Duration,
+    result: Option<ExperimentResult>,
+    cached: Option<bool>,
+}
+
+/// [`run_matrix_resilient_with_threads`] with the shard filter and result
+/// cache passed explicitly instead of read from the environment — the
+/// testable core, also used by `prf-serve`.
+///
+/// With a `shard`, only jobs whose index the shard owns are executed; the
+/// rest report [`JobOutcome::Skipped`]. With a `cache`, cacheable jobs are
+/// answered from disk when their digest matches a stored entry, and
+/// freshly computed results are stored for the next run. The cache store
+/// happens on the worker thread *after* `run_resilient_job` returns, so —
+/// together with the attempt generation counter — an abandoned watchdog
+/// attempt can never publish a stale entry.
+pub fn run_matrix_resilient_configured(
+    jobs: &[Job],
+    policy: RetryPolicy,
+    threads: usize,
+    shard: Option<ShardSpec>,
+    cache: Option<&ResultCache>,
+) -> MatrixOutcome {
     let threads = threads.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let t0 = Instant::now();
-    type Slot = Mutex<Option<(JobOutcome, Duration, Duration, Option<ExperimentResult>)>>;
-    let slots: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SlotData>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
+                if let Some(spec) = shard {
+                    if !spec.owns(i) {
+                        *slots[i].lock().unwrap() = Some(SlotData {
+                            outcome: JobOutcome::Skipped,
+                            started: t0.elapsed(),
+                            elapsed: Duration::ZERO,
+                            result: None,
+                            cached: None,
+                        });
+                        continue;
+                    }
+                }
+                let started = t0.elapsed();
+                // Consult the cache before simulating. The digest is only
+                // computed when a cache is configured and the job's result
+                // would round-trip exactly (see `ResultCache::is_cacheable`).
+                let digest = cache
+                    .filter(|_| ResultCache::is_cacheable(job))
+                    .map(|_| job_digest(job));
+                if let (Some(cache), Some(digest)) = (cache, &digest) {
+                    if let Some(hit) = cache.load(digest, job) {
+                        *slots[i].lock().unwrap() = Some(SlotData {
+                            outcome: hit.outcome,
+                            started,
+                            elapsed: hit.elapsed,
+                            result: Some(hit.result),
+                            cached: Some(true),
+                        });
+                        continue;
+                    }
+                }
                 // Owned clone so watchdog attempts can move to a detached
                 // thread (cheap: kernels are behind `Arc`).
                 let owned = job.clone();
-                let started = t0.elapsed();
                 let job_start = Instant::now();
                 let (outcome, result) = run_resilient_job(policy, move || owned.run());
-                *slots[i].lock().unwrap() = Some((outcome, started, job_start.elapsed(), result));
+                let elapsed = job_start.elapsed();
+                if let (Some(cache), Some(digest), Some(r)) = (cache, &digest, result.as_ref()) {
+                    cache.store(digest, job, &outcome, elapsed, r);
+                }
+                *slots[i].lock().unwrap() = Some(SlotData {
+                    outcome,
+                    started,
+                    elapsed,
+                    result,
+                    cached: cache.map(|_| false),
+                });
             });
         }
     });
@@ -548,17 +815,18 @@ pub fn run_matrix_resilient_with_threads(
         .zip(jobs)
         .enumerate()
         .map(|(index, (slot, job))| {
-            let (outcome, started, elapsed, result) = slot
+            let data = slot
                 .into_inner()
                 .unwrap_or_else(|e| e.into_inner())
                 .unwrap_or_else(|| panic!("job `{}` was never executed", job.name));
             JobReport {
                 index,
                 name: job.name.clone(),
-                outcome,
-                started,
-                elapsed,
-                result,
+                outcome: data.outcome,
+                started: data.started,
+                elapsed: data.elapsed,
+                result: data.result,
+                cached: data.cached,
             }
         })
         .collect();
@@ -638,6 +906,9 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 0,
             failed_jobs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            skipped_jobs: 0,
             phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
@@ -664,6 +935,9 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 0,
             failed_jobs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            skipped_jobs: 0,
             phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
@@ -680,6 +954,9 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 2,
             failed_jobs: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+            skipped_jobs: 0,
             phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
@@ -699,6 +976,9 @@ mod tests {
                 audit_violations: 0,
                 retried_jobs: 0,
                 failed_jobs: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                skipped_jobs: 0,
                 phase_totals: PhaseTimings::default(),
             };
             let f = r.footer();
@@ -717,6 +997,9 @@ mod tests {
             audit_violations: 0,
             retried_jobs: 0,
             failed_jobs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            skipped_jobs: 0,
             phase_totals: PhaseTimings {
                 setup: Duration::from_millis(5),
                 simulate: Duration::from_millis(900),
@@ -838,6 +1121,200 @@ mod tests {
             }
         );
         assert!(result.is_none());
+    }
+
+    #[test]
+    fn shard_spec_parses_and_partitions() {
+        let s = ShardSpec::parse("1/3").unwrap();
+        assert_eq!(s, ShardSpec { index: 1, count: 3 });
+        assert!(!s.owns(0));
+        assert!(s.owns(1));
+        assert!(!s.owns(2));
+        assert!(s.owns(4));
+        assert!(ShardSpec::parse("3/3").is_err(), "index must be < count");
+        assert!(ShardSpec::parse("0/0").is_err(), "count must be ≥ 1");
+        assert!(ShardSpec::parse("a/2").is_err());
+        assert!(ShardSpec::parse("2").is_err());
+    }
+
+    #[test]
+    fn sharded_union_over_cache_matches_serial_exactly() {
+        let dir = std::env::temp_dir().join(format!("prf_shard_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::cache::ResultCache::at(&dir);
+        let jobs = tiny_jobs(5);
+        // Reference: plain serial run, no cache, no shard.
+        let serial = run_matrix_resilient_configured(&jobs, RetryPolicy::none(), 1, None, None);
+        // Two shard processes fill the shared cache with their slices.
+        for index in 0..2 {
+            let spec = ShardSpec { index, count: 2 };
+            let outcome = run_matrix_resilient_configured(
+                &jobs,
+                RetryPolicy::none(),
+                2,
+                Some(spec),
+                Some(&cache),
+            );
+            assert_eq!(outcome.failed_jobs(), 0);
+            let owned = (0..jobs.len()).filter(|&i| spec.owns(i)).count();
+            assert_eq!(outcome.skipped_jobs(), jobs.len() - owned);
+            for (i, r) in outcome.reports.iter().enumerate() {
+                if spec.owns(i) {
+                    assert_eq!(r.outcome, JobOutcome::Completed);
+                    assert_eq!(r.cached, Some(false), "first shard run must miss");
+                } else {
+                    assert_eq!(r.outcome, JobOutcome::Skipped);
+                    assert!(r.result.is_none());
+                }
+            }
+        }
+        // The merge: an unsharded run over the warmed cache. Zero
+        // simulations (every job a hit), simulation outputs bit-identical
+        // to serial. Wall-clock phase profiles are measurements of *this*
+        // host, not simulation outputs — the merge replays the shard
+        // runs' timings, so they are excluded from the serial comparison.
+        let merged =
+            run_matrix_resilient_configured(&jobs, RetryPolicy::none(), 2, None, Some(&cache));
+        assert_eq!(merged.reports.len(), serial.reports.len());
+        for (a, b) in serial.reports.iter().zip(&merged.reports) {
+            assert_eq!(b.cached, Some(true), "merge run must be all cache hits");
+            assert_eq!(b.outcome, JobOutcome::Completed);
+            assert_eq!(a.name, b.name);
+            let mut sa = a.result.clone().unwrap();
+            let mut sb = b.result.clone().unwrap();
+            sa.phases = PhaseTimings::default();
+            sb.phases = PhaseTimings::default();
+            assert_eq!(
+                sa, sb,
+                "cache-merged result must equal the serial run's, field for field"
+            );
+        }
+        // A *second* merge run replays the exact same stored entries —
+        // including wall-clock — so it is fully identical to the first.
+        let warm =
+            run_matrix_resilient_configured(&jobs, RetryPolicy::none(), 2, None, Some(&cache));
+        for (a, b) in merged.reports.iter().zip(&warm.reports) {
+            assert_eq!(a.result, b.result, "warm replays are bit-identical");
+            assert_eq!(a.elapsed, b.elapsed, "stored wall-clock is replayed");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn footer_reports_cache_and_shard_segments() {
+        let mut r = MatrixReport {
+            jobs: 10,
+            threads: 4,
+            elapsed: Duration::from_secs(2),
+            audited_jobs: 0,
+            audit_violations: 0,
+            retried_jobs: 0,
+            failed_jobs: 0,
+            cache_hits: 7,
+            cache_misses: 3,
+            skipped_jobs: 0,
+            phase_totals: PhaseTimings::default(),
+        };
+        assert!(
+            r.footer().contains("[cache: 7 hit / 3 miss]"),
+            "{}",
+            r.footer()
+        );
+        r.skipped_jobs = 5;
+        assert!(
+            r.footer().contains("[shard: 5 jobs skipped]"),
+            "{}",
+            r.footer()
+        );
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        assert!(!r.footer().contains("[cache:"), "{}", r.footer());
+    }
+
+    #[test]
+    #[should_panic(expected = "skipped by PRF_SHARD")]
+    fn expect_complete_rejects_sharded_outcomes() {
+        let jobs = tiny_jobs(2);
+        let spec = ShardSpec { index: 0, count: 2 };
+        run_matrix_resilient_configured(&jobs, RetryPolicy::none(), 1, Some(spec), None)
+            .expect_complete();
+    }
+
+    #[test]
+    fn backoff_delay_saturates_instead_of_panicking() {
+        // Satellite regression: `backoff * attempt_no` panics on overflow,
+        // so PRF_RETRY_BACKOFF_MS / PRF_JOB_RETRIES values near the limits
+        // crashed the worker thread instead of retrying.
+        let policy = RetryPolicy {
+            timeout: None,
+            retries: u32::MAX,
+            backoff: Duration::from_millis(u64::MAX / 100),
+        };
+        assert_eq!(policy.backoff_delay(u32::MAX), Duration::MAX);
+        assert_eq!(policy.backoff_delay(0), Duration::ZERO);
+        let sane = RetryPolicy {
+            timeout: None,
+            retries: 3,
+            backoff: Duration::from_millis(100),
+        };
+        // Linear schedule is unchanged in the non-saturating range.
+        assert_eq!(sane.backoff_delay(1), Duration::from_millis(100));
+        assert_eq!(sane.backoff_delay(3), Duration::from_millis(300));
+    }
+
+    /// A fabricated result whose `cycles` value identifies which attempt
+    /// produced it.
+    fn marker_result(cycles: u64) -> ExperimentResult {
+        ExperimentResult {
+            rf_name: "mrf@stv",
+            cycles,
+            stats: prf_sim::SmStats::new(),
+            per_launch: Vec::new(),
+            telemetry: Default::default(),
+            dynamic_energy_pj: 0.0,
+            baseline_dynamic_energy_pj: 0.0,
+            leakage_energy_pj: 0.0,
+            baseline_leakage_energy_pj: 0.0,
+            repair_energy_pj: 0.0,
+            phases: PhaseTimings::default(),
+            audit: None,
+        }
+    }
+
+    #[test]
+    fn stale_watchdog_result_is_discarded() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        // Attempt 0 outlives its watchdog budget (500 ms) and delivers a
+        // stale result at ~700 ms — squarely inside attempt 1's wait
+        // window (500..1000 ms), *before* attempt 1's own result at
+        // ~850 ms. Without generation tagging the retry would adopt the
+        // abandoned attempt's result (cycles = 111).
+        let calls = Arc::new(AtomicU32::new(0));
+        let policy = RetryPolicy {
+            timeout: Some(Duration::from_millis(500)),
+            retries: 1,
+            backoff: Duration::ZERO,
+        };
+        let (outcome, result) = run_resilient_job(policy, {
+            let calls = Arc::clone(&calls);
+            move || {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(700));
+                    marker_result(111)
+                } else {
+                    std::thread::sleep(Duration::from_millis(350));
+                    marker_result(222)
+                }
+            }
+        });
+        assert_eq!(outcome, JobOutcome::Retried { attempts: 2 });
+        let result = result.expect("retry succeeded");
+        assert_eq!(
+            result.cycles, 222,
+            "job must report the live attempt's result, not the abandoned one's"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1,0 +1,717 @@
+//! Serve-many front end: a line-oriented job server over TCP.
+//!
+//! `prf-serve` turns the resilient matrix runner plus the on-disk result
+//! cache into a long-lived experiment service. Clients connect over TCP
+//! and speak a newline-delimited JSON protocol — one request object per
+//! line, one response object per line:
+//!
+//! | request                                   | response                                     |
+//! |-------------------------------------------|----------------------------------------------|
+//! | `{"op":"ping"}`                           | `{"ok":true,"pong":true,"version":1}`        |
+//! | `{"op":"submit","jobs":[<spec>,…]}`       | `{"ok":true,"batch":N,"jobs":K}`             |
+//! | `{"op":"poll","batch":N}`                 | `{"ok":true,"state":"queued"\|"running"\|"done"}` |
+//! | `{"op":"fetch","batch":N}`                | `{"ok":true,"report":{…}}` once done         |
+//! | `{"op":"shutdown"}`                       | `{"ok":true,"stopping":true}`                |
+//!
+//! Any error — unknown op, malformed spec, unknown batch, server at
+//! capacity — comes back as `{"ok":false,"error":"…"}` on the same line;
+//! the connection stays usable.
+//!
+//! A job spec selects everything the simulator needs by name:
+//!
+//! ```json
+//! {"workload":"BFS","rf":"partitioned","scheduler":"GTO",
+//!  "seed":2,"audit":true,"faults":"42,0.3"}
+//! ```
+//!
+//! `workload` resolves through [`prf_workloads::suite::by_name`]; `rf`
+//! through [`rf_by_name`] (paper-default configurations); `scheduler`
+//! (default `GTO`), `seed` (default 0), `audit` (default false) and
+//! `faults` (`"<seed>,<vdd>"`, default none) are optional.
+//!
+//! Batches execute in submission order on a single worker thread that
+//! drives [`runner::run_matrix_resilient_configured`] — so every batch
+//! gets the full worker pool, the retry/watchdog policy, and the result
+//! cache ([`ResultCache::from_env`]) for free. In-flight batching is
+//! bounded: at most [`ServeConfig::max_inflight`] batches may be queued
+//! or running at once; submissions beyond that are refused with a
+//! capacity error rather than queued without bound. `shutdown` is
+//! graceful — the listener stops accepting, queued batches drain, and
+//! [`serve`] returns.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use prf_core::{DrowsyConfig, PartitionedRfConfig, RfKind, RfcConfig};
+use prf_sim::{GpuConfig, SchedulerPolicy};
+
+use crate::bench_report::{outcome_json, result_json};
+use crate::cache::ResultCache;
+use crate::json::Json;
+use crate::runner::{self, Job, RetryPolicy};
+
+/// Version of the line protocol, reported by `ping`. Bump on breaking
+/// changes to request or response shapes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Tunables for one [`serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads for each batch's matrix run.
+    pub threads: usize,
+    /// Retry/watchdog policy applied to every job.
+    pub policy: RetryPolicy,
+    /// Maximum batches queued-or-running at once; further submissions
+    /// are refused with a capacity error.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            policy: RetryPolicy::none(),
+            max_inflight: 4,
+        }
+    }
+}
+
+/// Resolves an RF organisation by report name, using the paper-default
+/// configuration for parameterised kinds. Accepted names (ASCII
+/// case-insensitive): `MRF@STV`, `MRF@NTV`, `partitioned`,
+/// `partitioned-plain` (no adaptive FRF), `RFC`, `drowsy`.
+pub fn rf_by_name(name: &str, gpu: &GpuConfig) -> Option<RfKind> {
+    let n = name.trim();
+    let eq = |s: &str| n.eq_ignore_ascii_case(s);
+    if eq("MRF@STV") {
+        Some(RfKind::MrfStv)
+    } else if eq("MRF@NTV") {
+        Some(RfKind::MrfNtv { latency: 3 })
+    } else if eq("partitioned") {
+        Some(RfKind::Partitioned(PartitionedRfConfig::paper_default(
+            gpu.num_rf_banks,
+        )))
+    } else if eq("partitioned-plain") {
+        Some(RfKind::Partitioned(PartitionedRfConfig::without_adaptive(
+            gpu.num_rf_banks,
+        )))
+    } else if eq("RFC") {
+        Some(RfKind::Rfc(RfcConfig::paper_default(
+            gpu.num_rf_banks,
+            gpu.max_warps_per_sm,
+        )))
+    } else if eq("drowsy") {
+        Some(RfKind::Drowsy(DrowsyConfig::paper_adjacent(
+            gpu.num_rf_banks,
+            gpu.max_warps_per_sm,
+        )))
+    } else {
+        None
+    }
+}
+
+fn scheduler_by_name(name: &str) -> Option<SchedulerPolicy> {
+    if name.eq_ignore_ascii_case("GTO") {
+        Some(SchedulerPolicy::Gto)
+    } else if name.eq_ignore_ascii_case("LRR") {
+        Some(SchedulerPolicy::Lrr)
+    } else {
+        None
+    }
+}
+
+/// Builds a [`Job`] from one protocol job spec. Errors name the offending
+/// field so the client can fix its request.
+pub fn job_from_spec(spec: &Json) -> Result<Job, String> {
+    let workload_name = spec
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("job spec needs a string `workload` field")?;
+    let workload = prf_workloads::suite::by_name(workload_name)
+        .ok_or_else(|| format!("unknown workload {workload_name:?}"))?;
+
+    let scheduler = match spec.get("scheduler") {
+        None => SchedulerPolicy::Gto,
+        Some(s) => {
+            let name = s.as_str().ok_or("`scheduler` must be a string")?;
+            scheduler_by_name(name).ok_or_else(|| format!("unknown scheduler {name:?}"))?
+        }
+    };
+    let seed = match spec.get("seed") {
+        None => 0,
+        Some(s) => s.as_u64().ok_or("`seed` must be a non-negative integer")?,
+    };
+    let audit = match spec.get("audit") {
+        None => false,
+        Some(a) => a.as_bool().ok_or("`audit` must be a boolean")?,
+    };
+    let gpu = GpuConfig {
+        scheduler,
+        jitter_seed: seed,
+        audit,
+        ..GpuConfig::kepler_single_sm()
+    };
+
+    let rf_name = spec
+        .get("rf")
+        .and_then(Json::as_str)
+        .ok_or("job spec needs a string `rf` field")?;
+    let rf = rf_by_name(rf_name, &gpu).ok_or_else(|| format!("unknown rf {rf_name:?}"))?;
+
+    let faults = match spec.get("faults") {
+        None => None,
+        Some(f) => {
+            let spec = f
+                .as_str()
+                .ok_or("`faults` must be a `\"<seed>,<vdd>\"` string")?;
+            let (fault_seed, vdd) =
+                crate::parse_faults_spec(spec).map_err(|e| format!("bad `faults`: {e}"))?;
+            Some(crate::fault_config_for(fault_seed, vdd))
+        }
+    };
+
+    Ok(Job::new(
+        format!("{}/{}/seed{}", workload.name, rf.name(), seed),
+        &workload,
+        &gpu,
+        &rf,
+    )
+    .with_faults(faults))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchState {
+    Queued,
+    Running,
+    Done,
+}
+
+impl BatchState {
+    fn name(self) -> &'static str {
+        match self {
+            BatchState::Queued => "queued",
+            BatchState::Running => "running",
+            BatchState::Done => "done",
+        }
+    }
+}
+
+struct Batch {
+    id: u64,
+    jobs: Vec<Job>,
+    state: BatchState,
+    report: Option<Json>,
+}
+
+#[derive(Default)]
+struct ServerState {
+    batches: Vec<Batch>,
+    queue: VecDeque<usize>,
+    next_id: u64,
+    stopping: bool,
+}
+
+impl ServerState {
+    fn inflight(&self) -> usize {
+        self.batches
+            .iter()
+            .filter(|b| b.state != BatchState::Done)
+            .count()
+    }
+
+    fn find(&self, id: u64) -> Option<usize> {
+        self.batches.iter().position(|b| b.id == id)
+    }
+}
+
+struct Shared {
+    state: Mutex<ServerState>,
+    work: Condvar,
+}
+
+fn batch_report_json(batch_id: u64, outcome: &runner::MatrixOutcome) -> Json {
+    let jobs: Vec<Json> = outcome
+        .reports
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.name.as_str())
+                .field("outcome", outcome_json(&r.outcome))
+                .field("cached", r.cached.map_or(Json::Null, Json::Bool))
+                .field("result", r.result.as_ref().map_or(Json::Null, result_json))
+        })
+        .collect();
+    let failed = outcome
+        .reports
+        .iter()
+        .filter(|r| r.result.is_none())
+        .count();
+    let hits = outcome
+        .reports
+        .iter()
+        .filter(|r| r.cached == Some(true))
+        .count();
+    Json::obj()
+        .field("batch", batch_id)
+        .field("jobs", outcome.reports.len() as u64)
+        .field("failed_jobs", failed as u64)
+        .field("cache_hits", hits as u64)
+        .field("results", Json::Arr(jobs))
+}
+
+fn worker_loop(shared: &Shared, config: &ServeConfig, cache: Option<&ResultCache>) {
+    loop {
+        let (slot, jobs) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(slot) = st.queue.pop_front() {
+                    st.batches[slot].state = BatchState::Running;
+                    break (slot, st.batches[slot].jobs.clone());
+                }
+                if st.stopping {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let outcome = runner::run_matrix_resilient_configured(
+            &jobs,
+            config.policy,
+            config.threads,
+            None,
+            cache,
+        );
+        let mut st = shared.state.lock().unwrap();
+        let report = batch_report_json(st.batches[slot].id, &outcome);
+        st.batches[slot].report = Some(report);
+        st.batches[slot].state = BatchState::Done;
+        drop(st);
+        shared.work.notify_all();
+    }
+}
+
+fn handle_request(req: &Json, shared: &Shared, config: &ServeConfig) -> (Json, bool) {
+    let err = |msg: String| (Json::obj().field("ok", false).field("error", msg), false);
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return err("request needs a string `op` field".into());
+    };
+    match op {
+        "ping" => (
+            Json::obj()
+                .field("ok", true)
+                .field("pong", true)
+                .field("version", PROTOCOL_VERSION),
+            false,
+        ),
+        "submit" => {
+            let Some(specs) = req.get("jobs").and_then(Json::as_arr) else {
+                return err("submit needs a `jobs` array".into());
+            };
+            if specs.is_empty() {
+                return err("submit needs at least one job".into());
+            }
+            let mut jobs = Vec::with_capacity(specs.len());
+            for (i, spec) in specs.iter().enumerate() {
+                match job_from_spec(spec) {
+                    Ok(job) => jobs.push(job),
+                    Err(e) => return err(format!("job {i}: {e}")),
+                }
+            }
+            let mut st = shared.state.lock().unwrap();
+            if st.stopping {
+                return err("server is shutting down".into());
+            }
+            if st.inflight() >= config.max_inflight {
+                return err(format!(
+                    "server at capacity ({} batches in flight); retry after a poll shows `done`",
+                    config.max_inflight
+                ));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            let count = jobs.len();
+            st.batches.push(Batch {
+                id,
+                jobs,
+                state: BatchState::Queued,
+                report: None,
+            });
+            let slot = st.batches.len() - 1;
+            st.queue.push_back(slot);
+            drop(st);
+            shared.work.notify_all();
+            (
+                Json::obj()
+                    .field("ok", true)
+                    .field("batch", id)
+                    .field("jobs", count as u64),
+                false,
+            )
+        }
+        "poll" | "fetch" => {
+            let Some(id) = req.get("batch").and_then(Json::as_u64) else {
+                return err(format!("{op} needs a numeric `batch` field"));
+            };
+            let st = shared.state.lock().unwrap();
+            let Some(slot) = st.find(id) else {
+                return err(format!("unknown batch {id}"));
+            };
+            let batch = &st.batches[slot];
+            if op == "poll" {
+                (
+                    Json::obj()
+                        .field("ok", true)
+                        .field("batch", id)
+                        .field("state", batch.state.name()),
+                    false,
+                )
+            } else {
+                match &batch.report {
+                    Some(report) => (
+                        Json::obj()
+                            .field("ok", true)
+                            .field("report", report.clone()),
+                        false,
+                    ),
+                    None => err(format!(
+                        "batch {id} is {}; fetch only after poll reports `done`",
+                        batch.state.name()
+                    )),
+                }
+            }
+        }
+        "shutdown" => {
+            let mut st = shared.state.lock().unwrap();
+            st.stopping = true;
+            drop(st);
+            shared.work.notify_all();
+            (Json::obj().field("ok", true).field("stopping", true), true)
+        }
+        other => err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Runs the server until a client sends `shutdown`: accepts connections
+/// on `listener`, answers the line protocol, and executes batches on one
+/// worker thread through the resilient runner and `cache`. Queued batches
+/// drain before this returns; idle clients that never disconnect do NOT
+/// block shutdown — their handler threads are detached and die with the
+/// process.
+pub fn serve(listener: TcpListener, config: ServeConfig, cache: Option<ResultCache>) {
+    let local = listener.local_addr().ok();
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ServerState::default()),
+        work: Condvar::new(),
+    });
+
+    let worker_shared = Arc::clone(&shared);
+    let worker_config = config.clone();
+    let worker = std::thread::spawn(move || {
+        worker_loop(&worker_shared, &worker_config, cache.as_ref());
+    });
+
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                eprintln!("prf-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        if shared.state.lock().unwrap().stopping {
+            // A wake-up connection (or a late client) after shutdown:
+            // stop accepting and drain.
+            drop(stream);
+            break;
+        }
+        let client_shared = Arc::clone(&shared);
+        let client_config = config.clone();
+        std::thread::spawn(move || {
+            handle_client(stream, &client_shared, &client_config, local);
+        });
+    }
+    let _ = worker.join();
+}
+
+fn handle_client(
+    stream: TcpStream,
+    shared: &Shared,
+    config: &ServeConfig,
+    local: Option<SocketAddr>,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("prf-serve: cannot clone client stream: {e}");
+            return;
+        }
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match Json::parse(&line) {
+            Ok(req) => handle_request(&req, shared, config),
+            Err(e) => (
+                Json::obj()
+                    .field("ok", false)
+                    .field("error", format!("bad JSON: {e}")),
+                false,
+            ),
+        };
+        let mut body = response.to_json();
+        body.push('\n');
+        if writer.write_all(body.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop {
+            // Unblock the accept loop so `serve` can notice `stopping`.
+            if let Some(addr) = local {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Json) -> Json {
+        let mut line = req.to_json();
+        line.push('\n');
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(&response).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    fn spec(workload: &str, rf: &str, seed: u64) -> Json {
+        Json::obj()
+            .field("workload", workload)
+            .field("rf", rf)
+            .field("seed", seed)
+            .field("audit", true)
+    }
+
+    #[test]
+    fn job_specs_resolve_names_and_reject_nonsense() {
+        let job = job_from_spec(&spec("BFS", "partitioned", 7)).unwrap();
+        assert_eq!(job.name, "BFS/partitioned/seed7");
+        assert_eq!(job.gpu.jitter_seed, 7);
+        assert!(job.gpu.audit);
+        assert!(matches!(job.rf, RfKind::Partitioned(_)));
+
+        assert!(job_from_spec(&spec("NoSuchWorkload", "partitioned", 0))
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(job_from_spec(&spec("BFS", "no-such-rf", 0))
+            .unwrap_err()
+            .contains("unknown rf"));
+        assert!(job_from_spec(&Json::obj().field("rf", "RFC"))
+            .unwrap_err()
+            .contains("workload"));
+    }
+
+    #[test]
+    fn rf_names_cover_every_kind() {
+        let gpu = GpuConfig::kepler_single_sm();
+        for (name, want) in [
+            ("MRF@STV", "MRF@STV"),
+            ("mrf@ntv", "MRF@NTV"),
+            ("partitioned", "partitioned"),
+            ("partitioned-plain", "partitioned"),
+            ("rfc", "RFC"),
+            ("Drowsy", "drowsy"),
+        ] {
+            assert_eq!(rf_by_name(name, &gpu).unwrap().name(), want, "{name}");
+        }
+        assert!(rf_by_name("mrf", &gpu).is_none());
+    }
+
+    #[test]
+    fn serves_two_concurrent_clients_with_clean_audits() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            threads: 2,
+            policy: RetryPolicy::none(),
+            max_inflight: 4,
+        };
+        let server = std::thread::spawn(move || serve(listener, config, None));
+
+        let submit = move |workload: &str, seed: u64| {
+            let (mut stream, mut reader) = connect(addr);
+            let pong = roundtrip(&mut stream, &mut reader, &Json::obj().field("op", "ping"));
+            assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(
+                pong.get("version").unwrap().as_u64(),
+                Some(PROTOCOL_VERSION)
+            );
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj().field("op", "submit").field(
+                    "jobs",
+                    Json::Arr(vec![
+                        spec(workload, "partitioned", seed),
+                        spec(workload, "MRF@NTV", seed),
+                    ]),
+                ),
+            );
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+            assert_eq!(resp.get("jobs").unwrap().as_u64(), Some(2));
+            let batch = resp.get("batch").unwrap().as_u64().unwrap();
+            (stream, reader, batch)
+        };
+
+        // Two clients submit concurrently, then each polls its own batch
+        // to completion and fetches its report.
+        let client_a = std::thread::spawn(move || submit("BFS", 1));
+        let (mut sb, mut rb, batch_b) = {
+            let (stream, reader) = connect(addr);
+            let mut stream = stream;
+            let mut reader = reader;
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj()
+                    .field("op", "submit")
+                    .field("jobs", Json::Arr(vec![spec("NW", "partitioned", 2)])),
+            );
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+            (stream, reader, resp.get("batch").unwrap().as_u64().unwrap())
+        };
+        let (mut sa, mut ra, batch_a) = client_a.join().unwrap();
+
+        let fetch = |stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, batch: u64| {
+            loop {
+                let poll = roundtrip(
+                    stream,
+                    reader,
+                    &Json::obj().field("op", "poll").field("batch", batch),
+                );
+                assert_eq!(poll.get("ok").unwrap().as_bool(), Some(true), "{poll:?}");
+                if poll.get("state").unwrap().as_str() == Some("done") {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let resp = roundtrip(
+                stream,
+                reader,
+                &Json::obj().field("op", "fetch").field("batch", batch),
+            );
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+            resp.get("report").unwrap().clone()
+        };
+
+        for (report, expect_jobs) in [
+            (fetch(&mut sa, &mut ra, batch_a), 2),
+            (fetch(&mut sb, &mut rb, batch_b), 1),
+        ] {
+            assert_eq!(report.get("failed_jobs").unwrap().as_u64(), Some(0));
+            let results = report.get("results").unwrap().as_arr().unwrap();
+            assert_eq!(results.len(), expect_jobs);
+            for job in results {
+                let audit = job.get("result").unwrap().get("audit").unwrap();
+                assert_eq!(
+                    audit.get("clean").and_then(Json::as_bool),
+                    Some(true),
+                    "audit must be clean: {job:?}"
+                );
+            }
+        }
+
+        // Cross-client visibility: client B can poll client A's batch.
+        let poll = roundtrip(
+            &mut sb,
+            &mut rb,
+            &Json::obj().field("op", "poll").field("batch", batch_a),
+        );
+        assert_eq!(poll.get("state").unwrap().as_str(), Some("done"));
+        // Unknown batches and bad requests error without killing the line.
+        let bad = roundtrip(
+            &mut sb,
+            &mut rb,
+            &Json::obj().field("op", "fetch").field("batch", 999u64),
+        );
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+        let worse = roundtrip(&mut sb, &mut rb, &Json::obj().field("op", "dance"));
+        assert!(worse
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown op"));
+
+        let stop = roundtrip(&mut sb, &mut rb, &Json::obj().field("op", "shutdown"));
+        assert_eq!(stop.get("stopping").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn submit_beyond_capacity_is_refused_not_queued() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 1,
+        };
+        let server = std::thread::spawn(move || serve(listener, config, None));
+        let (mut stream, mut reader) = connect(addr);
+
+        let first = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj()
+                .field("op", "submit")
+                .field("jobs", Json::Arr(vec![spec("BFS", "MRF@STV", 0)])),
+        );
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+        let second = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj()
+                .field("op", "submit")
+                .field("jobs", Json::Arr(vec![spec("BFS", "MRF@STV", 1)])),
+        );
+        // The worker may already have drained batch 0; only a refusal
+        // must carry the capacity diagnostic.
+        if second.get("ok").unwrap().as_bool() == Some(false) {
+            assert!(second
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("capacity"));
+        }
+
+        let stop = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "shutdown"),
+        );
+        assert_eq!(stop.get("ok").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+    }
+}

@@ -117,7 +117,7 @@ impl std::fmt::Display for PhaseTimings {
 }
 
 /// Result of running a workload under one RF organisation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// RF organisation name.
     pub rf_name: &'static str,

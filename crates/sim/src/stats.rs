@@ -97,6 +97,12 @@ impl RegisterAccessHistogram {
         &self.counts
     }
 
+    /// Rebuilds a histogram from raw counts — the inverse of [`counts`](Self::counts),
+    /// used by the bench result cache to round-trip results through disk.
+    pub fn from_counts(counts: [u64; MAX_ARCH_REGS]) -> Self {
+        RegisterAccessHistogram { counts }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &RegisterAccessHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -173,6 +179,18 @@ impl PartitionAccessCounts {
         } else {
             self.accesses(partition) as f64 / t as f64
         }
+    }
+
+    /// Raw (reads, writes) counter arrays, dense by
+    /// [`RfPartition::index`] — for serialisation.
+    pub fn raw(&self) -> (&[u64; 8], &[u64; 8]) {
+        (&self.reads, &self.writes)
+    }
+
+    /// Rebuilds counters from raw arrays (dense by [`RfPartition::index`])
+    /// — the inverse of [`raw`](Self::raw), used by the bench result cache.
+    pub fn from_raw(reads: [u64; 8], writes: [u64; 8]) -> Self {
+        PartitionAccessCounts { reads, writes }
     }
 
     /// Merges another counter set into this one.

@@ -361,8 +361,8 @@ mod tests {
         };
         // Two per-SM streams; intra-SM order is the emission order and must
         // survive normalisation.
-        let sm0 = vec![ev(1, 0, 0), ev(1, 0, 1), ev(3, 0, 2)];
-        let sm1 = vec![ev(1, 1, 7), ev(2, 1, 8)];
+        let sm0 = [ev(1, 0, 0), ev(1, 0, 1), ev(3, 0, 2)];
+        let sm1 = [ev(1, 1, 7), ev(2, 1, 8)];
 
         let mut merged_a: Vec<TraceEvent> = sm0.iter().chain(sm1.iter()).copied().collect();
         let mut merged_b: Vec<TraceEvent> = sm1.iter().chain(sm0.iter()).copied().collect();

@@ -154,14 +154,14 @@ fn tampered_sm_counter_is_caught_with_cycle_and_sm_provenance() {
         Box::new(BaselineRf::stv(24)),
     );
     sm.notify_kernel_launch(0);
-    let mut global = GlobalMemory::new(config.global_mem_words);
+    let global = GlobalMemory::new(config.global_mem_words);
     let mut next_cta = 0u32;
     let mut cycle = 0u64;
     loop {
         while next_cta < grid.num_ctas && sm.try_dispatch_cta(CtaId(next_cta), cycle) {
             next_cta += 1;
         }
-        sm.cycle(cycle, &mut global);
+        sm.cycle(cycle, &global);
         cycle += 1;
         if next_cta == grid.num_ctas && sm.is_idle() {
             break;

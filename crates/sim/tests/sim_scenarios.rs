@@ -116,7 +116,7 @@ fn live_residency_respects_hardware_limits() {
         Box::new(BaselineRf::stv(24)),
     );
     sm.notify_kernel_launch(0);
-    let mut global = GlobalMemory::new(config.global_mem_words);
+    let global = GlobalMemory::new(config.global_mem_words);
     let mut next = 0u32;
     let mut peak_warps = 0usize;
     for cycle in 0..200_000u64 {
@@ -131,7 +131,7 @@ fn live_residency_respects_hardware_limits() {
         assert!(sm.resident_warps() <= config.max_warps_per_sm);
         assert!(sm.resident_ctas() <= config.max_ctas_per_sm);
         peak_warps = peak_warps.max(sm.resident_warps());
-        sm.cycle(cycle, &mut global);
+        sm.cycle(cycle, &global);
         if next == grid.num_ctas && sm.is_idle() {
             // The pipeline should have reached the occupancy model's
             // steady-state warp count at some point.
