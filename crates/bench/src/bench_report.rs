@@ -49,6 +49,9 @@ pub(crate) fn outcome_json(outcome: &JobOutcome) -> Json {
         JobOutcome::TimedOut { timeout } => Json::obj()
             .field("kind", "timed_out")
             .field("timeout_s", timeout.as_secs_f64()),
+        JobOutcome::Rejected { reason } => Json::obj()
+            .field("kind", "rejected")
+            .field("reason", reason.as_str()),
         JobOutcome::Skipped => Json::obj().field("kind", "skipped"),
     }
 }
@@ -252,6 +255,16 @@ mod tests {
             message: "boom".into(),
         });
         assert_eq!(panicked.get("message").unwrap().as_str(), Some("boom"));
+        let rejected = outcome_json(&JobOutcome::Rejected {
+            reason: "rejected input: invalid config: num_sms: must be at least 1".into(),
+        });
+        assert_eq!(rejected.get("kind").unwrap().as_str(), Some("rejected"));
+        assert!(rejected
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("num_sms"));
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! prf-fuzz — differential and mutation fuzzing of the simulator stack.
+//!
+//! Two modes, both driven by the seeded [`RandomKernelGenerator`] so any
+//! failing case can be replayed from its `(seed, index)` pair:
+//!
+//! * **differential** — every generated kernel must pass the validator,
+//!   run audit-clean under every scheduler × RF model, produce a
+//!   bit-identical `SimResult` at `sm_threads` 1 vs 2, and yield the same
+//!   instruction count and final output image across *all* cells (the
+//!   generator's race-freedom discipline makes architectural state a pure
+//!   function of the kernel — see `prf_workloads::generate`).
+//! * **mutation** — encoded kernels are bit-flipped and re-decoded: every
+//!   corrupted stream must be rejected by the codec or the validator (or
+//!   decode back to a still-valid kernel), but must *never* panic. A
+//!   fixed set of targeted semantic corruptions additionally asserts the
+//!   validator rejects each with instruction-index provenance.
+//!
+//! ```text
+//! prf-fuzz [--seeds N] [--seed S] [--mode differential|mutation|all]
+//! ```
+//!
+//! Exits non-zero if any case fails; CI runs a fixed budget of both modes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use prf_bench::runner::threads_from_env;
+use prf_core::{
+    rf_model_factory, shared_telemetry, DrowsyConfig, PartitionedRfConfig, RfKind, RfcConfig,
+};
+use prf_isa::{
+    decode_kernel, encode_kernel, Dst, Instruction, Kernel, KernelBuilder, KernelValidator, Opcode,
+    Operand, PredReg, Reg,
+};
+use prf_sim::{Gpu, GpuConfig, SchedulerPolicy, SimResult};
+use prf_workloads::generate::{
+    FuzzCase, KernelGenerator, RandomKernelGenerator, MEM_WORDS, OUT_BASE,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Differential,
+    Mutation,
+    All,
+}
+
+struct Args {
+    seeds: u64,
+    seed: u64,
+    mode: Mode,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 200,
+        seed: 0xC0FFEE,
+        mode: Mode::All,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--seeds: {e}")))
+            }
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--seed: {e}")))
+            }
+            "--mode" => {
+                args.mode = match value("--mode").as_str() {
+                    "differential" => Mode::Differential,
+                    "mutation" => Mode::Mutation,
+                    "all" => Mode::All,
+                    other => die(&format!("--mode: unknown mode `{other}`")),
+                }
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("prf-fuzz: {msg}");
+    eprintln!("usage: prf-fuzz [--seeds N] [--seed S] [--mode differential|mutation|all]");
+    std::process::exit(2);
+}
+
+/// The scheduler × RF matrix every differential case runs under.
+fn schedulers() -> Vec<SchedulerPolicy> {
+    vec![
+        SchedulerPolicy::Gto,
+        SchedulerPolicy::Lrr,
+        SchedulerPolicy::TwoLevel {
+            active_per_scheduler: 8,
+        },
+        SchedulerPolicy::FetchGroup { group_size: 8 },
+    ]
+}
+
+fn rf_kinds(banks: usize, max_warps: usize) -> Vec<RfKind> {
+    vec![
+        RfKind::MrfStv,
+        RfKind::MrfNtv { latency: 3 },
+        RfKind::Partitioned(PartitionedRfConfig::paper_default(banks)),
+        RfKind::Rfc(RfcConfig::paper_default(banks, max_warps)),
+        RfKind::Drowsy(DrowsyConfig::paper_adjacent(banks, max_warps)),
+    ]
+}
+
+/// The fuzzing machine: 2 SMs (so `sm_threads = 2` actually parallelises),
+/// a small power-of-two memory covering the generator's regions, audit on.
+fn fuzz_config(scheduler: SchedulerPolicy, sm_threads: usize) -> GpuConfig {
+    GpuConfig {
+        num_sms: 2,
+        scheduler,
+        sm_threads,
+        global_mem_words: MEM_WORDS,
+        max_cycles: 2_000_000,
+        audit: true,
+        ..GpuConfig::kepler_single_sm()
+    }
+}
+
+/// One simulated cell: the `SimResult`, its audit verdict, and the final
+/// output image.
+struct CellRun {
+    result: SimResult,
+    out_image: Vec<u32>,
+}
+
+fn run_cell(
+    case: &FuzzCase,
+    kernel: &Arc<Kernel>,
+    scheduler: SchedulerPolicy,
+    rf: &RfKind,
+    sm_threads: usize,
+) -> Result<CellRun, String> {
+    let config = fuzz_config(scheduler, sm_threads);
+    let banks = config.num_rf_banks;
+    let telemetry = shared_telemetry();
+    let factory = rf_model_factory(rf, banks, &telemetry);
+    let mut gpu = Gpu::try_new(config).map_err(|e| format!("try_new: {e}"))?;
+    for (base, words) in &case.mem_init {
+        gpu.global_mem().load(*base, words);
+    }
+    let result = gpu
+        .run(Arc::clone(kernel), case.grid, &factory)
+        .map_err(|e| format!("run: {e}"))?;
+    match &result.audit {
+        Some(a) if a.is_clean() => {}
+        Some(a) => return Err(format!("audit violations: {a}")),
+        None => return Err("audit report missing despite audit=true".into()),
+    }
+    let out_image = (0..case.total_threads())
+        .map(|t| gpu.global_mem_ref().read(OUT_BASE + t))
+        .collect();
+    Ok(CellRun { result, out_image })
+}
+
+/// Differential check of one generated case across the full matrix.
+/// Returns the list of discrepancies (empty = pass).
+fn differential_case(generator: &RandomKernelGenerator, index: u64) -> Vec<String> {
+    let mut errors = Vec::new();
+    let case = generator.generate(index);
+    if let Err(e) = KernelValidator::new().validate(&case.kernel) {
+        return vec![format!(
+            "case {index}: generated kernel failed validation: {e}"
+        )];
+    }
+    let kernel = Arc::new(case.kernel.clone());
+    let banks = GpuConfig::kepler_single_sm().num_rf_banks;
+    let max_warps = GpuConfig::kepler_single_sm().max_warps_per_sm;
+    // (instructions, output image) must agree across every cell.
+    let mut architectural: Option<(u64, Vec<u32>, String)> = None;
+    let rfs = rf_kinds(banks, max_warps);
+    for scheduler in schedulers() {
+        for rf in &rfs {
+            let label = format!("case {index} {}/{}", scheduler.name(), rf.name());
+            let serial = match run_cell(&case, &kernel, scheduler, rf, 1) {
+                Ok(run) => run,
+                Err(e) => {
+                    errors.push(format!("{label} sm_threads=1: {e}"));
+                    continue;
+                }
+            };
+            match run_cell(&case, &kernel, scheduler, rf, 2) {
+                Ok(parallel) => {
+                    if parallel.result != serial.result {
+                        errors.push(format!(
+                            "{label}: SimResult differs between sm_threads=1 and 2"
+                        ));
+                    }
+                    if parallel.out_image != serial.out_image {
+                        errors.push(format!(
+                            "{label}: output image differs between sm_threads=1 and 2"
+                        ));
+                    }
+                }
+                Err(e) => errors.push(format!("{label} sm_threads=2: {e}")),
+            }
+            let instructions = serial.result.stats.instructions;
+            match &architectural {
+                None => {
+                    architectural = Some((instructions, serial.out_image, label));
+                }
+                Some((ref_instr, ref_image, ref_label)) => {
+                    if instructions != *ref_instr {
+                        errors.push(format!(
+                            "{label}: {instructions} instructions vs {ref_instr} in {ref_label}"
+                        ));
+                    }
+                    if serial.out_image != *ref_image {
+                        errors.push(format!("{label}: output image differs from {ref_label}"));
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+fn run_differential(args: &Args) -> usize {
+    let generator = RandomKernelGenerator::new(args.seed);
+    let next = AtomicU64::new(0);
+    let done = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let workers = threads_from_env().min(args.seeds.max(1) as usize);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= args.seeds {
+                    break;
+                }
+                let errors = differential_case(&generator, index);
+                if !errors.is_empty() {
+                    failures.lock().unwrap().extend(errors);
+                }
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if n % 50 == 0 {
+                    eprintln!("[differential] {n}/{} cases", args.seeds);
+                }
+            });
+        }
+    });
+    let failures = failures.into_inner().unwrap();
+    for f in failures.iter().take(20) {
+        eprintln!("[differential] FAIL {f}");
+    }
+    println!(
+        "[differential] {} cases x 4 schedulers x 5 RF models x 2 thread counts: {} discrepancies",
+        args.seeds,
+        failures.len()
+    );
+    failures.len()
+}
+
+/// Targeted semantic corruptions: each builds (the structural builder
+/// accepts it) but must be rejected by the validator with provenance.
+fn targeted_corruptions() -> Vec<(&'static str, Kernel)> {
+    let build = |name: &str, f: &dyn Fn(&mut KernelBuilder)| -> Kernel {
+        let mut kb = KernelBuilder::new(name);
+        f(&mut kb);
+        kb.build()
+            .expect("targeted corruptions are structurally buildable")
+    };
+    vec![
+        (
+            "branch without a target",
+            build("no_target", &|kb| {
+                kb.push(Instruction::new(Opcode::Bra));
+                kb.exit();
+            }),
+        ),
+        (
+            "shfl with an immediate source",
+            build("shfl_imm", &|kb| {
+                kb.push(
+                    Instruction::new(Opcode::Shfl)
+                        .with_dst(Dst::Reg(Reg(2)))
+                        .with_srcs(&[Operand::Imm(3), Operand::Imm(0)]),
+                );
+                kb.exit();
+            }),
+        ),
+        (
+            "selp without its predicate guard",
+            build("bare_selp", &|kb| {
+                kb.push(
+                    Instruction::new(Opcode::Selp)
+                        .with_dst(Dst::Reg(Reg(2)))
+                        .with_srcs(&[Operand::Reg(Reg(0)), Operand::Reg(Reg(1))]),
+                );
+                kb.exit();
+            }),
+        ),
+        (
+            "guarded barrier",
+            build("guarded_bar", &|kb| {
+                kb.guard(PredReg(0), true);
+                kb.push(Instruction::new(Opcode::Bar));
+                kb.exit();
+            }),
+        ),
+        (
+            "store missing its value operand",
+            build("half_store", &|kb| {
+                kb.push(Instruction::new(Opcode::Stg).with_srcs(&[Operand::Reg(Reg(0))]));
+                kb.exit();
+            }),
+        ),
+        (
+            "guarded exit at the end falls off",
+            build("guarded_end", &|kb| {
+                kb.mov_imm(Reg(0), 1);
+                kb.guard(PredReg(0), true);
+                kb.exit();
+            }),
+        ),
+    ]
+}
+
+fn run_mutation(args: &Args) -> usize {
+    let mut failures = 0usize;
+    let validator = KernelValidator::new();
+
+    // Targeted corruptions: must reject, with instruction provenance.
+    for (what, kernel) in targeted_corruptions() {
+        match validator.validate(&kernel) {
+            Err(e) if e.to_string().contains("instr ") => {}
+            Err(e) => {
+                eprintln!("[mutation] FAIL {what}: rejected but without provenance: {e}");
+                failures += 1;
+            }
+            Ok(()) => {
+                eprintln!("[mutation] FAIL {what}: validator accepted a corrupted kernel");
+                failures += 1;
+            }
+        }
+    }
+
+    // Random bit flips over encoded kernels: decode + validate must
+    // classify, never panic.
+    let generator = RandomKernelGenerator::new(args.seed);
+    let (mut decode_rejected, mut validate_rejected, mut still_valid, mut panics) = (0u64, 0, 0, 0);
+    for index in 0..args.seeds {
+        let case = generator.generate(index);
+        let mut words = encode_kernel(&case.kernel);
+        // A cheap per-case stream for flip positions, decorrelated from
+        // the generator's own stream.
+        let mut state = (args.seed ^ index.wrapping_mul(0x94D0_49BB_1331_11EB)) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..4 {
+            let w = (next() % words.len() as u64) as usize;
+            words[w] ^= 1 << (next() % 32);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match decode_kernel("mutated", &words) {
+                Err(_) => 0u8,
+                Ok(k) => match validator.validate(&k) {
+                    Err(_) => 1,
+                    Ok(()) => 2,
+                },
+            }
+        }));
+        match outcome {
+            Ok(0) => decode_rejected += 1,
+            Ok(1) => validate_rejected += 1,
+            Ok(2) => still_valid += 1,
+            Ok(_) => unreachable!(),
+            Err(_) => {
+                eprintln!("[mutation] FAIL case {index}: decode/validate panicked");
+                panics += 1;
+            }
+        }
+    }
+    println!(
+        "[mutation] {} targeted corruptions rejected with provenance; {} bit-flip cases: \
+         {decode_rejected} decode-rejected, {validate_rejected} validate-rejected, \
+         {still_valid} still-valid, {panics} panics",
+        targeted_corruptions().len(),
+        args.seeds,
+    );
+    failures + panics as usize
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failures = 0;
+    if args.mode != Mode::Mutation {
+        failures += run_differential(&args);
+    }
+    if args.mode != Mode::Differential {
+        failures += run_mutation(&args);
+    }
+    if failures > 0 {
+        eprintln!("prf-fuzz: {failures} failures");
+        std::process::exit(1);
+    }
+    println!("prf-fuzz: all checks passed");
+}

@@ -178,14 +178,17 @@ impl Json {
     /// # Errors
     ///
     /// Returns a byte offset and message on malformed input, including
-    /// trailing garbage after the top-level value.
+    /// trailing garbage after the top-level value and nesting deeper than
+    /// [`MAX_PARSE_DEPTH`] (the parser is recursive-descent, so the depth
+    /// cap is what turns a `[[[[…` bomb into an error instead of a stack
+    /// overflow).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
         };
         p.skip_ws();
-        let value = p.value()?;
+        let value = p.value(0)?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
             return Err(p.err("trailing characters after JSON value"));
@@ -193,6 +196,12 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting depth [`Json::parse`] accepts. Real reports
+/// nest a handful of levels; the cap exists so untrusted input (the
+/// `prf-serve` wire protocol parses with this) cannot overflow the
+/// recursive-descent parser's stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 impl From<bool> for Json {
     fn from(b: bool) -> Json {
@@ -300,20 +309,23 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, JsonError> {
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn array(&mut self) -> Result<Json, JsonError> {
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -323,7 +335,7 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value()?);
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -336,7 +348,7 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, JsonError> {
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -350,7 +362,7 @@ impl Parser<'_> {
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            let value = self.value()?;
+            let value = self.value(depth + 1)?;
             fields.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -564,5 +576,58 @@ mod tests {
         assert_eq!(n.as_u64(), None, "fractional numbers are not integers");
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn nesting_bombs_error_instead_of_overflowing_the_stack() {
+        // A megabyte of `[` used to recurse once per byte; now it must
+        // come back as a depth error at offset MAX_PARSE_DEPTH-ish.
+        let bomb = "[".repeat(1 << 20);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(1 << 18);
+        assert!(Json::parse(&obj_bomb)
+            .unwrap_err()
+            .message
+            .contains("nesting"));
+
+        // …while the cap stays far above anything the reports produce.
+        let mut doc = "1".to_string();
+        for _ in 0..MAX_PARSE_DEPTH {
+            doc = format!("[{doc}]");
+        }
+        assert!(Json::parse(&doc).is_ok());
+        assert!(Json::parse(&format!("[{doc}]")).is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// Arbitrary byte strings — decoded lossily, as the serve
+            /// read path does — never panic the parser: every input is
+            /// either parsed or rejected with an offset.
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let text = String::from_utf8_lossy(&bytes);
+                let _ = Json::parse(&text);
+            }
+
+            /// JSON-flavoured garbage (high density of structural bytes,
+            /// escapes, and digits) never panics either — this alphabet
+            /// reaches far deeper into the grammar than uniform bytes.
+            #[test]
+            fn jsonish_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                const ALPHABET: &[u8] = br#"[]{}",:0123456789eEuU+.\ tfn-"#;
+                let text: String = bytes
+                    .iter()
+                    .map(|b| ALPHABET[*b as usize % ALPHABET.len()] as char)
+                    .collect();
+                let _ = Json::parse(&text);
+            }
+        }
     }
 }

@@ -21,14 +21,25 @@
 //! every job — partial results plus a failure manifest — while the
 //! classic [`run_matrix`] keeps its all-or-nothing contract and re-raises
 //! the first failure with the job's index and name.
+//!
+//! Failures are classified before the retry budget is spent: a job whose
+//! inputs the validation layer rejects — or whose run returns a
+//! *deterministic* [`SimError`] — fails fast as [`JobOutcome::Rejected`]
+//! (retrying a pure function of its inputs can only waste the budget),
+//! while panics and watchdog timeouts keep the full retry-with-backoff
+//! treatment. Invalid jobs are rejected up front, before a worker spawns
+//! an attempt thread or arms the watchdog.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use prf_core::{run_experiment_with_faults, ExperimentResult, FaultConfig, PhaseTimings, RfKind};
-use prf_sim::GpuConfig;
+use prf_core::{
+    run_experiment_with_faults, validate_experiment_inputs, ExperimentResult, FaultConfig,
+    PhaseTimings, RfKind,
+};
+use prf_sim::{GpuConfig, SimError};
 use prf_workloads::Workload;
 
 use crate::cache::ResultCache;
@@ -81,7 +92,19 @@ impl Job {
         self
     }
 
-    fn run(&self) -> ExperimentResult {
+    /// Validates the job's inputs without simulating anything — the same
+    /// checks `run` performs first, exposed so callers (the matrix engine,
+    /// `prf-serve`) can reject hostile jobs before committing a worker.
+    ///
+    /// # Errors
+    ///
+    /// The first failing check (see
+    /// [`prf_core::validate_experiment_inputs`]).
+    pub fn validate(&self) -> Result<(), prf_sim::ValidationError> {
+        validate_experiment_inputs(&self.gpu, &self.workload.launches, self.faults.as_ref())
+    }
+
+    fn run(&self) -> Result<ExperimentResult, SimError> {
         run_experiment_with_faults(
             &self.gpu,
             &self.rf,
@@ -89,7 +112,6 @@ impl Job {
             &self.workload.mem_init,
             self.faults.as_ref(),
         )
-        .unwrap_or_else(|e| panic!("{}: {e}", self.name))
     }
 }
 
@@ -113,6 +135,14 @@ pub enum JobOutcome {
     TimedOut {
         /// The watchdog budget that was exceeded.
         timeout: Duration,
+    },
+    /// The job's inputs were rejected by the validation layer, or the run
+    /// returned a deterministic [`SimError`]. A rejection is a pure
+    /// function of the job's inputs, so it fails fast: no retries, no
+    /// watchdog, and (for pre-validated jobs) no attempt thread at all.
+    Rejected {
+        /// The typed error, stringified for the report.
+        reason: String,
     },
     /// The job belongs to another shard of a `PRF_SHARD=i/n` run and was
     /// not executed here. Not a failure — the owning shard computes it.
@@ -142,6 +172,7 @@ impl std::fmt::Display for JobOutcome {
             JobOutcome::TimedOut { timeout } => {
                 write!(f, "timed out after {:.1} s", timeout.as_secs_f64())
             }
+            JobOutcome::Rejected { reason } => write!(f, "rejected: {reason}"),
             JobOutcome::Skipped => write!(f, "skipped (owned by another shard)"),
         }
     }
@@ -301,8 +332,9 @@ impl MatrixOutcome {
         self.reports.iter().filter(|r| r.result.is_some())
     }
 
-    /// Reports of jobs that failed (panicked or timed out). Jobs skipped
-    /// by sharding are not failures — another shard computes them.
+    /// Reports of jobs that failed (panicked, timed out, or were rejected
+    /// by input validation). Jobs skipped by sharding are not failures —
+    /// another shard computes them.
     pub fn failures(&self) -> impl Iterator<Item = &JobReport> {
         self.reports
             .iter()
@@ -347,9 +379,9 @@ impl MatrixOutcome {
     ///
     /// # Panics
     ///
-    /// Panics when any job panicked or timed out, or when the run was
-    /// sharded (a shard never holds the complete result set — merge by
-    /// re-running unsharded against the shared `PRF_CACHE_DIR`).
+    /// Panics when any job panicked, timed out, or was rejected, or when
+    /// the run was sharded (a shard never holds the complete result set —
+    /// merge by re-running unsharded against the shared `PRF_CACHE_DIR`).
     pub fn expect_complete(self) -> Vec<JobResult> {
         if self.skipped_jobs() > 0 {
             panic!(
@@ -494,8 +526,27 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// A watchdog attempt's message: the generation (attempt ordinal) that
-/// produced it plus the attempt's result or panic payload.
-type AttemptMsg = (u32, Result<ExperimentResult, String>);
+/// produced it plus the attempt's outcome — the inner `Result` is the
+/// attempt's own return value, the outer `Err` a stringified panic.
+type AttemptMsg = (u32, Result<Result<ExperimentResult, SimError>, String>);
+
+/// Folds one finished attempt into the engine's failure taxonomy:
+/// deterministic [`SimError`]s fail fast as [`JobOutcome::Rejected`];
+/// panics (and any future non-deterministic error) stay retryable.
+fn classify_attempt(
+    finished: Result<Result<ExperimentResult, SimError>, String>,
+) -> Result<ExperimentResult, JobOutcome> {
+    match finished {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) if e.is_deterministic() => Err(JobOutcome::Rejected {
+            reason: e.to_string(),
+        }),
+        Ok(Err(e)) => Err(JobOutcome::Panicked {
+            message: e.to_string(),
+        }),
+        Err(message) => Err(JobOutcome::Panicked { message }),
+    }
+}
 
 /// Runs one attempt, catching panics; with a watchdog the attempt runs on
 /// a detached thread and is abandoned (not killed — the thread keeps
@@ -515,12 +566,10 @@ fn run_attempt<F>(
     rx: &mpsc::Receiver<AttemptMsg>,
 ) -> Result<ExperimentResult, JobOutcome>
 where
-    F: Fn() -> ExperimentResult + Clone + Send + 'static,
+    F: Fn() -> Result<ExperimentResult, SimError> + Clone + Send + 'static,
 {
     match timeout {
-        None => catch_unwind(AssertUnwindSafe(attempt)).map_err(|p| JobOutcome::Panicked {
-            message: panic_message(p),
-        }),
+        None => classify_attempt(catch_unwind(AssertUnwindSafe(attempt)).map_err(panic_message)),
         Some(budget) => {
             let attempt = attempt.clone();
             let tx = tx.clone();
@@ -538,8 +587,7 @@ where
                     // that generation timed out — so drop it and keep
                     // waiting for the current attempt.
                     Ok((gen, _)) if gen != generation => continue,
-                    Ok((_, Ok(result))) => return Ok(result),
-                    Ok((_, Err(message))) => return Err(JobOutcome::Panicked { message }),
+                    Ok((_, finished)) => return classify_attempt(finished),
                     Err(_) => return Err(JobOutcome::TimedOut { timeout: budget }),
                 }
             }
@@ -551,6 +599,11 @@ where
 /// `1 + retries` attempts, sleeping `attempt × backoff` between them.
 /// Never panics — the closure's own panics become [`JobOutcome::Panicked`].
 ///
+/// Failures are classified: an attempt that *returns* a deterministic
+/// [`SimError`] is [`JobOutcome::Rejected`] and ends the job immediately
+/// (re-running a pure function of the inputs cannot change the answer),
+/// while panics and watchdog timeouts spend the full retry budget.
+///
 /// Generic over the attempt closure so tests can inject panicking, hanging
 /// or flaky work; matrix runs pass an owned [`Job`] clone.
 pub fn run_resilient_job<F>(
@@ -558,7 +611,7 @@ pub fn run_resilient_job<F>(
     attempt: F,
 ) -> (JobOutcome, Option<ExperimentResult>)
 where
-    F: Fn() -> ExperimentResult + Clone + Send + 'static,
+    F: Fn() -> Result<ExperimentResult, SimError> + Clone + Send + 'static,
 {
     let mut last_failure = None;
     // One channel for every attempt of this job: abandoned watchdog
@@ -580,7 +633,13 @@ where
                 };
                 return (outcome, Some(result));
             }
-            Err(failure) => last_failure = Some(failure),
+            Err(failure) => {
+                let fail_fast = matches!(failure, JobOutcome::Rejected { .. });
+                last_failure = Some(failure);
+                if fail_fast {
+                    break;
+                }
+            }
         }
     }
     (last_failure.expect("at least one attempt ran"), None)
@@ -772,6 +831,21 @@ pub fn run_matrix_resilient_configured(
                     }
                 }
                 let started = t0.elapsed();
+                // Reject invalid jobs up front: no attempt thread, no
+                // watchdog, no retries — a hostile job costs one
+                // validation pass, not a worker's retry budget.
+                if let Err(e) = job.validate() {
+                    *slots[i].lock().unwrap() = Some(SlotData {
+                        outcome: JobOutcome::Rejected {
+                            reason: format!("rejected input: {e}"),
+                        },
+                        started,
+                        elapsed: Duration::ZERO,
+                        result: None,
+                        cached: None,
+                    });
+                    continue;
+                }
                 // Consult the cache before simulating. The digest is only
                 // computed when a cache is configured and the job's result
                 // would round-trip exactly (see `ResultCache::is_cacheable`).
@@ -878,14 +952,14 @@ mod tests {
     }
 
     #[test]
-    fn panicking_job_reports_its_name() {
+    fn failing_job_reports_its_name() {
         let mut jobs = tiny_jobs(2);
-        // An impossible cycle limit forces a SimError, which Job::run
-        // turns into a panic carrying the job name.
+        // An impossible cycle limit forces a deterministic SimError; the
+        // all-or-nothing entry point re-raises it with the job name.
         jobs[1].gpu.max_cycles = 1;
         jobs[1].name = "doomed".into();
         let err = std::panic::catch_unwind(|| run_matrix_with_threads(&jobs, 2));
-        let payload = err.expect_err("doomed job must propagate its panic");
+        let payload = err.expect_err("doomed job must propagate its failure");
         let msg = payload
             .downcast_ref::<String>()
             .cloned()
@@ -1055,13 +1129,12 @@ mod tests {
         assert!(outcome.reports[0].result.is_some());
         assert!(outcome.reports[2].result.is_some());
         match &outcome.reports[1].outcome {
-            JobOutcome::Panicked { message } => {
-                assert!(
-                    message.contains("doomed"),
-                    "payload names the job: {message}"
-                )
+            // A cycle-limit overrun is a deterministic SimError, so the
+            // engine classifies it as a rejection rather than a crash.
+            JobOutcome::Rejected { reason } => {
+                assert!(reason.contains("cycle"), "reason explains itself: {reason}")
             }
-            other => panic!("expected a panic outcome, got {other}"),
+            other => panic!("expected a rejected outcome, got {other}"),
         }
         assert!(outcome.reports[1].result.is_none());
         assert_eq!(outcome.failed_jobs(), 1);
@@ -1113,7 +1186,9 @@ mod tests {
             backoff: Duration::ZERO,
         };
         let (outcome, result) =
-            run_resilient_job(policy, || -> ExperimentResult { panic!("always down") });
+            run_resilient_job(policy, || -> Result<ExperimentResult, SimError> {
+                panic!("always down")
+            });
         assert_eq!(
             outcome,
             JobOutcome::Panicked {
@@ -1301,10 +1376,10 @@ mod tests {
             move || {
                 if calls.fetch_add(1, Ordering::SeqCst) == 0 {
                     std::thread::sleep(Duration::from_millis(700));
-                    marker_result(111)
+                    Ok(marker_result(111))
                 } else {
                     std::thread::sleep(Duration::from_millis(350));
-                    marker_result(222)
+                    Ok(marker_result(222))
                 }
             }
         });
@@ -1315,6 +1390,74 @@ mod tests {
             "job must report the live attempt's result, not the abandoned one's"
         );
         assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn deterministic_failure_skips_the_retry_budget() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicU32::new(0));
+        let policy = RetryPolicy {
+            timeout: None,
+            retries: 5,
+            backoff: Duration::from_secs(60), // would hang the test if slept
+        };
+        let (outcome, result) = run_resilient_job(policy, {
+            let calls = Arc::clone(&calls);
+            move || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(SimError::CycleLimitExceeded { limit: 7 })
+            }
+        });
+        assert!(matches!(outcome, JobOutcome::Rejected { .. }), "{outcome}");
+        assert!(result.is_none());
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "a deterministic failure must not be retried"
+        );
+    }
+
+    #[test]
+    fn invalid_job_is_rejected_before_any_attempt_runs() {
+        let mut jobs = tiny_jobs(2);
+        // A CTA whose register demand exceeds the whole RF can never
+        // dispatch: pre-validation rejects it on the worker thread, with
+        // no attempt, no watchdog, and zero simulated wall-clock.
+        jobs[1].gpu.rf_registers = 1;
+        jobs[1].name = "hostile".into();
+        let watchdog = RetryPolicy {
+            timeout: Some(Duration::from_secs(120)),
+            retries: 3,
+            backoff: Duration::from_secs(60),
+        };
+        let outcome = run_matrix_resilient_with_threads(&jobs, watchdog, 2);
+        assert_eq!(outcome.reports[0].outcome, JobOutcome::Completed);
+        match &outcome.reports[1].outcome {
+            JobOutcome::Rejected { reason } => {
+                assert!(reason.contains("rejected input"), "{reason}");
+                assert!(reason.contains("register file"), "{reason}");
+            }
+            other => panic!("expected a rejection, got {other}"),
+        }
+        assert_eq!(outcome.reports[1].elapsed, Duration::ZERO);
+        assert!(outcome.reports[1].result.is_none());
+        assert_eq!(outcome.failed_jobs(), 1);
+        let manifest = outcome.failure_manifest();
+        assert!(
+            manifest.contains("job #1 `hostile`: rejected:"),
+            "{manifest}"
+        );
+    }
+
+    #[test]
+    fn rejected_outcome_is_degraded_and_not_successful() {
+        let o = JobOutcome::Rejected {
+            reason: "invalid config: num_sms: must be at least 1".into(),
+        };
+        assert!(!o.succeeded());
+        assert!(o.is_degraded());
+        assert!(o.to_string().starts_with("rejected: "), "{o}");
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //!
 //! Any error — unknown op, malformed spec, unknown batch, server at
 //! capacity — comes back as `{"ok":false,"error":"…"}` on the same line;
-//! the connection stays usable.
+//! the connection stays usable. Two exceptions close the connection
+//! after the error: a request line longer than [`MAX_LINE_BYTES`]
+//! (bounds memory against oversized or slow-loris clients), and I/O
+//! failure on the socket itself. A client that disconnects mid-protocol
+//! only takes its own handler thread down — submitted batches keep
+//! running and any other client can poll/fetch them.
 //!
 //! A job spec selects everything the simulator needs by name:
 //!
@@ -27,7 +32,12 @@
 //! `workload` resolves through [`prf_workloads::suite::by_name`]; `rf`
 //! through [`rf_by_name`] (paper-default configurations); `scheduler`
 //! (default `GTO`), `seed` (default 0), `audit` (default false) and
-//! `faults` (`"<seed>,<vdd>"`, default none) are optional.
+//! `faults` (`"<seed>,<vdd>"`, default none) are optional. So are the
+//! machine overrides `max_cycles` and `rf_registers`: they pass name
+//! resolution unchecked, so a hostile combination (say `rf_registers`
+//! below the workload's footprint) flows to the runner's admission
+//! check and comes back in the batch report as a structured
+//! `{"kind":"rejected"}` outcome instead of wasting a retry budget.
 //!
 //! Batches execute in submission order on a single worker thread that
 //! drives [`runner::run_matrix_resilient_configured`] — so every batch
@@ -40,7 +50,7 @@
 //! [`serve`] returns.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -56,6 +66,12 @@ use crate::runner::{self, Job, RetryPolicy};
 /// Version of the line protocol, reported by `ping`. Bump on breaking
 /// changes to request or response shapes.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Maximum accepted request-line length in bytes. Far above any real
+/// submit (a full-suite batch is a few KB) while bounding what one
+/// client can make the server buffer; longer lines get a structured
+/// error and the connection is closed.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Tunables for one [`serve`] call.
 #[derive(Debug, Clone)]
@@ -148,12 +164,27 @@ pub fn job_from_spec(spec: &Json) -> Result<Job, String> {
         None => false,
         Some(a) => a.as_bool().ok_or("`audit` must be a boolean")?,
     };
-    let gpu = GpuConfig {
+    let mut gpu = GpuConfig {
         scheduler,
         jitter_seed: seed,
         audit,
         ..GpuConfig::kepler_single_sm()
     };
+    // Machine overrides are deliberately *not* sanity-checked here: the
+    // runner's admission check owns that judgement, and an impossible
+    // value must surface as a structured `rejected` outcome in the batch
+    // report rather than a submit-time parse error.
+    if let Some(v) = spec.get("max_cycles") {
+        gpu.max_cycles = v
+            .as_u64()
+            .ok_or("`max_cycles` must be a non-negative integer")?;
+    }
+    if let Some(v) = spec.get("rf_registers") {
+        let regs = v
+            .as_u64()
+            .ok_or("`rf_registers` must be a non-negative integer")?;
+        gpu.rf_registers = usize::try_from(regs).map_err(|_| "`rf_registers` is out of range")?;
+    }
 
     let rf_name = spec
         .get("rf")
@@ -436,6 +467,37 @@ pub fn serve(listener: TcpListener, config: ServeConfig, cache: Option<ResultCac
     let _ = worker.join();
 }
 
+/// One bounded request line off the wire.
+enum LineRead {
+    /// A complete line (newline stripped, lossily decoded).
+    Line(String),
+    /// The client sent [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+    /// Clean end of stream or socket error — either way the client is
+    /// gone and the handler should just return.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line, refusing to buffer more than
+/// [`MAX_LINE_BYTES`]. The length cap — not `BufRead::lines` — is what
+/// keeps an oversized or drip-feeding client from growing a line buffer
+/// without bound.
+fn read_bounded_line(reader: &mut impl BufRead) -> LineRead {
+    let mut buf = Vec::new();
+    let mut limited = reader.take(MAX_LINE_BYTES as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => LineRead::Closed,
+        Ok(_) if buf.len() > MAX_LINE_BYTES => LineRead::TooLong,
+        Ok(_) => {
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+            }
+            LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+        }
+        Err(_) => LineRead::Closed,
+    }
+}
+
 fn handle_client(
     stream: TcpStream,
     shared: &Shared,
@@ -449,11 +511,24 @@ fn handle_client(
             return;
         }
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => return,
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader) {
+            LineRead::Line(l) => l,
+            LineRead::TooLong => {
+                let refusal = Json::obj()
+                    .field("ok", false)
+                    .field(
+                        "error",
+                        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    )
+                    .to_json();
+                let _ = writer.write_all(refusal.as_bytes());
+                let _ = writer.write_all(b"\n");
+                let _ = writer.flush();
+                return;
+            }
+            LineRead::Closed => return,
         };
         if line.trim().is_empty() {
             continue;
@@ -666,6 +741,177 @@ mod tests {
         let stop = roundtrip(&mut sb, &mut rb, &Json::obj().field("op", "shutdown"));
         assert_eq!(stop.get("stopping").unwrap().as_bool(), Some(true));
         server.join().unwrap();
+    }
+
+    fn start_server(config: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, config, None));
+        (addr, server)
+    }
+
+    fn shutdown(addr: SocketAddr, server: std::thread::JoinHandle<()>) {
+        let (mut stream, mut reader) = connect(addr);
+        let stop = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "shutdown"),
+        );
+        assert_eq!(stop.get("ok").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_line_is_refused_and_the_connection_closed() {
+        let (addr, server) = start_server(ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 1,
+        });
+        let (mut stream, mut reader) = connect(addr);
+
+        // A would-be request that never fits: one byte past the cap with
+        // no newline. (Exactly cap+1 so the server drains everything we
+        // send — closing with unread data would RST the refusal away.)
+        // The server must answer with a structured refusal as soon as
+        // the cap trips — not buffer forever waiting for the line to end.
+        let filler = vec![b'x'; MAX_LINE_BYTES + 1];
+        stream.write_all(&filler).unwrap();
+        stream.flush().unwrap();
+
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let refusal = Json::parse(&response).unwrap();
+        assert_eq!(refusal.get("ok").unwrap().as_bool(), Some(false));
+        assert!(refusal
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds"));
+
+        // And the connection is closed: the next read sees EOF.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "{rest:?}");
+
+        // The server itself is unharmed.
+        let (mut s2, mut r2) = connect(addr);
+        let pong = roundtrip(&mut s2, &mut r2, &Json::obj().field("op", "ping"));
+        assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true));
+        shutdown(addr, server);
+    }
+
+    #[test]
+    fn client_death_mid_batch_neither_wedges_the_worker_nor_loses_the_batch() {
+        let (addr, server) = start_server(ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 2,
+        });
+
+        // A client submits a batch and is killed immediately — socket
+        // dropped without reading the rest of the protocol.
+        let batch = {
+            let (mut stream, mut reader) = connect(addr);
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj()
+                    .field("op", "submit")
+                    .field("jobs", Json::Arr(vec![spec("BFS", "MRF@STV", 0)])),
+            );
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+            resp.get("batch").unwrap().as_u64().unwrap()
+            // stream dropped here: the client is gone mid-batch.
+        };
+
+        // A second client can still drive the batch to completion and
+        // fetch the dead client's report — the worker never wedged.
+        let (mut stream, mut reader) = connect(addr);
+        loop {
+            let poll = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj().field("op", "poll").field("batch", batch),
+            );
+            assert_eq!(poll.get("ok").unwrap().as_bool(), Some(true), "{poll:?}");
+            if poll.get("state").unwrap().as_str() == Some("done") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "fetch").field("batch", batch),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        assert_eq!(
+            resp.get("report")
+                .unwrap()
+                .get("failed_jobs")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        shutdown(addr, server);
+    }
+
+    #[test]
+    fn hostile_job_spec_comes_back_as_a_structured_rejection() {
+        let (addr, server) = start_server(ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 1,
+        });
+        let (mut stream, mut reader) = connect(addr);
+
+        // 16 registers cannot hold any suite workload: the spec parses,
+        // but admission must reject the job before simulation.
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "submit").field(
+                "jobs",
+                Json::Arr(vec![spec("BFS", "MRF@STV", 0).field("rf_registers", 16u64)]),
+            ),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        let batch = resp.get("batch").unwrap().as_u64().unwrap();
+
+        loop {
+            let poll = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj().field("op", "poll").field("batch", batch),
+            );
+            if poll.get("state").unwrap().as_str() == Some("done") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "fetch").field("batch", batch),
+        );
+        let report = resp.get("report").unwrap();
+        assert_eq!(report.get("failed_jobs").unwrap().as_u64(), Some(1));
+        let outcome = report.get("results").unwrap().as_arr().unwrap()[0]
+            .get("outcome")
+            .unwrap()
+            .clone();
+        assert_eq!(outcome.get("kind").unwrap().as_str(), Some("rejected"));
+        assert!(
+            outcome
+                .get("reason")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("rejected input"),
+            "{outcome:?}"
+        );
+        shutdown(addr, server);
     }
 
     #[test]

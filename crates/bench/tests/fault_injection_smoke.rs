@@ -1,5 +1,5 @@
 //! Fault-injection smoke test for CI: a small matrix with injected
-//! faults, a deliberately panicking job, and a deliberately hanging job
+//! faults, a deliberately rejected job, and a deliberately hanging job
 //! must come back as partial results — a [`JobOutcome`] for every job, no
 //! lost healthy results, and a clean conservation audit on the faulted
 //! runs.
@@ -31,8 +31,8 @@ fn crashing_matrix_returns_partial_results_with_clean_audits() {
         faulted_job("doomed", 1),
         faulted_job("healthy-b", 2),
     ];
-    // An impossible cycle limit forces a SimError, which Job::run turns
-    // into a panic.
+    // An impossible cycle limit forces a deterministic SimError, which
+    // the engine classifies as a fail-fast rejection.
     jobs[1].gpu.max_cycles = 1;
 
     let outcome = run_matrix_resilient_with_threads(&jobs, RetryPolicy::none(), 3);
@@ -65,8 +65,8 @@ fn crashing_matrix_returns_partial_results_with_clean_audits() {
 
     let doomed = &outcome.reports[1];
     assert!(
-        matches!(&doomed.outcome, JobOutcome::Panicked { message } if message.contains("doomed")),
-        "doomed job must report its panic: {}",
+        matches!(&doomed.outcome, JobOutcome::Rejected { reason } if reason.contains("cycle")),
+        "doomed job must report its rejection: {}",
         doomed.outcome
     );
     assert!(doomed.result.is_none());

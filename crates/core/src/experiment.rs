@@ -12,7 +12,7 @@ use prf_sim::{AuditReport, BaselineRf, Gpu, GpuConfig, SimError, SimResult, SmSt
 
 use crate::drowsy::{DrowsyConfig, DrowsyRf};
 use crate::energy::{EnergyModel, LeakageModel};
-use crate::faults::{FaultConfig, FaultedRf, RepairCosts};
+use crate::faults::{FaultConfig, FaultedRf, RepairCosts, RepairPolicy};
 use crate::partitioned::{PartitionedRf, PartitionedRfConfig};
 use crate::rfc::{RfcConfig, RfcModel};
 use crate::telemetry::{shared_telemetry, snapshot, RfTelemetry, SharedTelemetry};
@@ -257,6 +257,59 @@ pub fn faulted_rf_model_factory(
     }
 }
 
+/// Validates everything an experiment is about to feed the simulator —
+/// configuration, every launch, and the optional fault campaign — without
+/// building any machine state.
+///
+/// [`run_experiment_with_faults`] calls this first, so a malformed input
+/// fails fast with a typed [`prf_sim::ValidationError`] (wrapped in
+/// [`SimError::Invalid`]) before memory is allocated or models are built.
+/// Job runners call it directly to reject hostile jobs without spawning a
+/// worker thread or arming a watchdog.
+///
+/// # Errors
+///
+/// The first failing check, in order: config, launches (in order), faults.
+pub fn validate_experiment_inputs(
+    gpu_config: &GpuConfig,
+    launches: &[Launch],
+    faults: Option<&FaultConfig>,
+) -> Result<(), prf_sim::ValidationError> {
+    prf_sim::check_config(gpu_config)?;
+    if launches.is_empty() {
+        return Err(prf_sim::ValidationError::Launch {
+            kernel: "<none>".into(),
+            reason: "experiment has no launches".into(),
+        });
+    }
+    for launch in launches {
+        prf_sim::check_launch(gpu_config, &launch.kernel, launch.grid)?;
+    }
+    if let Some(fc) = faults {
+        let fault_err = |reason: String| prf_sim::ValidationError::Fault { reason };
+        let g = fc.map.geometry;
+        // An empty dimension would be a mod-by-zero in FaultedRf's
+        // row-address fold (maps built by FaultMap::from_montecarlo can't
+        // be empty, but maps parsed from text artifacts can declare
+        // anything).
+        if g.banks == 0 || g.rows_per_bank == 0 || g.cells_per_row == 0 {
+            return Err(fault_err(format!(
+                "fault-map geometry {}x{}x{} has an empty dimension",
+                g.banks, g.rows_per_bank, g.cells_per_row
+            )));
+        }
+        if let RepairPolicy::SpareRow { spares_per_bank } = fc.policy {
+            if spares_per_bank > g.rows_per_bank {
+                return Err(fault_err(format!(
+                    "{spares_per_bank} spares per bank exceed the bank's {} rows",
+                    g.rows_per_bank
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs `launches` back-to-back (sharing global memory, like a real
 /// multi-kernel workload) under the given RF organisation.
 ///
@@ -284,7 +337,9 @@ pub fn run_experiment(
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the simulator (cycle-limit overruns).
+/// [`SimError::Invalid`] when [`validate_experiment_inputs`] rejects the
+/// config, a launch, or the fault campaign; otherwise propagates
+/// [`SimError`] from the simulator (cycle-limit overruns).
 pub fn run_experiment_with_faults(
     gpu_config: &GpuConfig,
     rf: &RfKind,
@@ -292,10 +347,11 @@ pub fn run_experiment_with_faults(
     mem_init: &[(u32, Vec<u32>)],
     faults: Option<&FaultConfig>,
 ) -> Result<ExperimentResult, SimError> {
+    validate_experiment_inputs(gpu_config, launches, faults)?;
     let mut phases = PhaseTimings::default();
     let phase_start = Instant::now();
     let telemetry = shared_telemetry();
-    let mut gpu = Gpu::new(gpu_config.clone());
+    let mut gpu = Gpu::try_new(gpu_config.clone())?;
     for (base, words) in mem_init {
         gpu.global_mem().load(*base, words);
     }
@@ -875,5 +931,69 @@ mod tests {
     fn rf_kind_names() {
         assert_eq!(RfKind::MrfStv.name(), "MRF@STV");
         assert_eq!(RfKind::MrfNtv { latency: 3 }.name(), "MRF@NTV");
+    }
+
+    #[test]
+    fn experiment_inputs_validate_clean_for_a_real_workload() {
+        assert_eq!(
+            validate_experiment_inputs(&small_gpu(), &launches(), None),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn empty_experiment_rejected() {
+        let err = validate_experiment_inputs(&small_gpu(), &[], None).unwrap_err();
+        assert!(err.to_string().contains("no launches"), "{err}");
+    }
+
+    #[test]
+    fn hostile_launch_rejected_before_any_machine_state() {
+        // A CTA whose register demand exceeds the whole RF never
+        // dispatches; pre-validation turns the silent spin into a typed
+        // rejection, and run_experiment surfaces it as SimError::Invalid.
+        let gpu = GpuConfig {
+            rf_registers: 256,
+            ..small_gpu()
+        };
+        let hostile = launches();
+        let err = validate_experiment_inputs(&gpu, &hostile, None).unwrap_err();
+        assert!(err.to_string().contains("register file"), "{err}");
+        let sim_err = run_experiment(&gpu, &RfKind::MrfStv, &hostile, &[]).unwrap_err();
+        assert!(matches!(sim_err, SimError::Invalid(_)), "{sim_err}");
+        assert!(sim_err.is_deterministic(), "rejections must not be retried");
+    }
+
+    #[test]
+    fn empty_fault_geometry_rejected() {
+        // from_montecarlo can't build an empty map, but a text artifact can
+        // declare one — and an empty dimension is a mod-by-zero inside
+        // FaultedRf. The experiment layer must reject it up front.
+        let text = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                    banks=0 rows_per_bank=4 cells_per_row=8\n\n";
+        let map = prf_finfet::FaultMap::from_text(text).unwrap();
+        let fc = FaultConfig::new(map, RepairPolicy::DisableAndSpill);
+        let err = validate_experiment_inputs(&small_gpu(), &launches(), Some(&fc)).unwrap_err();
+        assert!(
+            matches!(err, prf_sim::ValidationError::Fault { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("empty dimension"), "{err}");
+        let sim_err =
+            run_experiment_with_faults(&small_gpu(), &RfKind::MrfStv, &launches(), &[], Some(&fc))
+                .unwrap_err();
+        assert!(matches!(sim_err, SimError::Invalid(_)), "{sim_err}");
+    }
+
+    #[test]
+    fn oversubscribed_spares_rejected() {
+        let map = prf_finfet::FaultMap::fault_free(prf_finfet::FaultGeometry {
+            banks: 2,
+            rows_per_bank: 4,
+            cells_per_row: 8,
+        });
+        let fc = FaultConfig::new(map, RepairPolicy::SpareRow { spares_per_bank: 5 });
+        let err = validate_experiment_inputs(&small_gpu(), &launches(), Some(&fc)).unwrap_err();
+        assert!(err.to_string().contains("spares per bank"), "{err}");
     }
 }

@@ -63,7 +63,7 @@ pub use drowsy::{DrowsyConfig, DrowsyRf, DrowsySummary};
 pub use energy::{EnergyModel, LeakageModel, GPU_CLOCK_GHZ};
 pub use experiment::{
     faulted_rf_model_factory, rf_model_factory, run_experiment, run_experiment_with_faults,
-    ExperimentResult, Launch, PhaseTimings, RfKind,
+    validate_experiment_inputs, ExperimentResult, Launch, PhaseTimings, RfKind,
 };
 pub use faults::{FaultConfig, FaultedRf, RepairCosts, RepairPolicy, SpareRemapTable};
 pub use indexed_table::IndexedSwapTable;

@@ -267,66 +267,133 @@ impl FaultMap {
 
     /// Parses a map serialised by [`FaultMap::to_text`].
     ///
+    /// The parser is hardened against hostile artifacts: the declared
+    /// geometry is capped at [`MAX_TEXT_ROWS`] (computed with overflow
+    /// checks), and every RLE run is checked against the declared row
+    /// count *before* it is materialised — so a `H99999999999` body
+    /// cannot allocate past the header's promise.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line, unknown cell or
-    /// health code, or row-count mismatch against the declared geometry.
-    pub fn from_text(text: &str) -> Result<FaultMap, String> {
-        let mut lines = text.lines();
-        let magic = lines.next().ok_or("empty fault map")?;
+    /// Returns a [`FaultMapParseError`] carrying the 1-based line number
+    /// and (when one exists) the offending token, for the first malformed
+    /// line, unknown cell or health code, oversized or overflowing
+    /// geometry, or row-count mismatch against the declared geometry.
+    pub fn from_text(text: &str) -> Result<FaultMap, FaultMapParseError> {
+        let err = |line: usize, token: Option<&str>, message: String| FaultMapParseError {
+            line,
+            token: token.map(str::to_string),
+            message,
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, magic) = lines
+            .next()
+            .ok_or_else(|| err(1, None, "empty fault map".into()))?;
         if magic.trim() != "faultmap v1" {
-            return Err(format!("bad fault-map header {magic:?}"));
+            return Err(err(1, Some(magic), "bad fault-map header".into()));
         }
-        let mut fields = std::collections::HashMap::new();
-        for line in lines.by_ref().take(2) {
+        // Header fields, remembering the line each came from.
+        let mut fields: std::collections::HashMap<String, (String, usize)> =
+            std::collections::HashMap::new();
+        for (i, line) in lines.by_ref().take(2) {
             for kv in line.split_whitespace() {
-                let (k, v) = kv
-                    .split_once('=')
-                    .ok_or_else(|| format!("malformed field {kv:?}"))?;
-                fields.insert(k.to_string(), v.to_string());
+                let (k, v) = kv.split_once('=').ok_or_else(|| {
+                    err(
+                        i + 1,
+                        Some(kv),
+                        "malformed field (expected key=value)".into(),
+                    )
+                })?;
+                fields.insert(k.to_string(), (v.to_string(), i + 1));
             }
         }
-        let field = |k: &str| -> Result<String, String> {
-            fields.get(k).cloned().ok_or(format!("missing field `{k}`"))
+        let field = |k: &str| -> Result<(String, usize), FaultMapParseError> {
+            fields
+                .get(k)
+                .cloned()
+                .ok_or_else(|| err(2, None, format!("missing field `{k}`")))
         };
-        let cell = match field("cell")?.as_str() {
+        let (cell_text, cell_line) = field("cell")?;
+        let cell = match cell_text.as_str() {
             "6T" => SramCell::T6,
             "8T" => SramCell::T8,
             "9T" => SramCell::T9,
             "10T" => SramCell::T10,
-            other => return Err(format!("unknown cell {other:?}")),
+            other => return Err(err(cell_line, Some(other), "unknown cell".into())),
         };
-        let parse_num = |k: &str| -> Result<usize, String> {
-            field(k)?.parse().map_err(|e| format!("field `{k}`: {e}"))
-        };
-        let vdd: f64 = field("vdd")?
-            .parse()
-            .map_err(|e| format!("field `vdd`: {e}"))?;
-        let seed: u64 = field("seed")?
-            .parse()
-            .map_err(|e| format!("field `seed`: {e}"))?;
-        let geometry = FaultGeometry {
-            banks: parse_num("banks")?,
-            rows_per_bank: parse_num("rows_per_bank")?,
-            cells_per_row: parse_num("cells_per_row")?,
-        };
-        let mut rows = Vec::with_capacity(geometry.total_rows());
-        for token in lines.flat_map(str::split_whitespace) {
-            let mut chars = token.chars();
-            let code = chars.next().ok_or("empty run token")?;
-            let health =
-                CellHealth::from_code(code).ok_or_else(|| format!("unknown health {code:?}"))?;
-            let n: usize = chars
-                .as_str()
+        let parse_num = |k: &str| -> Result<(usize, usize), FaultMapParseError> {
+            let (v, line) = field(k)?;
+            let n = v
                 .parse()
-                .map_err(|e| format!("run token {token:?}: {e}"))?;
-            rows.extend(std::iter::repeat_n(health, n));
+                .map_err(|e| err(line, Some(&v), format!("field `{k}`: {e}")))?;
+            Ok((n, line))
+        };
+        let (vdd_text, vdd_line) = field("vdd")?;
+        let vdd: f64 = vdd_text
+            .parse()
+            .map_err(|e| err(vdd_line, Some(&vdd_text), format!("field `vdd`: {e}")))?;
+        let (seed_text, seed_line) = field("seed")?;
+        let seed: u64 = seed_text
+            .parse()
+            .map_err(|e| err(seed_line, Some(&seed_text), format!("field `seed`: {e}")))?;
+        let (banks, banks_line) = parse_num("banks")?;
+        let (rows_per_bank, _) = parse_num("rows_per_bank")?;
+        let (cells_per_row, _) = parse_num("cells_per_row")?;
+        let geometry = FaultGeometry {
+            banks,
+            rows_per_bank,
+            cells_per_row,
+        };
+        // `total_rows()` multiplies unchecked; redo it checked here, and
+        // refuse headers promising more than any real artifact holds —
+        // otherwise `with_capacity` below is an attacker-sized allocation.
+        let total = banks
+            .checked_mul(rows_per_bank)
+            .filter(|t| *t <= MAX_TEXT_ROWS)
+            .ok_or_else(|| {
+                err(
+                    banks_line,
+                    None,
+                    format!(
+                        "declared geometry {banks}\u{d7}{rows_per_bank} rows overflows the \
+                         {MAX_TEXT_ROWS}-row cap"
+                    ),
+                )
+            })?;
+        let mut rows = Vec::with_capacity(total);
+        for (i, line) in lines {
+            for token in line.split_whitespace() {
+                let mut chars = token.chars();
+                let code = chars
+                    .next()
+                    .ok_or_else(|| err(i + 1, None, "empty run token".into()))?;
+                let health = CellHealth::from_code(code)
+                    .ok_or_else(|| err(i + 1, Some(token), format!("unknown health {code:?}")))?;
+                let n: usize = chars
+                    .as_str()
+                    .parse()
+                    .map_err(|e| err(i + 1, Some(token), format!("bad run length: {e}")))?;
+                // Bound *before* materialising: a run longer than the
+                // declared remainder is rejected, not allocated.
+                if n > total - rows.len() {
+                    return Err(err(
+                        i + 1,
+                        Some(token),
+                        format!(
+                            "run of {n} rows overflows the declared total of {total} \
+                             ({} already encoded)",
+                            rows.len()
+                        ),
+                    ));
+                }
+                rows.extend(std::iter::repeat_n(health, n));
+            }
         }
-        if rows.len() != geometry.total_rows() {
-            return Err(format!(
-                "fault map declares {} rows but encodes {}",
-                geometry.total_rows(),
-                rows.len()
+        if rows.len() != total {
+            return Err(err(
+                text.lines().count().max(1),
+                None,
+                format!("fault map declares {total} rows but encodes {}", rows.len()),
             ));
         }
         Ok(FaultMap {
@@ -338,6 +405,36 @@ impl FaultMap {
         })
     }
 }
+
+/// Ceiling on the rows (`banks × rows_per_bank`) a text artifact may
+/// declare. Real maps are a few thousand rows (the Kepler RF is 2048);
+/// the cap keeps a hostile header from turning `from_text` into an
+/// attacker-controlled allocation.
+pub const MAX_TEXT_ROWS: usize = 1 << 24;
+
+/// A structured [`FaultMap::from_text`] failure: where it happened and
+/// what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMapParseError {
+    /// 1-based line number in the text artifact.
+    pub line: usize,
+    /// The offending token, when the failure is anchored to one.
+    pub token: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for FaultMapParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault-map text, line {}: {}", self.line, self.message)?;
+        if let Some(token) = &self.token {
+            write!(f, " (at `{token}`)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FaultMapParseError {}
 
 impl std::fmt::Display for FaultMap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -450,10 +547,59 @@ mod tests {
         assert!(FaultMap::from_text("faultmap v2\n").is_err());
         let truncated = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
                          banks=2 rows_per_bank=4 cells_per_row=8\nH7\n";
-        assert!(FaultMap::from_text(truncated).unwrap_err().contains("rows"));
+        assert!(FaultMap::from_text(truncated)
+            .unwrap_err()
+            .to_string()
+            .contains("rows"));
         let bad_code = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
                         banks=2 rows_per_bank=4 cells_per_row=8\nH7 X1\n";
         assert!(FaultMap::from_text(bad_code).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_token() {
+        // Unknown health code on body line 4, anchored to its token.
+        let bad_code = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                        banks=2 rows_per_bank=4 cells_per_row=8\nH7 X1\n";
+        let e = FaultMap::from_text(bad_code).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.token.as_deref(), Some("X1"));
+        assert!(e.to_string().contains("line 4"), "{e}");
+        assert!(e.to_string().contains("X1"), "{e}");
+
+        // Malformed header field on line 3.
+        let bad_field = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                         banks=two rows_per_bank=4 cells_per_row=8\n\n";
+        let e = FaultMap::from_text(bad_field).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.token.as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn hostile_headers_and_runs_are_rejected_before_allocation() {
+        // A header promising usize-overflowing (or merely absurd) row
+        // counts must fail fast, not allocate.
+        let huge = format!(
+            "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+             banks={} rows_per_bank=3 cells_per_row=8\nH1\n",
+            usize::MAX
+        );
+        let e = FaultMap::from_text(&huge).unwrap_err();
+        assert!(e.to_string().contains("cap"), "{e}");
+        let absurd = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                      banks=65536 rows_per_bank=65536 cells_per_row=8\nH1\n";
+        assert!(FaultMap::from_text(absurd).is_err());
+
+        // A run longer than the declared total is refused at the token,
+        // before `repeat_n` materialises it.
+        let bomb = "faultmap v1\ncell=8T vdd=0.3 seed=1\n\
+                    banks=2 rows_per_bank=4 cells_per_row=8\nH99999999999999\n";
+        let e = FaultMap::from_text(bomb).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(
+            e.to_string().contains("overflows the declared total"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub use array::{
 pub use cam::{SwapTableCam, TechNode};
 pub use delay::{chain_delay_ns, fig1_sweep, DelayPoint};
 pub use device::{BackGate, FinFet, NTV, STV, VTH};
-pub use faults::{CellHealth, FaultGeometry, FaultMap, SNM_WEAK_THRESHOLD};
+pub use faults::{
+    CellHealth, FaultGeometry, FaultMap, FaultMapParseError, MAX_TEXT_ROWS, SNM_WEAK_THRESHOLD,
+};
 pub use montecarlo::{sample_snm, snm_yield, YieldResult};
 pub use sram::SramCell;

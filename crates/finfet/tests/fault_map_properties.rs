@@ -42,4 +42,39 @@ proptest! {
         let b = FaultMap::from_montecarlo(SramCell::T8, 0.30, geometry, seed);
         prop_assert_eq!(a, b);
     }
+
+    /// Arbitrary byte soup never panics the text parser: every input is
+    /// either a map or an `Err` carrying a line number.
+    #[test]
+    fn arbitrary_bytes_never_panic_from_text(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = FaultMap::from_text(&text) {
+            prop_assert!(e.line >= 1);
+        }
+    }
+
+    /// Corrupting a valid artifact — byte flips over an alphabet the
+    /// grammar actually uses, so mutations reach past the magic line —
+    /// must classify (often `Err`, occasionally still-valid), never panic.
+    #[test]
+    fn mutated_valid_maps_never_panic(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let geometry = FaultGeometry { banks: 2, rows_per_bank: 8, cells_per_row: 4 };
+        let mut text = FaultMap::from_montecarlo(SramCell::T8, 0.30, geometry, seed)
+            .to_text()
+            .into_bytes();
+        const ALPHABET: &[u8] = b"HWS0123456789= .\n\x00\xffbanks";
+        for (pos, pick) in &flips {
+            let i = *pos as usize % text.len();
+            text[i] = ALPHABET[*pick as usize % ALPHABET.len()];
+        }
+        let text = String::from_utf8_lossy(&text).into_owned();
+        if let Err(e) = FaultMap::from_text(&text) {
+            prop_assert!(e.line >= 1, "{}", e);
+        }
+    }
 }

@@ -42,6 +42,7 @@ pub mod instr;
 pub mod kernel;
 pub mod op;
 pub mod reg;
+pub mod validate;
 
 pub use analysis::StaticRegisterProfile;
 pub use asm::{parse_kernel, ParseError};
@@ -52,3 +53,4 @@ pub use instr::{Dst, Instruction, Operand, PredGuard};
 pub use kernel::{Kernel, KernelBuilder, KernelError, Label};
 pub use op::{CmpOp, ExecClass, Opcode};
 pub use reg::{PredReg, Reg, SpecialReg, MAX_ARCH_REGS, NUM_PRED_REGS};
+pub use validate::{validate_kernel, KernelValidator, ValidationError};

@@ -1,0 +1,636 @@
+//! Semantic kernel validation beyond what [`KernelBuilder::build`] checks.
+//!
+//! [`KernelBuilder::build`](crate::KernelBuilder::build) enforces the
+//! *structural* rules every kernel must satisfy (labels bound, register and
+//! predicate indices architecturally valid, an `EXIT` present, explicit
+//! branch targets in range). It deliberately does **not** enforce the
+//! per-opcode operand shapes the executor relies on — `KernelBuilder::push`
+//! is an escape hatch, and [`decode_kernel`](crate::decode_kernel) rebuilds
+//! kernels instruction-by-instruction from untrusted bytes — so a kernel
+//! that *builds* can still drive the simulator into a panic (a `SHFL` with
+//! an immediate source, a `SELP` without its predicate guard, control flow
+//! that walks the program counter off the end of the kernel).
+//!
+//! [`KernelValidator`] closes that gap. It is the admission check run by
+//! `Gpu::run` before any simulation state is built: every rule corresponds
+//! to a concrete executor expectation, and every violation carries the
+//! offending instruction index so hostile or corrupted kernels are rejected
+//! with provenance instead of a panic deep inside the cycle loop.
+
+use std::fmt;
+
+use crate::instr::{Dst, Instruction, Operand};
+use crate::kernel::Kernel;
+use crate::op::Opcode;
+use crate::reg::{PredReg, Reg, MAX_ARCH_REGS, NUM_PRED_REGS};
+
+/// Default cap on kernel length accepted by [`KernelValidator`]. Far above
+/// any real workload (the suite's largest kernels are a few hundred
+/// instructions) while keeping per-launch validation and reconvergence
+/// analysis cheap even for hostile inputs.
+pub const DEFAULT_MAX_INSTRUCTIONS: usize = 1 << 20;
+
+/// A semantic validation failure, with the index of the offending
+/// instruction where one exists.
+///
+/// Every variant's `instr` field is the 0-based instruction index — the
+/// same index printed by kernel disassembly and carried by trace events —
+/// so a rejection can be traced straight back to the instruction that
+/// caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The kernel has no instructions.
+    Empty,
+    /// The kernel is longer than the validator's instruction cap.
+    TooLong {
+        /// Actual instruction count.
+        len: usize,
+        /// The cap in force.
+        limit: usize,
+    },
+    /// A general-purpose register index is outside the declared/allowed
+    /// register budget.
+    RegisterOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The register as written.
+        reg: Reg,
+        /// Exclusive upper bound in force.
+        limit: usize,
+    },
+    /// A predicate register index is outside `P0..P3`.
+    PredicateOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The predicate as written.
+        pred: PredReg,
+    },
+    /// A `BRA` carries no target (possible via `KernelBuilder::push`;
+    /// `build` only range-checks targets that are present).
+    MissingBranchTarget {
+        /// Offending instruction index.
+        instr: usize,
+    },
+    /// A `BRA` target points past the end of the kernel.
+    BranchTargetOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Kernel length.
+        len: usize,
+    },
+    /// A required source operand is absent (memory ops need their address,
+    /// stores their value).
+    MissingOperand {
+        /// Offending instruction index.
+        instr: usize,
+        /// The opcode whose operand is missing.
+        opcode: Opcode,
+        /// Source slot (0-based) that must be populated.
+        slot: usize,
+    },
+    /// An operand is present but of a kind the executor cannot accept for
+    /// this opcode.
+    OperandShape {
+        /// Offending instruction index.
+        instr: usize,
+        /// The opcode with the ill-shaped operand.
+        opcode: Opcode,
+        /// What the executor requires.
+        requirement: &'static str,
+    },
+    /// A `BAR` under a predicate guard: lanes that skip the barrier while
+    /// sibling warps wait on it deadlock the CTA.
+    GuardedBarrier {
+        /// Offending instruction index.
+        instr: usize,
+    },
+    /// Control flow can fall off the end of the kernel: the final
+    /// instruction must be an unguarded `EXIT` or an unguarded `BRA`, or
+    /// surviving lanes advance the pc past the last instruction.
+    FallsOffEnd {
+        /// Index of the (inadequate) final instruction.
+        instr: usize,
+    },
+    /// A statically-resolvable shared-memory address is outside the
+    /// configured shared-memory size.
+    SharedAddressOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The fully static word address (`imm + mem_offset`).
+        addr: u64,
+        /// Shared-memory size in words.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Empty => write!(f, "kernel has no instructions"),
+            ValidationError::TooLong { len, limit } => {
+                write!(f, "kernel has {len} instructions (limit {limit})")
+            }
+            ValidationError::RegisterOutOfRange { instr, reg, limit } => {
+                write!(
+                    f,
+                    "instr {instr}: register {reg} outside the R0..R{} budget",
+                    limit.saturating_sub(1)
+                )
+            }
+            ValidationError::PredicateOutOfRange { instr, pred } => {
+                write!(
+                    f,
+                    "instr {instr}: predicate {pred} outside P0..P{}",
+                    NUM_PRED_REGS - 1
+                )
+            }
+            ValidationError::MissingBranchTarget { instr } => {
+                write!(f, "instr {instr}: branch has no target")
+            }
+            ValidationError::BranchTargetOutOfRange { instr, target, len } => {
+                write!(
+                    f,
+                    "instr {instr}: branch target {target} outside kernel of {len} instructions"
+                )
+            }
+            ValidationError::MissingOperand {
+                instr,
+                opcode,
+                slot,
+            } => {
+                write!(f, "instr {instr}: {opcode} requires source operand {slot}")
+            }
+            ValidationError::OperandShape {
+                instr,
+                opcode,
+                requirement,
+            } => {
+                write!(f, "instr {instr}: {opcode} {requirement}")
+            }
+            ValidationError::GuardedBarrier { instr } => {
+                write!(f, "instr {instr}: bar.sync must not be predicated (guarded barriers can deadlock the CTA)")
+            }
+            ValidationError::FallsOffEnd { instr } => {
+                write!(f, "instr {instr}: control flow can fall off the end of the kernel (last instruction must be an unguarded exit or branch)")
+            }
+            ValidationError::SharedAddressOutOfRange { instr, addr, limit } => {
+                write!(f, "instr {instr}: shared-memory address {addr} outside the {limit}-word shared memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Semantic kernel admission check. See the [module docs](self).
+///
+/// The default validator enforces exactly the executor's preconditions; the
+/// `with_*` builders tighten it to a concrete machine configuration
+/// (register budget, shared-memory size, instruction cap) so the simulator
+/// can reject launches that could never run rather than spinning until the
+/// cycle limit.
+///
+/// # Example
+///
+/// ```rust
+/// use prf_isa::{Instruction, KernelBuilder, KernelValidator, Opcode, Operand, Reg};
+///
+/// let mut kb = KernelBuilder::new("bad-shfl");
+/// // `push` bypasses the typed helpers: an immediate SHFL source builds…
+/// kb.push(Instruction::new(Opcode::Shfl).with_dst(prf_isa::Dst::Reg(Reg(0)))
+///     .with_srcs(&[Operand::Imm(1), Operand::Imm(0)]));
+/// kb.exit();
+/// let kernel = kb.build().unwrap();
+/// // …but does not validate, with the offending instruction named.
+/// let err = KernelValidator::new().validate(&kernel).unwrap_err();
+/// assert!(err.to_string().contains("instr 0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelValidator {
+    max_registers: usize,
+    max_instructions: usize,
+    shared_mem_words: Option<u32>,
+}
+
+impl Default for KernelValidator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelValidator {
+    /// A validator enforcing the architectural limits only.
+    pub fn new() -> Self {
+        KernelValidator {
+            max_registers: MAX_ARCH_REGS,
+            max_instructions: DEFAULT_MAX_INSTRUCTIONS,
+            shared_mem_words: None,
+        }
+    }
+
+    /// Tightens the per-thread register budget (clamped to
+    /// [`MAX_ARCH_REGS`]).
+    pub fn with_max_registers(mut self, max_registers: usize) -> Self {
+        self.max_registers = max_registers.min(MAX_ARCH_REGS);
+        self
+    }
+
+    /// Caps the accepted kernel length.
+    pub fn with_max_instructions(mut self, max_instructions: usize) -> Self {
+        self.max_instructions = max_instructions;
+        self
+    }
+
+    /// Enables the static shared-memory bounds check against a machine
+    /// with `words` words of shared memory per CTA.
+    pub fn with_shared_mem_words(mut self, words: u32) -> Self {
+        self.shared_mem_words = Some(words);
+        self
+    }
+
+    /// Validates every instruction of `kernel`, returning the first
+    /// violation with its instruction index.
+    pub fn validate(&self, kernel: &Kernel) -> Result<(), ValidationError> {
+        let len = kernel.len();
+        if len == 0 {
+            return Err(ValidationError::Empty);
+        }
+        if len > self.max_instructions {
+            return Err(ValidationError::TooLong {
+                len,
+                limit: self.max_instructions,
+            });
+        }
+        for (i, instr) in kernel.instructions().iter().enumerate() {
+            self.check_instr(i, instr, len)?;
+        }
+        // Termination: the executor advances the pc past the last
+        // instruction unless the final instruction unconditionally leaves
+        // (unguarded EXIT retires all active lanes; unguarded BRA redirects
+        // them). A *guarded* EXIT lets surviving lanes fall through.
+        let last = &kernel.instructions()[len - 1];
+        let terminates = last.guard.is_none() && matches!(last.opcode, Opcode::Exit | Opcode::Bra);
+        if !terminates {
+            return Err(ValidationError::FallsOffEnd { instr: len - 1 });
+        }
+        Ok(())
+    }
+
+    fn check_instr(
+        &self,
+        i: usize,
+        instr: &Instruction,
+        len: usize,
+    ) -> Result<(), ValidationError> {
+        // Register/predicate budgets (dst, sources, guard).
+        match instr.dst {
+            Dst::Reg(r) => self.check_reg(i, r)?,
+            Dst::Pred(p) => check_pred(i, p)?,
+            Dst::None => {}
+        }
+        for src in instr.srcs.iter().flatten() {
+            if let Operand::Reg(r) = src {
+                self.check_reg(i, *r)?;
+            }
+        }
+        if let Some(g) = &instr.guard {
+            check_pred(i, g.pred)?;
+        }
+
+        // Per-opcode shape rules — each one is a concrete executor
+        // precondition (see `prf-sim::exec`).
+        match instr.opcode {
+            Opcode::Bra => {
+                let target = instr
+                    .target
+                    .ok_or(ValidationError::MissingBranchTarget { instr: i })?;
+                if target >= len {
+                    return Err(ValidationError::BranchTargetOutOfRange {
+                        instr: i,
+                        target,
+                        len,
+                    });
+                }
+            }
+            Opcode::Shfl => match instr.srcs[0] {
+                Some(Operand::Reg(_)) => {}
+                Some(_) => {
+                    return Err(ValidationError::OperandShape {
+                        instr: i,
+                        opcode: instr.opcode,
+                        requirement: "requires a register as source 0",
+                    })
+                }
+                None => {
+                    return Err(ValidationError::MissingOperand {
+                        instr: i,
+                        opcode: instr.opcode,
+                        slot: 0,
+                    })
+                }
+            },
+            Opcode::Selp if instr.guard.is_none() => {
+                return Err(ValidationError::OperandShape {
+                    instr: i,
+                    opcode: instr.opcode,
+                    requirement: "requires its selection predicate as a guard",
+                });
+            }
+            Opcode::Bar if instr.guard.is_some() => {
+                return Err(ValidationError::GuardedBarrier { instr: i });
+            }
+            Opcode::Ldg | Opcode::Stg | Opcode::Lds | Opcode::Sts => {
+                if instr.srcs[0].is_none() {
+                    return Err(ValidationError::MissingOperand {
+                        instr: i,
+                        opcode: instr.opcode,
+                        slot: 0,
+                    });
+                }
+                if instr.opcode.is_store() && instr.srcs[1].is_none() {
+                    return Err(ValidationError::MissingOperand {
+                        instr: i,
+                        opcode: instr.opcode,
+                        slot: 1,
+                    });
+                }
+                // Fully static shared addresses are bounds-checked when the
+                // validator knows the machine's shared-memory size.
+                if let (Some(limit), false) = (self.shared_mem_words, instr.opcode.is_global_mem())
+                {
+                    if let Some(Operand::Imm(base)) = instr.srcs[0] {
+                        let addr = u64::from(base) + u64::from(instr.mem_offset);
+                        if addr >= u64::from(limit) {
+                            return Err(ValidationError::SharedAddressOutOfRange {
+                                instr: i,
+                                addr,
+                                limit,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn check_reg(&self, i: usize, reg: Reg) -> Result<(), ValidationError> {
+        if reg.index() >= self.max_registers {
+            return Err(ValidationError::RegisterOutOfRange {
+                instr: i,
+                reg,
+                limit: self.max_registers,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn check_pred(i: usize, pred: PredReg) -> Result<(), ValidationError> {
+    if !pred.is_valid() {
+        return Err(ValidationError::PredicateOutOfRange { instr: i, pred });
+    }
+    Ok(())
+}
+
+/// Validates a kernel against the architectural limits (the default
+/// [`KernelValidator`]).
+pub fn validate_kernel(kernel: &Kernel) -> Result<(), ValidationError> {
+    KernelValidator::new().validate(kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::PredGuard;
+    use crate::kernel::KernelBuilder;
+    use crate::op::CmpOp;
+    use crate::reg::SpecialReg;
+
+    fn push_built(instrs: Vec<Instruction>) -> Kernel {
+        let mut kb = KernelBuilder::new("t");
+        for i in instrs {
+            kb.push(i);
+        }
+        kb.exit();
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn builder_kernels_validate() {
+        let mut kb = KernelBuilder::new("ok");
+        kb.mov_special(Reg(0), SpecialReg::TidX);
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(0), 16);
+        kb.selp(Reg(1), Reg(0), Reg(0), PredReg(0));
+        kb.shfl(Reg(2), Reg(1), Reg(0));
+        kb.bar();
+        kb.stg(Reg(0), Reg(2), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(validate_kernel(&k), Ok(()));
+    }
+
+    #[test]
+    fn shfl_immediate_source_rejected_with_index() {
+        let k = push_built(vec![Instruction::new(Opcode::Shfl)
+            .with_dst(Dst::Reg(Reg(0)))
+            .with_srcs(&[Operand::Imm(1), Operand::Imm(0)])]);
+        let err = validate_kernel(&k).unwrap_err();
+        assert_eq!(
+            err,
+            ValidationError::OperandShape {
+                instr: 0,
+                opcode: Opcode::Shfl,
+                requirement: "requires a register as source 0",
+            }
+        );
+        assert!(err.to_string().contains("instr 0"));
+    }
+
+    #[test]
+    fn selp_without_guard_rejected() {
+        let k = push_built(vec![Instruction::new(Opcode::Selp)
+            .with_dst(Dst::Reg(Reg(0)))
+            .with_srcs(&[Operand::Reg(Reg(0)), Operand::Reg(Reg(0))])]);
+        assert!(matches!(
+            validate_kernel(&k),
+            Err(ValidationError::OperandShape { instr: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn branch_without_target_rejected() {
+        let k = push_built(vec![Instruction::new(Opcode::Bra)]);
+        assert_eq!(
+            validate_kernel(&k),
+            Err(ValidationError::MissingBranchTarget { instr: 0 })
+        );
+    }
+
+    #[test]
+    fn guarded_barrier_rejected() {
+        let k = push_built(vec![Instruction::new(Opcode::Bar).with_guard(PredGuard {
+            pred: PredReg(0),
+            expected: true,
+        })]);
+        assert_eq!(
+            validate_kernel(&k),
+            Err(ValidationError::GuardedBarrier { instr: 0 })
+        );
+    }
+
+    #[test]
+    fn store_without_value_rejected() {
+        let k = push_built(vec![
+            Instruction::new(Opcode::Stg).with_srcs(&[Operand::Reg(Reg(0))])
+        ]);
+        assert_eq!(
+            validate_kernel(&k),
+            Err(ValidationError::MissingOperand {
+                instr: 0,
+                opcode: Opcode::Stg,
+                slot: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn load_without_address_rejected() {
+        let k = push_built(vec![
+            Instruction::new(Opcode::Ldg).with_dst(Dst::Reg(Reg(0)))
+        ]);
+        assert_eq!(
+            validate_kernel(&k),
+            Err(ValidationError::MissingOperand {
+                instr: 0,
+                opcode: Opcode::Ldg,
+                slot: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn guarded_exit_at_end_falls_off() {
+        // A guarded EXIT lets surviving lanes advance the pc past the end.
+        let mut kb = KernelBuilder::new("fall");
+        kb.mov_special(Reg(0), SpecialReg::LaneId);
+        kb.setp_imm(PredReg(0), CmpOp::Ge, Reg(0), 0);
+        kb.guard(PredReg(0), true);
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(
+            validate_kernel(&k),
+            Err(ValidationError::FallsOffEnd { instr: 2 })
+        );
+    }
+
+    #[test]
+    fn unguarded_trailing_branch_terminates() {
+        let mut kb = KernelBuilder::new("loopy");
+        let top = kb.new_label();
+        kb.place_label(top);
+        kb.exit();
+        kb.bra(top);
+        let k = kb.build().unwrap();
+        assert_eq!(validate_kernel(&k), Ok(()));
+    }
+
+    #[test]
+    fn register_budget_tightening() {
+        let mut kb = KernelBuilder::new("wide");
+        kb.mov_imm(Reg(20), 1);
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(validate_kernel(&k), Ok(()));
+        let err = KernelValidator::new()
+            .with_max_registers(8)
+            .validate(&k)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ValidationError::RegisterOutOfRange {
+                instr: 0,
+                reg: Reg(20),
+                limit: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn static_shared_address_bounds_checked() {
+        let k = push_built(vec![
+            Instruction::new(Opcode::Sts).with_srcs(&[Operand::Imm(100), Operand::Reg(Reg(0))])
+        ]);
+        assert_eq!(validate_kernel(&k), Ok(()), "unlimited validator accepts");
+        assert_eq!(
+            KernelValidator::new()
+                .with_shared_mem_words(64)
+                .validate(&k),
+            Err(ValidationError::SharedAddressOutOfRange {
+                instr: 0,
+                addr: 100,
+                limit: 64,
+            })
+        );
+        assert_eq!(
+            KernelValidator::new()
+                .with_shared_mem_words(128)
+                .validate(&k),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn instruction_cap_enforced() {
+        let mut kb = KernelBuilder::new("long");
+        for _ in 0..10 {
+            kb.nop();
+        }
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(
+            KernelValidator::new().with_max_instructions(5).validate(&k),
+            Err(ValidationError::TooLong { len: 11, limit: 5 })
+        );
+    }
+
+    #[test]
+    fn branch_target_out_of_range_rejected() {
+        let mut kb = KernelBuilder::new("oob");
+        kb.push(Instruction::new(Opcode::Bra).with_target(99));
+        kb.exit();
+        let k = kb.build().unwrap_err();
+        // build() itself range-checks explicit targets…
+        assert!(matches!(k, crate::KernelError::TargetOutOfRange { .. }));
+        // …so exercise the validator through a kernel whose length shrinks
+        // conceptually: construct directly via push with an in-range build
+        // and check the validator agrees on the boundary.
+        let mut kb = KernelBuilder::new("edge");
+        kb.push(Instruction::new(Opcode::Bra).with_target(1));
+        kb.exit();
+        let k = kb.build().unwrap();
+        assert_eq!(validate_kernel(&k), Ok(()));
+    }
+
+    #[test]
+    fn errors_display_their_provenance() {
+        let cases = [
+            ValidationError::MissingBranchTarget { instr: 7 },
+            ValidationError::GuardedBarrier { instr: 3 },
+            ValidationError::FallsOffEnd { instr: 12 },
+            ValidationError::PredicateOutOfRange {
+                instr: 5,
+                pred: PredReg(9),
+            },
+        ];
+        for (e, idx) in cases.iter().zip(["7", "3", "12", "5"]) {
+            assert!(
+                e.to_string().contains(&format!("instr {idx}")),
+                "{e} lacks provenance"
+            );
+        }
+    }
+}

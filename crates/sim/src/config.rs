@@ -216,22 +216,22 @@ impl GpuConfig {
         self.max_ctas_per_sm.min(by_warps).min(by_regs).max(1)
     }
 
+    /// Checks internal consistency, returning the first offending field
+    /// as a typed [`crate::validate::ValidationError`].
+    pub fn check(&self) -> Result<(), crate::validate::ValidationError> {
+        crate::validate::check_config(self)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if any structural parameter is zero.
+    /// Panics if any structural parameter is zero or global memory is not
+    /// a power of two. [`GpuConfig::check`] is the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.num_sms > 0, "need at least one SM");
-        assert!(self.max_warps_per_sm > 0);
-        assert!(self.num_schedulers > 0);
-        assert!(self.issue_per_scheduler > 0);
-        assert!(self.num_rf_banks > 0);
-        assert!(self.num_collectors > 0);
-        assert!(
-            self.global_mem_words.is_power_of_two(),
-            "global memory must be a power of two for address wrapping"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 

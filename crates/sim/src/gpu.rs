@@ -130,6 +130,23 @@ pub enum SimError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// An input (config, kernel, launch geometry, fault setup) was
+    /// rejected before simulation started. Deterministic: retrying the
+    /// same input can never succeed.
+    Invalid(crate::validate::ValidationError),
+}
+
+impl SimError {
+    /// True for errors that are a pure function of the inputs — rerunning
+    /// the same job will fail the same way, so callers should fail fast
+    /// rather than retry. (Every current variant is deterministic; the
+    /// distinction matters to retry policies that also see panics and
+    /// timeouts.)
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            SimError::CycleLimitExceeded { .. } | SimError::Invalid(_) => true,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -138,11 +155,18 @@ impl std::fmt::Display for SimError {
             SimError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the {limit}-cycle safety limit")
             }
+            SimError::Invalid(e) => write!(f, "rejected input: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<crate::validate::ValidationError> for SimError {
+    fn from(e: crate::validate::ValidationError) -> Self {
+        SimError::Invalid(e)
+    }
+}
 
 /// A GPU: a set of SMs sharing global memory, plus the CTA dispatcher.
 ///
@@ -191,16 +215,27 @@ pub struct Gpu {
 
 impl Gpu {
     /// Creates a GPU with zeroed global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; [`Gpu::try_new`] is the
+    /// non-panicking form for untrusted configs.
     pub fn new(config: GpuConfig) -> Self {
-        config.validate();
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a GPU with zeroed global memory, rejecting an unusable
+    /// configuration as [`SimError::Invalid`] instead of panicking.
+    pub fn try_new(config: GpuConfig) -> Result<Self, SimError> {
+        config.check()?;
         let global = GlobalMemory::new(config.global_mem_words);
-        Gpu {
+        Ok(Gpu {
             config,
             global,
             cycle: 0,
             skipped_cycles: 0,
             warp_pool: Vec::new(),
-        }
+        })
     }
 
     /// Moves recycled warp contexts into this GPU's cross-launch pool
@@ -238,7 +273,10 @@ impl Gpu {
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimitExceeded`] if the kernel does not
-    /// finish within `GpuConfig::max_cycles` cycles.
+    /// finish within `GpuConfig::max_cycles` cycles, and
+    /// [`SimError::Invalid`] — before any machine state is built — if the
+    /// kernel fails semantic validation ([`prf_isa::KernelValidator`]) or
+    /// the launch could never dispatch a CTA on this configuration.
     pub fn run(
         &mut self,
         kernel: impl Into<Arc<Kernel>>,
@@ -246,6 +284,7 @@ impl Gpu {
         rf_factory: &dyn Fn(usize) -> Box<dyn RegisterFileModel>,
     ) -> Result<SimResult, SimError> {
         let kernel = kernel.into();
+        crate::validate::check_launch(&self.config, &kernel, grid)?;
         let name = kernel.name().to_string();
         let image = Arc::new(KernelImage::new(kernel, grid));
         let mut sms: Vec<Sm> = (0..self.config.num_sms)

@@ -34,6 +34,7 @@ pub mod scoreboard;
 pub mod sm;
 pub mod stats;
 pub mod trace;
+pub mod validate;
 pub mod warp;
 
 pub use audit::{AuditReport, AuditViolation, Auditor};
@@ -49,4 +50,5 @@ pub use sampling::{SampleSeries, SampleWindow, SamplingConfig, SmSampler};
 pub use sm::{KernelImage, Sm};
 pub use stats::{PartitionAccessCounts, RegisterAccessHistogram, SimResult, SmStats};
 pub use trace::{normalize_trace, TraceEvent, TraceRing};
+pub use validate::{check_config, check_launch, ValidationError};
 pub use warp::{SimtStack, WarpContext};

@@ -29,10 +29,12 @@
 //! assert_eq!(sgemm.regs_per_thread(), 27);
 //! ```
 
+pub mod generate;
 pub mod recipe;
 pub mod spec;
 pub mod suite;
 
+pub use generate::{FuzzCase, KernelGenerator, RandomKernelGenerator};
 pub use recipe::{KernelRecipe, MemPattern, PilotVariant};
 pub use spec::{Category, Table1Row, Workload};
 pub use suite::{by_name, suite};
