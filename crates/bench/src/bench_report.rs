@@ -11,8 +11,6 @@
 //! The schema is intentionally flat and versioned ([`SCHEMA_VERSION`]);
 //! consumers should reject files whose `schema_version` they don't know.
 
-use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -21,6 +19,7 @@ use prf_core::{ExperimentResult, PhaseTimings};
 use crate::json::Json;
 use crate::report::{safe_file_name, CsvTable};
 use crate::runner::{JobOutcome, MatrixReport};
+use crate::vfs::Vfs;
 
 /// Version of the `BENCH_<name>.json` schema. Bump on breaking changes.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -166,19 +165,26 @@ impl RunReport {
     }
 
     /// Attaches the matrix footer data (throughput, audit coverage,
-    /// degradation counts, phase totals).
+    /// degradation counts, phase totals). Cache-durability counters are
+    /// emitted only when nonzero so a healthy run's report stays
+    /// byte-identical to previous releases (and cold/warm runs over a
+    /// cache still compare equal).
     pub fn set_matrix(&mut self, report: &MatrixReport) {
-        self.matrix = Some(
-            Json::obj()
-                .field("jobs", report.jobs)
-                .field("threads", report.threads)
-                .field("elapsed_ms", ms(report.elapsed))
-                .field("audited_jobs", report.audited_jobs)
-                .field("audit_violations", report.audit_violations)
-                .field("retried_jobs", report.retried_jobs)
-                .field("failed_jobs", report.failed_jobs)
-                .field("phases", phases_json(&report.phase_totals)),
-        );
+        let mut matrix = Json::obj()
+            .field("jobs", report.jobs)
+            .field("threads", report.threads)
+            .field("elapsed_ms", ms(report.elapsed))
+            .field("audited_jobs", report.audited_jobs)
+            .field("audit_violations", report.audit_violations)
+            .field("retried_jobs", report.retried_jobs)
+            .field("failed_jobs", report.failed_jobs);
+        if report.cache_write_errors > 0 {
+            matrix = matrix.field("cache_write_errors", report.cache_write_errors);
+        }
+        if report.cache_quarantined > 0 {
+            matrix = matrix.field("cache_quarantined", report.cache_quarantined);
+        }
+        self.matrix = Some(matrix.field("phases", phases_json(&report.phase_totals)));
     }
 
     /// The whole report as a JSON document.
@@ -196,19 +202,24 @@ impl RunReport {
     /// needed) or the current directory, and returns the path. Returns
     /// `None` — with a diagnostic on stderr — only on I/O failure.
     pub fn write(&self) -> Option<PathBuf> {
+        self.write_with(&crate::vfs::RealVfs)
+    }
+
+    /// [`RunReport::write`] over an explicit [`Vfs`] backend, so report
+    /// persistence is covered by the injected-fault tests: a report that
+    /// cannot be written is a diagnostic, never a panic.
+    pub fn write_with(&self, vfs: &dyn Vfs) -> Option<PathBuf> {
         let dir = std::env::var_os("PRF_REPORT_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("."));
-        if let Err(e) = fs::create_dir_all(&dir) {
+        if let Err(e) = vfs.create_dir_all(&dir) {
             eprintln!("PRF_REPORT_DIR: cannot create {}: {e}", dir.display());
             return None;
         }
         let path = dir.join(format!("BENCH_{}.json", safe_file_name(&self.bench)));
-        let body = self.to_json().to_json();
-        match fs::File::create(&path).and_then(|mut f| {
-            f.write_all(body.as_bytes())?;
-            f.write_all(b"\n")
-        }) {
+        let mut body = self.to_json().to_json();
+        body.push('\n');
+        match vfs.write_file(&path, body.as_bytes()) {
             Ok(()) => {
                 eprintln!("wrote {}", path.display());
                 Some(path)

@@ -2,12 +2,15 @@
 //!
 //! Listens on `--addr <host:port>` (default `127.0.0.1:7878`) and speaks
 //! the newline-delimited JSON protocol documented in [`prf_bench::serve`]:
-//! `ping`, `submit`, `poll`, `fetch`, `shutdown`. Batches run through the
-//! resilient matrix runner with the `PRF_JOB_TIMEOUT_SECS` /
+//! `ping`, `submit`, `poll`, `fetch`, `status`, `shutdown`. Batches run
+//! through the resilient matrix runner with the `PRF_JOB_TIMEOUT_SECS` /
 //! `PRF_JOB_RETRIES` / `PRF_RETRY_BACKOFF_MS` policy, `PRF_THREADS`
 //! worker threads, and — when `PRF_CACHE_DIR` is set — the on-disk
 //! result cache, so repeated submissions of the same job are served
-//! without re-simulating.
+//! without re-simulating. When `PRF_JOURNAL_DIR` is set, submissions
+//! are additionally journaled to a write-ahead log and unfinished
+//! batches are re-enqueued on the next start (see
+//! [`prf_bench::journal`]).
 //!
 //! ```text
 //! $ PRF_CACHE_DIR=/tmp/prf-cache prf-serve --addr 127.0.0.1:7878 &
@@ -19,8 +22,10 @@
 use std::net::TcpListener;
 
 use prf_bench::cache::ResultCache;
+use prf_bench::journal::Journal;
 use prf_bench::runner::RetryPolicy;
-use prf_bench::serve::{serve, ServeConfig};
+use prf_bench::serve::{serve_with_journal, ServeConfig};
+use prf_bench::vfs;
 
 fn arg_value(flag: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -58,6 +63,22 @@ fn main() {
         Some(c) => eprintln!("prf-serve: result cache at {}", c.dir().display()),
         None => eprintln!("prf-serve: no result cache (set PRF_CACHE_DIR to enable)"),
     }
+    let journal = Journal::from_env(vfs::real());
+    match &journal {
+        Some((j, recovery)) => {
+            eprintln!(
+                "prf-serve: journal at {} ({} unfinished batch(es) to recover{})",
+                j.dir().display(),
+                recovery.pending.len(),
+                if recovery.torn_tail {
+                    ", torn tail discarded"
+                } else {
+                    ""
+                }
+            );
+        }
+        None => eprintln!("prf-serve: no journal (set PRF_JOURNAL_DIR for crash durability)"),
+    }
 
     let listener =
         TcpListener::bind(&addr).unwrap_or_else(|e| panic!("cannot listen on {addr}: {e}"));
@@ -69,6 +90,6 @@ fn main() {
         config.threads,
         config.max_inflight
     );
-    serve(listener, config, cache);
+    serve_with_journal(listener, config, cache, journal);
     eprintln!("prf-serve: shut down cleanly");
 }

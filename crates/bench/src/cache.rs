@@ -30,22 +30,50 @@
 //! `Debug` rendering of every config struct, so struct changes invalidate
 //! old entries without any migration logic: the digest simply stops
 //! matching. Stale files are inert and can be deleted at leisure.
+//!
+//! ## Integrity
+//!
+//! Every entry carries a checksum footer — `sha256=<64 hex>` of the body
+//! including its newline — verified on every read, so bit rot or a torn
+//! write can never masquerade as a bit-exact cached result. Entries that
+//! fail verification are **quarantined**: moved (never deleted, never
+//! served) into a `corrupt/` subdirectory for forensics, counted in
+//! [`CacheStats`], and surfaced in the matrix footer. Entries predating
+//! the footer (schema v1) parse as valid-but-stale JSON and are plain
+//! misses, not corruption. Opening a cache sweeps orphaned `.tmp-*`
+//! files left by interrupted writes; a published `rename` is followed by
+//! a directory fsync so entries survive power loss (platform caveats in
+//! DESIGN.md §10).
+//!
+//! All file operations go through the [`crate::vfs::Vfs`] layer, so the
+//! durability tests drive this cache over an injected-fault backend: a
+//! write failure of any kind degrades to miss-and-recompute — counted in
+//! [`CacheStats::write_errors`], never a panic, never a half-published
+//! entry.
 
-use std::fs;
-use std::io::Write as _;
+use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use prf_core::{ExperimentResult, PhaseTimings, RfTelemetry};
 use prf_isa::{Reg, MAX_ARCH_REGS};
 use prf_sim::{AuditReport, PartitionAccessCounts, RegisterAccessHistogram, SimResult, SmStats};
 
+use crate::digest::Sha256;
 use crate::json::Json;
 use crate::runner::{Job, JobOutcome};
+use crate::vfs::{self, Vfs};
 
 /// Version of the on-disk entry layout. Bump on any change to the entry
 /// JSON shape; old entries are then ignored (treated as misses).
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+/// v2 added the `sha256=` checksum footer — v1 entries have none, so
+/// they classify as stale (a miss), not corrupt.
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
+
+/// Name of the quarantine subdirectory for corrupt entries.
+pub const QUARANTINE_DIR: &str = "corrupt";
 
 /// A cached job outcome: everything the matrix runner needs to replay the
 /// job bit-identically without simulating.
@@ -61,10 +89,27 @@ pub struct CachedOutcome {
     pub result: ExperimentResult,
 }
 
+/// Durability telemetry for one cache handle, shared by its clones.
+/// These counters are what turns a silently-degraded cache into a
+/// visible `[cache: … write-err / … quarantined]` footer segment.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Failed entry publishes (tempfile write, rename, or directory
+    /// fsync). Each one degraded a store to miss-and-recompute.
+    pub write_errors: AtomicU64,
+    /// Entries that failed checksum/parse verification and were moved
+    /// to the quarantine directory.
+    pub quarantined: AtomicU64,
+    /// Orphaned `.tmp-*` files swept at open.
+    pub swept_tmp: AtomicU64,
+}
+
 /// Handle on a cache directory.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    stats: Arc<CacheStats>,
 }
 
 impl ResultCache {
@@ -73,8 +118,8 @@ impl ResultCache {
     /// with a diagnostic rather than failing the run.
     pub fn from_env() -> Option<ResultCache> {
         let dir = PathBuf::from(std::env::var_os("PRF_CACHE_DIR")?);
-        match fs::create_dir_all(&dir) {
-            Ok(()) => Some(ResultCache { dir }),
+        match ResultCache::open(dir.clone(), vfs::real()) {
+            Ok(cache) => Some(cache),
             Err(e) => {
                 eprintln!(
                     "PRF_CACHE_DIR: cannot create {}: {e}; caching disabled",
@@ -92,14 +137,71 @@ impl ResultCache {
     /// Panics when the directory cannot be created.
     pub fn at(dir: impl Into<PathBuf>) -> ResultCache {
         let dir = dir.into();
-        fs::create_dir_all(&dir)
-            .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
-        ResultCache { dir }
+        ResultCache::open(dir.clone(), vfs::real())
+            .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()))
+    }
+
+    /// Opens a cache over an explicit [`Vfs`] backend — the injectable
+    /// seam the durability tests use. Creates the directory and sweeps
+    /// orphaned `.tmp-*` files left by interrupted writes (a crashed
+    /// process can leave a tempfile behind; it was never published, so
+    /// removing it is safe and keeps the directory from silting up).
+    ///
+    /// # Errors
+    ///
+    /// Only when the directory cannot be created; sweep failures are
+    /// diagnostics, not errors.
+    pub fn open(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        vfs.create_dir_all(&dir)?;
+        let cache = ResultCache {
+            dir,
+            vfs,
+            stats: Arc::new(CacheStats::default()),
+        };
+        cache.sweep_tmp();
+        Ok(cache)
+    }
+
+    fn sweep_tmp(&self) {
+        let Ok(entries) = self.vfs.list_dir(&self.dir) else {
+            return;
+        };
+        for path in entries {
+            let orphan = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(".tmp-"));
+            if orphan && self.vfs.remove_file(&path).is_ok() {
+                self.stats.swept_tmp.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
+    }
+
+    /// Failed entry publishes so far (each degraded a store to
+    /// miss-and-recompute).
+    pub fn write_errors(&self) -> u64 {
+        self.stats.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt entries quarantined so far.
+    pub fn quarantined(&self) -> u64 {
+        self.stats.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Orphaned `.tmp-*` files swept at open.
+    pub fn swept_tmp(&self) -> u64 {
+        self.stats.swept_tmp.load(Ordering::Relaxed)
+    }
+
+    /// Where quarantined entries live.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
     }
 
     /// True when the job's configuration produces a result this cache can
@@ -112,12 +214,56 @@ impl ResultCache {
         self.dir.join(format!("{digest}.json"))
     }
 
+    /// Moves a corrupt entry into the quarantine directory — never
+    /// deleted, never served — and counts it. If the move itself fails
+    /// the file stays in place (still never served: the caller already
+    /// rejected it), which is the conservative failure mode.
+    fn quarantine(&self, digest: &str, why: &str) {
+        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        let src = self.entry_path(digest);
+        let dst = self.quarantine_dir().join(format!("{digest}.json"));
+        let moved = self
+            .vfs
+            .create_dir_all(&self.quarantine_dir())
+            .and_then(|()| self.vfs.rename(&src, &dst));
+        match moved {
+            Ok(()) => eprintln!("cache: quarantined corrupt entry {digest}: {why}"),
+            Err(e) => {
+                eprintln!("cache: corrupt entry {digest} ({why}); quarantine move failed: {e}")
+            }
+        }
+    }
+
     /// Looks up an entry. Returns `None` on any mismatch — missing file,
-    /// unparseable JSON, wrong schema version, or an entry whose RF name
-    /// differs from the job's (paranoia: the digest should preclude it).
+    /// wrong schema version, or an entry whose RF name differs from the
+    /// job's (paranoia: the digest should preclude it). An entry whose
+    /// bytes fail checksum verification is quarantined as a side effect
+    /// (see the module docs); a stale-but-intact pre-footer entry is a
+    /// plain miss.
     pub fn load(&self, digest: &str, job: &Job) -> Option<CachedOutcome> {
-        let text = fs::read_to_string(self.entry_path(digest)).ok()?;
-        let doc = Json::parse(&text).ok()?;
+        let bytes = self.vfs.read(&self.entry_path(digest)).ok()?;
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                self.quarantine(digest, "entry is not UTF-8");
+                return None;
+            }
+        };
+        let body = match verify_entry(&text) {
+            EntryCheck::Valid(body) => body,
+            EntryCheck::Stale => return None,
+            EntryCheck::Corrupt(why) => {
+                self.quarantine(digest, why);
+                return None;
+            }
+        };
+        let Ok(doc) = Json::parse(body) else {
+            // The checksum vouched for these bytes, yet they are not a
+            // JSON document: a writer bug, not bit rot — quarantine so
+            // the evidence survives.
+            self.quarantine(digest, "checksummed body is not JSON");
+            return None;
+        };
         if doc.get("cache_schema_version")?.as_u64()? != CACHE_SCHEMA_VERSION {
             return None;
         }
@@ -176,33 +322,108 @@ impl ResultCache {
                 u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             )
             .field("result", result_to_json(result));
+        // Body line, then the checksum footer over the body *including*
+        // its newline — a reader re-hashes exactly what precedes the
+        // footer line.
+        let mut entry = doc.to_json();
+        entry.push('\n');
+        let mut hasher = Sha256::new();
+        hasher.update(entry.as_bytes());
+        entry.push_str(CHECKSUM_PREFIX);
+        entry.push_str(&hasher.finish_hex());
+        entry.push('\n');
         // Atomic publish: write the full entry to a private temp file in
         // the same directory, then rename over the final name. Renames
         // within a directory are atomic, so concurrent shards racing on
         // the same digest simply last-write-wins with identical bytes.
+        // Any I/O failure — tempfile write, rename, directory fsync — is
+        // counted as a write error: the job's result is still returned
+        // to the caller, the cache just degraded to miss-and-recompute.
         let tmp = self
             .dir
             .join(format!(".tmp-{digest}-{}", std::process::id()));
-        let write = fs::File::create(&tmp).and_then(|mut f| {
-            f.write_all(doc.to_json().as_bytes())?;
-            f.write_all(b"\n")?;
-            f.sync_all()
-        });
-        if let Err(e) = write {
+        if let Err(e) = self.vfs.write_file(&tmp, entry.as_bytes()) {
             eprintln!("cache: cannot write {}: {e}", tmp.display());
-            let _ = fs::remove_file(&tmp);
+            self.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = self.vfs.remove_file(&tmp);
             return false;
         }
-        if let Err(e) = fs::rename(&tmp, self.entry_path(digest)) {
+        if let Err(e) = self.vfs.rename(&tmp, &self.entry_path(digest)) {
             eprintln!(
                 "cache: cannot publish {}: {e}",
                 self.entry_path(digest).display()
             );
-            let _ = fs::remove_file(&tmp);
+            self.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = self.vfs.remove_file(&tmp);
             return false;
+        }
+        // Make the rename durable: fsync the directory. On platforms
+        // where directories cannot be fsynced this is a no-op inside
+        // RealVfs (see `Vfs::sync_dir`); an injected failure here still
+        // counts — the entry is published for this boot but might not
+        // survive power loss.
+        if let Err(e) = self.vfs.sync_dir(&self.dir) {
+            eprintln!("cache: cannot fsync {}: {e}", self.dir.display());
+            self.stats.write_errors.fetch_add(1, Ordering::Relaxed);
         }
         true
     }
+}
+
+/// The checksum footer label.
+const CHECKSUM_PREFIX: &str = "sha256=";
+
+/// Classification of raw entry text.
+enum EntryCheck<'a> {
+    /// Footer present and the checksum matches: `body` (without the
+    /// footer line) is integrity-verified.
+    Valid(&'a str),
+    /// No footer, but the whole file is an intact JSON document with a
+    /// `cache_schema_version` field — a pre-footer (schema v1) entry.
+    /// Stale, not corrupt: a plain miss.
+    Stale,
+    /// Anything else: truncated, bit-flipped, or foreign bytes.
+    Corrupt(&'static str),
+}
+
+/// Verifies the `sha256=` footer of entry text. The expected layout is
+/// `<single-line JSON body>\n` followed by `sha256=<64 lowercase hex>\n`;
+/// the checksum covers everything before the footer line.
+fn verify_entry(text: &str) -> EntryCheck<'_> {
+    let stale_or = |why: &'static str| {
+        // Distinguish an old-format entry from damage: v1 entries are
+        // intact JSON documents (with a schema field) and no footer.
+        let looks_v1 = Json::parse(text.trim_end())
+            .ok()
+            .and_then(|doc| doc.get("cache_schema_version")?.as_u64())
+            .is_some();
+        if looks_v1 {
+            EntryCheck::Stale
+        } else {
+            EntryCheck::Corrupt(why)
+        }
+    };
+    let Some(without_final_newline) = text.strip_suffix('\n') else {
+        return stale_or("missing trailing newline");
+    };
+    let Some((body, footer)) = without_final_newline.rsplit_once('\n') else {
+        return stale_or("no checksum footer");
+    };
+    let Some(hex) = footer.strip_prefix(CHECKSUM_PREFIX) else {
+        return stale_or("footer is not a sha256= line");
+    };
+    if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return EntryCheck::Corrupt("malformed checksum hex");
+    }
+    // Re-hash the body plus its newline — exactly the bytes that
+    // preceded the footer line on disk.
+    let mut hasher = Sha256::new();
+    hasher.update(body.as_bytes());
+    hasher.update(b"\n");
+    if hasher.finish_hex() != hex {
+        return EntryCheck::Corrupt("checksum mismatch");
+    }
+    EntryCheck::Valid(body)
 }
 
 /// True when the result round-trips exactly through the entry schema:
@@ -495,11 +716,29 @@ mod tests {
     use crate::digest::job_digest;
     use prf_core::RfKind;
     use prf_sim::GpuConfig;
+    use std::fs;
+    use std::path::Path;
 
     fn temp_cache(tag: &str) -> ResultCache {
         let dir = std::env::temp_dir().join(format!("prf_cache_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         ResultCache::at(dir)
+    }
+
+    /// Rewrites an entry's body line through `f` and recomputes the
+    /// checksum footer, so the result is *intact* (not corrupt) but
+    /// carries the transformed body.
+    fn rewrite_body(path: &Path, f: impl Fn(&str) -> String) {
+        let text = fs::read_to_string(path).unwrap();
+        let body = text.split('\n').next().unwrap();
+        let mut entry = f(body);
+        entry.push('\n');
+        let mut h = Sha256::new();
+        h.update(entry.as_bytes());
+        entry.push_str(CHECKSUM_PREFIX);
+        entry.push_str(&h.finish_hex());
+        entry.push('\n');
+        fs::write(path, entry).unwrap();
     }
 
     fn run_job(seed: u64, audit: bool) -> (Job, Duration, ExperimentResult) {
@@ -573,24 +812,50 @@ mod tests {
     }
 
     #[test]
-    fn schema_version_mismatch_is_a_miss() {
+    fn schema_version_mismatch_is_a_stale_miss_not_corruption() {
         let cache = temp_cache("schema");
         let (job, elapsed, result) = run_job(0, false);
         let digest = job_digest(&job);
         assert!(cache.store(&digest, &job, &JobOutcome::Completed, elapsed, &result));
         let path = cache.entry_path(&digest);
-        let text = fs::read_to_string(&path).unwrap();
-        let bumped = text.replace(
-            &format!("\"cache_schema_version\":{CACHE_SCHEMA_VERSION}"),
-            "\"cache_schema_version\":999999",
-        );
-        assert_ne!(text, bumped, "version field must be present");
-        fs::write(&path, bumped).unwrap();
+        rewrite_body(&path, |body| {
+            let bumped = body.replace(
+                &format!("\"cache_schema_version\":{CACHE_SCHEMA_VERSION}"),
+                "\"cache_schema_version\":999999",
+            );
+            assert_ne!(body, bumped, "version field must be present");
+            bumped
+        });
         assert!(cache.load(&digest, &job).is_none());
+        assert_eq!(
+            cache.quarantined(),
+            0,
+            "an intact entry from another version is stale, not corrupt"
+        );
     }
 
     #[test]
-    fn torn_or_corrupt_entries_are_misses() {
+    fn pre_footer_v1_entries_are_stale_misses_not_corruption() {
+        let cache = temp_cache("v1_stale");
+        let (job, elapsed, result) = run_job(0, false);
+        let digest = job_digest(&job);
+        assert!(cache.store(&digest, &job, &JobOutcome::Completed, elapsed, &result));
+        let path = cache.entry_path(&digest);
+        // Strip the footer and claim schema v1: exactly what a pre-PR
+        // entry looks like on disk.
+        let text = fs::read_to_string(&path).unwrap();
+        let body = text.split('\n').next().unwrap().replace(
+            &format!("\"cache_schema_version\":{CACHE_SCHEMA_VERSION}"),
+            "\"cache_schema_version\":1",
+        );
+        fs::write(&path, format!("{body}\n")).unwrap();
+        assert!(cache.load(&digest, &job).is_none());
+        assert_eq!(cache.quarantined(), 0, "v1 entries must not be quarantined");
+        assert!(path.exists(), "stale entries stay in place");
+    }
+
+    #[test]
+    fn torn_or_corrupt_entries_are_quarantined_never_served() {
         let cache = temp_cache("corrupt");
         let (job, elapsed, result) = run_job(0, false);
         let digest = job_digest(&job);
@@ -599,8 +864,73 @@ mod tests {
         let text = fs::read_to_string(&path).unwrap();
         fs::write(&path, &text[..text.len() / 2]).unwrap();
         assert!(cache.load(&digest, &job).is_none(), "truncated entry");
+        assert_eq!(cache.quarantined(), 1);
+        let jailed = cache.quarantine_dir().join(format!("{digest}.json"));
+        assert!(jailed.exists(), "quarantined, not deleted");
+        assert!(!path.exists(), "quarantined entry leaves the cache dir");
+
         fs::write(&path, "not json at all").unwrap();
         assert!(cache.load(&digest, &job).is_none(), "garbage entry");
+        assert_eq!(cache.quarantined(), 2);
+
+        // Quarantine + re-run repopulates: the slot is free again and a
+        // fresh store round-trips.
+        assert!(cache.store(&digest, &job, &JobOutcome::Completed, elapsed, &result));
+        assert!(cache.load(&digest, &job).is_some());
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            text,
+            "repopulated entry is byte-identical to the original"
+        );
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("prf_cache_test_sweep_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(".tmp-deadbeef-12345"), b"half-written").unwrap();
+        fs::write(dir.join("keepme.json"), b"{}").unwrap();
+        let cache = ResultCache::at(&dir);
+        assert_eq!(cache.swept_tmp(), 1);
+        assert!(!dir.join(".tmp-deadbeef-12345").exists());
+        assert!(dir.join("keepme.json").exists(), "sweep only takes .tmp-*");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failures_degrade_to_miss_and_are_counted() {
+        use crate::vfs::{FaultPlan, FaultyVfs};
+        let dir =
+            std::env::temp_dir().join(format!("prf_cache_test_enospc_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let faulty = Arc::new(FaultyVfs::new());
+        let cache = ResultCache::open(&dir, faulty.clone() as Arc<dyn Vfs>).unwrap();
+        let (job, elapsed, result) = run_job(0, false);
+        let digest = job_digest(&job);
+
+        faulty.set_plan(FaultPlan {
+            fail_writes: true,
+            ..FaultPlan::default()
+        });
+        assert!(!cache.store(&digest, &job, &JobOutcome::Completed, elapsed, &result));
+        assert_eq!(cache.write_errors(), 1, "ENOSPC counts");
+
+        faulty.set_plan(FaultPlan {
+            fail_rename: true,
+            ..FaultPlan::default()
+        });
+        assert!(!cache.store(&digest, &job, &JobOutcome::Completed, elapsed, &result));
+        assert_eq!(cache.write_errors(), 2, "rename failure counts");
+        assert!(
+            cache.load(&digest, &job).is_none(),
+            "failed publishes leave no entry"
+        );
+
+        faulty.revive();
+        assert!(cache.store(&digest, &job, &JobOutcome::Completed, elapsed, &result));
+        assert!(cache.load(&digest, &job).is_some(), "healed disk stores");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

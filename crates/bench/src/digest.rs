@@ -1,9 +1,9 @@
 //! Canonical, content-addressed job digests.
 //!
-//! A [`JobDigest`] is a stable SHA-256 over everything that determines a
-//! simulation's outcome: the full [`GpuConfig`] (jitter seed included),
+//! A job digest is a stable SHA-256 over everything that determines a
+//! simulation's outcome: the full `GpuConfig` (jitter seed included),
 //! the workload (kernel instruction streams, launch geometry, memory
-//! image), the [`RfKind`] under test, and the fault campaign. Two jobs
+//! image), the `RfKind` under test, and the fault campaign. Two jobs
 //! with the same digest are guaranteed to produce bit-identical
 //! [`prf_core::ExperimentResult`]s, which is what lets the on-disk result
 //! cache ([`crate::cache`]) serve a lookup instead of a simulation.

@@ -26,10 +26,12 @@ pub mod bench_report;
 pub mod cache;
 pub mod chrometrace;
 pub mod digest;
+pub mod journal;
 pub mod json;
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod vfs;
 
 pub use bench_report::RunReport;
 

@@ -445,6 +445,13 @@ pub struct MatrixReport {
     pub cache_misses: usize,
     /// Jobs skipped because another `PRF_SHARD` process owns them.
     pub skipped_jobs: usize,
+    /// Cache store attempts that failed (ENOSPC, rename failure, …) and
+    /// degraded to miss-and-recompute. Nonzero means the run completed
+    /// but its results were not all persisted.
+    pub cache_write_errors: usize,
+    /// Cache entries that failed their integrity check on read and were
+    /// moved to the `corrupt/` quarantine directory.
+    pub cache_quarantined: usize,
     /// Per-phase wall-clock totals summed over every successful job
     /// (CPU-time-like: with N workers this exceeds `elapsed`).
     pub phase_totals: PhaseTimings,
@@ -474,11 +481,24 @@ impl MatrixReport {
         } else {
             String::new()
         };
-        let cache = if self.cache_hits + self.cache_misses > 0 {
-            format!(
-                " [cache: {} hit / {} miss]",
+        let cache_active = self.cache_hits + self.cache_misses > 0
+            || self.cache_write_errors > 0
+            || self.cache_quarantined > 0;
+        let cache = if cache_active {
+            // Degradation segments only appear when nonzero, so a healthy
+            // run's footer is unchanged from previous releases.
+            let mut seg = format!(
+                " [cache: {} hit / {} miss",
                 self.cache_hits, self.cache_misses
-            )
+            );
+            if self.cache_write_errors > 0 {
+                seg.push_str(&format!(" / {} write-err", self.cache_write_errors));
+            }
+            if self.cache_quarantined > 0 {
+                seg.push_str(&format!(" / {} quarantined", self.cache_quarantined));
+            }
+            seg.push(']');
+            seg
         } else {
             String::new()
         };
@@ -693,14 +713,18 @@ pub fn run_matrix_resilient(jobs: &[Job], policy: RetryPolicy) -> MatrixOutcome 
 }
 
 /// Crash-proof matrix run with a wall-clock [`MatrixReport`] (including
-/// degraded-job counts) for the binary's footer.
+/// degraded-job counts) for the binary's footer. Owns the env-configured
+/// cache for the duration of the run so its durability counters
+/// (write errors, quarantined entries) can be folded into the report.
 pub fn run_matrix_resilient_timed(
     jobs: &[Job],
     policy: RetryPolicy,
 ) -> (MatrixOutcome, MatrixReport) {
     let threads = threads_from_env();
+    let cache = ResultCache::from_env();
     let t0 = Instant::now();
-    let outcome = run_matrix_resilient_with_threads(jobs, policy, threads);
+    let outcome =
+        run_matrix_resilient_configured(jobs, policy, threads, shard_from_env(), cache.as_ref());
     let audited: Vec<_> = outcome
         .reports
         .iter()
@@ -731,6 +755,8 @@ pub fn run_matrix_resilient_timed(
             .filter(|r| r.cached == Some(false))
             .count(),
         skipped_jobs: outcome.skipped_jobs(),
+        cache_write_errors: cache.as_ref().map_or(0, |c| c.write_errors() as usize),
+        cache_quarantined: cache.as_ref().map_or(0, |c| c.quarantined() as usize),
         phase_totals,
     };
     (outcome, report)
@@ -808,6 +834,34 @@ pub fn run_matrix_resilient_configured(
     shard: Option<ShardSpec>,
     cache: Option<&ResultCache>,
 ) -> MatrixOutcome {
+    run_matrix_resilient_observed(jobs, policy, threads, shard, cache, None)
+}
+
+/// Progress hooks invoked from the worker threads of
+/// [`run_matrix_resilient_observed`]. `prf-serve` uses this to journal
+/// per-job start/completion records; both methods default to no-ops.
+/// Callbacks must be cheap and must not panic — they run inline on the
+/// worker, between jobs.
+pub trait JobObserver: Sync {
+    /// A worker picked up job `index` (after shard filtering; fires for
+    /// rejected and cache-answered jobs too).
+    fn job_started(&self, _index: usize, _job: &Job) {}
+    /// Job `index` reached a terminal outcome (including rejection and
+    /// cache hits). Fires after the cache store, so by the time a
+    /// journal records completion the result is already published.
+    fn job_finished(&self, _index: usize, _job: &Job, _outcome: &JobOutcome) {}
+}
+
+/// [`run_matrix_resilient_configured`] with per-job [`JobObserver`]
+/// callbacks.
+pub fn run_matrix_resilient_observed(
+    jobs: &[Job],
+    policy: RetryPolicy,
+    threads: usize,
+    shard: Option<ShardSpec>,
+    cache: Option<&ResultCache>,
+    observer: Option<&dyn JobObserver>,
+) -> MatrixOutcome {
     let threads = threads.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let t0 = Instant::now();
@@ -831,14 +885,21 @@ pub fn run_matrix_resilient_configured(
                     }
                 }
                 let started = t0.elapsed();
+                if let Some(obs) = observer {
+                    obs.job_started(i, job);
+                }
                 // Reject invalid jobs up front: no attempt thread, no
                 // watchdog, no retries — a hostile job costs one
                 // validation pass, not a worker's retry budget.
                 if let Err(e) = job.validate() {
+                    let outcome = JobOutcome::Rejected {
+                        reason: format!("rejected input: {e}"),
+                    };
+                    if let Some(obs) = observer {
+                        obs.job_finished(i, job, &outcome);
+                    }
                     *slots[i].lock().unwrap() = Some(SlotData {
-                        outcome: JobOutcome::Rejected {
-                            reason: format!("rejected input: {e}"),
-                        },
+                        outcome,
                         started,
                         elapsed: Duration::ZERO,
                         result: None,
@@ -854,6 +915,9 @@ pub fn run_matrix_resilient_configured(
                     .map(|_| job_digest(job));
                 if let (Some(cache), Some(digest)) = (cache, &digest) {
                     if let Some(hit) = cache.load(digest, job) {
+                        if let Some(obs) = observer {
+                            obs.job_finished(i, job, &hit.outcome);
+                        }
                         *slots[i].lock().unwrap() = Some(SlotData {
                             outcome: hit.outcome,
                             started,
@@ -872,6 +936,9 @@ pub fn run_matrix_resilient_configured(
                 let elapsed = job_start.elapsed();
                 if let (Some(cache), Some(digest), Some(r)) = (cache, &digest, result.as_ref()) {
                     cache.store(digest, job, &outcome, elapsed, r);
+                }
+                if let Some(obs) = observer {
+                    obs.job_finished(i, job, &outcome);
                 }
                 *slots[i].lock().unwrap() = Some(SlotData {
                     outcome,
@@ -983,6 +1050,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             skipped_jobs: 0,
+            cache_write_errors: 0,
+            cache_quarantined: 0,
             phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
@@ -1012,6 +1081,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             skipped_jobs: 0,
+            cache_write_errors: 0,
+            cache_quarantined: 0,
             phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
@@ -1031,6 +1102,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             skipped_jobs: 0,
+            cache_write_errors: 0,
+            cache_quarantined: 0,
             phase_totals: PhaseTimings::default(),
         };
         let f = r.footer();
@@ -1053,6 +1126,8 @@ mod tests {
                 cache_hits: 0,
                 cache_misses: 0,
                 skipped_jobs: 0,
+                cache_write_errors: 0,
+                cache_quarantined: 0,
                 phase_totals: PhaseTimings::default(),
             };
             let f = r.footer();
@@ -1074,6 +1149,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             skipped_jobs: 0,
+            cache_write_errors: 0,
+            cache_quarantined: 0,
             phase_totals: PhaseTimings {
                 setup: Duration::from_millis(5),
                 simulate: Duration::from_millis(900),
@@ -1288,6 +1365,8 @@ mod tests {
             cache_hits: 7,
             cache_misses: 3,
             skipped_jobs: 0,
+            cache_write_errors: 0,
+            cache_quarantined: 0,
             phase_totals: PhaseTimings::default(),
         };
         assert!(
@@ -1304,6 +1383,40 @@ mod tests {
         r.cache_hits = 0;
         r.cache_misses = 0;
         assert!(!r.footer().contains("[cache:"), "{}", r.footer());
+    }
+
+    #[test]
+    fn footer_reports_cache_durability_degradation() {
+        let mut r = MatrixReport {
+            jobs: 10,
+            threads: 4,
+            elapsed: Duration::from_secs(2),
+            audited_jobs: 0,
+            audit_violations: 0,
+            retried_jobs: 0,
+            failed_jobs: 0,
+            cache_hits: 7,
+            cache_misses: 3,
+            skipped_jobs: 0,
+            cache_write_errors: 2,
+            cache_quarantined: 1,
+            phase_totals: PhaseTimings::default(),
+        };
+        assert!(
+            r.footer()
+                .contains("[cache: 7 hit / 3 miss / 2 write-err / 1 quarantined]"),
+            "{}",
+            r.footer()
+        );
+        // Even with zero hits/misses, degradation alone surfaces the segment.
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        r.cache_quarantined = 0;
+        assert!(
+            r.footer().contains("[cache: 0 hit / 0 miss / 2 write-err]"),
+            "{}",
+            r.footer()
+        );
     }
 
     #[test]

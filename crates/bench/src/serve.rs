@@ -11,7 +11,9 @@
 //! | `{"op":"submit","jobs":[<spec>,…]}`       | `{"ok":true,"batch":N,"jobs":K}`             |
 //! | `{"op":"poll","batch":N}`                 | `{"ok":true,"state":"queued"\|"running"\|"done"}` |
 //! | `{"op":"fetch","batch":N}`                | `{"ok":true,"report":{…}}` once done         |
-//! | `{"op":"shutdown"}`                       | `{"ok":true,"stopping":true}`                |
+//! | `{"op":"status"}`                         | `{"ok":true,"recovered_batches":N,"durable":…,"inflight":K}` |
+//! | `{"op":"shutdown"}`                       | `{"ok":true,"stopping":true,"mode":"drain"}` |
+//! | `{"op":"shutdown","mode":"now"}`          | `{"ok":true,"stopping":true,"mode":"now"}`   |
 //!
 //! Any error — unknown op, malformed spec, unknown batch, server at
 //! capacity — comes back as `{"ok":false,"error":"…"}` on the same line;
@@ -46,12 +48,25 @@
 //! bounded: at most [`ServeConfig::max_inflight`] batches may be queued
 //! or running at once; submissions beyond that are refused with a
 //! capacity error rather than queued without bound. `shutdown` is
-//! graceful — the listener stops accepting, queued batches drain, and
-//! [`serve`] returns.
+//! graceful by default — the listener stops accepting, queued batches
+//! drain, and [`serve`] returns; `{"op":"shutdown","mode":"now"}` skips
+//! the drain (the batch already running finishes; queued batches are
+//! left to the journal).
+//!
+//! ## Durability
+//!
+//! With `PRF_JOURNAL_DIR` set (see [`crate::journal`]), every accepted
+//! submit is journaled *before* it is acknowledged, and on startup
+//! [`serve_with_journal`] re-enqueues every batch the journal shows as
+//! unfinished — `{"op":"status"}` reports how many. A journal append
+//! failure mid-flight does not refuse traffic: the server drops to a
+//! loud non-durable mode (`"durable":false` in `status`, a diagnostic
+//! per lost append on stderr) and keeps serving from memory.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -60,8 +75,9 @@ use prf_sim::{GpuConfig, SchedulerPolicy};
 
 use crate::bench_report::{outcome_json, result_json};
 use crate::cache::ResultCache;
+use crate::journal::{Journal, Record, Recovery};
 use crate::json::Json;
-use crate::runner::{self, Job, RetryPolicy};
+use crate::runner::{self, Job, JobObserver, RetryPolicy};
 
 /// Version of the line protocol, reported by `ping`. Bump on breaking
 /// changes to request or response shapes.
@@ -237,12 +253,28 @@ struct Batch {
     report: Option<Json>,
 }
 
+/// How the server was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum StopMode {
+    /// Not stopping.
+    #[default]
+    No,
+    /// Graceful: queued batches drain before [`serve`] returns.
+    Drain,
+    /// Immediate: the running batch (if any) finishes — a matrix run
+    /// cannot be interrupted — but queued batches are left to the
+    /// journal for the next start.
+    Now,
+}
+
 #[derive(Default)]
 struct ServerState {
     batches: Vec<Batch>,
     queue: VecDeque<usize>,
     next_id: u64,
-    stopping: bool,
+    stop: StopMode,
+    /// Batches re-enqueued from the journal at startup.
+    recovered: u64,
 }
 
 impl ServerState {
@@ -261,6 +293,63 @@ impl ServerState {
 struct Shared {
     state: Mutex<ServerState>,
     work: Condvar,
+    /// The write-ahead log, if `PRF_JOURNAL_DIR` is configured. Set to
+    /// `None` by [`Shared::journal_append`] after the first append
+    /// failure: the server keeps serving, loudly non-durable.
+    journal: Mutex<Option<Journal>>,
+    /// False while the journal is absent or has failed. Reported by
+    /// `{"op":"status"}` (as `null` when no journal was configured).
+    durable: AtomicBool,
+    /// Whether a journal was configured at startup at all.
+    journaled: bool,
+}
+
+impl Shared {
+    /// Appends to the journal if one is (still) active. The first
+    /// failure drops the journal and flips the server to non-durable
+    /// mode — a degraded server is better than a refused batch, but the
+    /// degradation must be loud.
+    ///
+    /// Lock order: callers may hold `state` while calling this (submit
+    /// does, so its `Submit` record always precedes the worker's
+    /// `Start` records); nothing acquires `state` while holding
+    /// `journal`.
+    fn journal_append(&self, record: &Record) {
+        let mut guard = self.journal.lock().unwrap();
+        if let Some(journal) = guard.as_mut() {
+            if let Err(e) = journal.append(record) {
+                eprintln!(
+                    "prf-serve: journal append failed ({e}); continuing WITHOUT durability — \
+                     batches submitted from now on will not survive a crash"
+                );
+                *guard = None;
+                self.durable.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Journals per-job progress markers from the matrix runner's worker
+/// threads while a batch executes.
+struct BatchJournalist<'a> {
+    shared: &'a Shared,
+    batch: u64,
+}
+
+impl JobObserver for BatchJournalist<'_> {
+    fn job_started(&self, index: usize, _job: &Job) {
+        self.shared.journal_append(&Record::Start {
+            batch: self.batch,
+            job: index as u64,
+        });
+    }
+
+    fn job_finished(&self, index: usize, _job: &Job, _outcome: &runner::JobOutcome) {
+        self.shared.journal_append(&Record::JobDone {
+            batch: self.batch,
+            job: index as u64,
+        });
+    }
 }
 
 fn batch_report_json(batch_id: u64, outcome: &runner::MatrixOutcome) -> Json {
@@ -295,31 +384,47 @@ fn batch_report_json(batch_id: u64, outcome: &runner::MatrixOutcome) -> Json {
 
 fn worker_loop(shared: &Shared, config: &ServeConfig, cache: Option<&ResultCache>) {
     loop {
-        let (slot, jobs) = {
+        let (slot, batch_id, jobs) = {
             let mut st = shared.state.lock().unwrap();
             loop {
+                if st.stop == StopMode::Now {
+                    // Immediate shutdown: leave queued batches to the
+                    // journal — their Submit records have no BatchDone,
+                    // so the next start re-enqueues them.
+                    return;
+                }
                 if let Some(slot) = st.queue.pop_front() {
                     st.batches[slot].state = BatchState::Running;
-                    break (slot, st.batches[slot].jobs.clone());
+                    break (slot, st.batches[slot].id, st.batches[slot].jobs.clone());
                 }
-                if st.stopping {
+                if st.stop == StopMode::Drain {
                     return;
                 }
                 st = shared.work.wait(st).unwrap();
             }
         };
-        let outcome = runner::run_matrix_resilient_configured(
+        let journalist = BatchJournalist {
+            shared,
+            batch: batch_id,
+        };
+        let outcome = runner::run_matrix_resilient_observed(
             &jobs,
             config.policy,
             config.threads,
             None,
             cache,
+            Some(&journalist),
         );
         let mut st = shared.state.lock().unwrap();
         let report = batch_report_json(st.batches[slot].id, &outcome);
         st.batches[slot].report = Some(report);
         st.batches[slot].state = BatchState::Done;
         drop(st);
+        // BatchDone is appended *after* the report is visible and with
+        // no state lock held. A crash between the two re-enqueues an
+        // already-finished batch on restart — it replays through the
+        // warmed cache, which is exactly-once's cheap half.
+        shared.journal_append(&Record::BatchDone { batch: batch_id });
         shared.work.notify_all();
     }
 }
@@ -352,7 +457,7 @@ fn handle_request(req: &Json, shared: &Shared, config: &ServeConfig) -> (Json, b
                 }
             }
             let mut st = shared.state.lock().unwrap();
-            if st.stopping {
+            if st.stop != StopMode::No {
                 return err("server is shutting down".into());
             }
             if st.inflight() >= config.max_inflight {
@@ -372,6 +477,13 @@ fn handle_request(req: &Json, shared: &Shared, config: &ServeConfig) -> (Json, b
             });
             let slot = st.batches.len() - 1;
             st.queue.push_back(slot);
+            // Journal the raw specs before the submit is acknowledged,
+            // inside the state lock so the Submit record always precedes
+            // the worker's Start records for this batch.
+            shared.journal_append(&Record::Submit {
+                batch: id,
+                jobs: specs.to_vec(),
+            });
             drop(st);
             shared.work.notify_all();
             (
@@ -414,12 +526,51 @@ fn handle_request(req: &Json, shared: &Shared, config: &ServeConfig) -> (Json, b
                 }
             }
         }
+        "status" => {
+            let st = shared.state.lock().unwrap();
+            let durable = if shared.journaled {
+                Json::Bool(shared.durable.load(Ordering::SeqCst))
+            } else {
+                Json::Null
+            };
+            (
+                Json::obj()
+                    .field("ok", true)
+                    .field("version", PROTOCOL_VERSION)
+                    .field("recovered_batches", st.recovered)
+                    .field("inflight", st.inflight() as u64)
+                    .field("durable", durable),
+                false,
+            )
+        }
         "shutdown" => {
+            let mode = match req.get("mode") {
+                None => StopMode::Drain,
+                Some(m) => match m.as_str() {
+                    Some("drain") => StopMode::Drain,
+                    Some("now") => StopMode::Now,
+                    _ => return err("`mode` must be \"drain\" or \"now\"".into()),
+                },
+            };
             let mut st = shared.state.lock().unwrap();
-            st.stopping = true;
+            // An immediate shutdown is never downgraded by a later
+            // graceful request.
+            if st.stop != StopMode::Now {
+                st.stop = mode;
+            }
             drop(st);
             shared.work.notify_all();
-            (Json::obj().field("ok", true).field("stopping", true), true)
+            (
+                Json::obj().field("ok", true).field("stopping", true).field(
+                    "mode",
+                    if mode == StopMode::Now {
+                        "now"
+                    } else {
+                        "drain"
+                    },
+                ),
+                true,
+            )
         }
         other => err(format!("unknown op {other:?}")),
     }
@@ -428,14 +579,71 @@ fn handle_request(req: &Json, shared: &Shared, config: &ServeConfig) -> (Json, b
 /// Runs the server until a client sends `shutdown`: accepts connections
 /// on `listener`, answers the line protocol, and executes batches on one
 /// worker thread through the resilient runner and `cache`. Queued batches
-/// drain before this returns; idle clients that never disconnect do NOT
-/// block shutdown — their handler threads are detached and die with the
-/// process.
+/// drain before this returns (unless shut down with `mode:"now"`); idle
+/// clients that never disconnect do NOT block shutdown — their handler
+/// threads are detached and die with the process. Runs without a
+/// journal; see [`serve_with_journal`] for the durable variant.
 pub fn serve(listener: TcpListener, config: ServeConfig, cache: Option<ResultCache>) {
+    serve_with_journal(listener, config, cache, None)
+}
+
+/// [`serve`] with an optional write-ahead journal (usually from
+/// [`Journal::from_env`]): re-enqueues the recovery's unfinished
+/// batches before accepting traffic, journals every subsequent
+/// submission, and compacts the log as batches complete. A batch whose
+/// journaled specs no longer parse (e.g. a workload renamed across
+/// versions) is dropped with a diagnostic rather than wedging startup.
+pub fn serve_with_journal(
+    listener: TcpListener,
+    config: ServeConfig,
+    cache: Option<ResultCache>,
+    journal: Option<(Journal, Recovery)>,
+) {
     let local = listener.local_addr().ok();
+    let journaled = journal.is_some();
+    let mut state = ServerState::default();
+    let journal = journal.map(|(journal, recovery)| {
+        state.next_id = recovery.next_id;
+        for (id, specs) in &recovery.pending {
+            let mut jobs = Vec::with_capacity(specs.len());
+            let mut broken = None;
+            for (i, spec) in specs.iter().enumerate() {
+                match job_from_spec(spec) {
+                    Ok(job) => jobs.push(job),
+                    Err(e) => {
+                        broken = Some(format!("job {i}: {e}"));
+                        break;
+                    }
+                }
+            }
+            if let Some(why) = broken {
+                eprintln!("prf-serve: journaled batch {id} no longer parses ({why}); dropping it");
+                continue;
+            }
+            state.batches.push(Batch {
+                id: *id,
+                jobs,
+                state: BatchState::Queued,
+                report: None,
+            });
+            state.queue.push_back(state.batches.len() - 1);
+            state.recovered += 1;
+        }
+        if state.recovered > 0 {
+            eprintln!(
+                "prf-serve: recovered {} unfinished batch(es) from {}",
+                state.recovered,
+                journal.dir().display()
+            );
+        }
+        journal
+    });
     let shared = Arc::new(Shared {
-        state: Mutex::new(ServerState::default()),
+        state: Mutex::new(state),
         work: Condvar::new(),
+        journal: Mutex::new(journal),
+        durable: AtomicBool::new(journaled),
+        journaled,
     });
 
     let worker_shared = Arc::clone(&shared);
@@ -452,7 +660,7 @@ pub fn serve(listener: TcpListener, config: ServeConfig, cache: Option<ResultCac
                 continue;
             }
         };
-        if shared.state.lock().unwrap().stopping {
+        if shared.state.lock().unwrap().stop != StopMode::No {
             // A wake-up connection (or a late client) after shutdown:
             // stop accepting and drain.
             drop(stream);
@@ -959,5 +1167,192 @@ mod tests {
         );
         assert_eq!(stop.get("ok").unwrap().as_bool(), Some(true));
         server.join().unwrap();
+    }
+
+    #[test]
+    fn status_without_a_journal_reports_null_durability() {
+        let (addr, server) = start_server(ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 1,
+        });
+        let (mut stream, mut reader) = connect(addr);
+        let status = roundtrip(&mut stream, &mut reader, &Json::obj().field("op", "status"));
+        assert_eq!(status.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(status.get("recovered_batches").unwrap().as_u64(), Some(0));
+        assert_eq!(status.get("inflight").unwrap().as_u64(), Some(0));
+        assert_eq!(status.get("durable"), Some(&Json::Null));
+        shutdown(addr, server);
+    }
+
+    #[test]
+    fn shutdown_now_leaves_queued_batches_for_the_next_start() {
+        let dir = std::env::temp_dir().join(format!(
+            "prf_serve_test_now_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 4,
+        };
+
+        // First life: journaled server, one slow batch running, one
+        // queued behind it, then an immediate shutdown.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let journal = Journal::open(&dir, crate::vfs::real()).unwrap();
+        let first_config = config.clone();
+        let server = std::thread::spawn(move || {
+            serve_with_journal(listener, first_config, None, Some(journal))
+        });
+        let (mut stream, mut reader) = connect(addr);
+        let status = roundtrip(&mut stream, &mut reader, &Json::obj().field("op", "status"));
+        assert_eq!(status.get("durable").unwrap().as_bool(), Some(true));
+        assert_eq!(status.get("recovered_batches").unwrap().as_u64(), Some(0));
+        let slow: Vec<Json> = (0..6)
+            .map(|seed| spec("BFS", "partitioned", seed))
+            .collect();
+        let first = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj()
+                .field("op", "submit")
+                .field("jobs", Json::Arr(slow)),
+        );
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+        let queued = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj()
+                .field("op", "submit")
+                .field("jobs", Json::Arr(vec![spec("NW", "MRF@STV", 3)])),
+        );
+        assert_eq!(
+            queued.get("ok").unwrap().as_bool(),
+            Some(true),
+            "{queued:?}"
+        );
+        let queued_id = queued.get("batch").unwrap().as_u64().unwrap();
+        let stop = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "shutdown").field("mode", "now"),
+        );
+        assert_eq!(stop.get("stopping").unwrap().as_bool(), Some(true));
+        assert_eq!(stop.get("mode").unwrap().as_str(), Some("now"));
+        server.join().unwrap();
+
+        // Second life: the same journal dir. The queued batch must come
+        // back (the running one may also, if the kill beat its
+        // BatchDone) and run to completion under its original id.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let journal = Journal::open(&dir, crate::vfs::real()).unwrap();
+        assert!(
+            journal.1.pending.iter().any(|(id, _)| *id == queued_id),
+            "queued batch must be in the journal: {:?}",
+            journal.1.pending
+        );
+        let server =
+            std::thread::spawn(move || serve_with_journal(listener, config, None, Some(journal)));
+        let (mut stream, mut reader) = connect(addr);
+        let status = roundtrip(&mut stream, &mut reader, &Json::obj().field("op", "status"));
+        assert!(
+            status.get("recovered_batches").unwrap().as_u64().unwrap() >= 1,
+            "{status:?}"
+        );
+        loop {
+            let poll = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj().field("op", "poll").field("batch", queued_id),
+            );
+            assert_eq!(poll.get("ok").unwrap().as_bool(), Some(true), "{poll:?}");
+            if poll.get("state").unwrap().as_str() == Some("done") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "fetch").field("batch", queued_id),
+        );
+        let report = resp.get("report").unwrap();
+        assert_eq!(report.get("failed_jobs").unwrap().as_u64(), Some(0));
+        assert_eq!(report.get("jobs").unwrap().as_u64(), Some(1));
+        shutdown(addr, server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_append_failure_degrades_to_loud_non_durable_service() {
+        use crate::vfs::{FaultPlan, FaultyVfs, Vfs};
+        let dir =
+            std::env::temp_dir().join(format!("prf_serve_test_nondurable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faulty = Arc::new(FaultyVfs::new());
+        let journal = Journal::open(&dir, faulty.clone() as Arc<dyn Vfs>).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            threads: 1,
+            policy: RetryPolicy::none(),
+            max_inflight: 4,
+        };
+        let server =
+            std::thread::spawn(move || serve_with_journal(listener, config, None, Some(journal)));
+
+        // Break the disk, then submit: the append fails, but the batch
+        // must still be accepted and must still complete.
+        faulty.set_plan(FaultPlan {
+            fail_writes: true,
+            ..FaultPlan::default()
+        });
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj()
+                .field("op", "submit")
+                .field("jobs", Json::Arr(vec![spec("BFS", "MRF@STV", 0)])),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        let batch = resp.get("batch").unwrap().as_u64().unwrap();
+        let status = roundtrip(&mut stream, &mut reader, &Json::obj().field("op", "status"));
+        assert_eq!(
+            status.get("durable").unwrap().as_bool(),
+            Some(false),
+            "append failure must flip durable to false: {status:?}"
+        );
+        loop {
+            let poll = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::obj().field("op", "poll").field("batch", batch),
+            );
+            if poll.get("state").unwrap().as_str() == Some("done") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::obj().field("op", "fetch").field("batch", batch),
+        );
+        assert_eq!(
+            resp.get("report")
+                .unwrap()
+                .get("failed_jobs")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        shutdown(addr, server);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

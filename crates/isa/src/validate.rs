@@ -1,4 +1,4 @@
-//! Semantic kernel validation beyond what [`KernelBuilder::build`] checks.
+//! Semantic kernel validation beyond what [`KernelBuilder::build`](crate::KernelBuilder::build) checks.
 //!
 //! [`KernelBuilder::build`](crate::KernelBuilder::build) enforces the
 //! *structural* rules every kernel must satisfy (labels bound, register and
