@@ -1,7 +1,8 @@
 //! prf-fuzz — differential and mutation fuzzing of the simulator stack.
 //!
-//! Two modes, both driven by the seeded [`RandomKernelGenerator`] so any
-//! failing case can be replayed from its `(seed, index)` pair:
+//! Three modes, the generated-kernel ones driven by the seeded
+//! [`RandomKernelGenerator`] so any failing case can be replayed from its
+//! `(seed, index)` pair:
 //!
 //! * **differential** — every generated kernel must pass the validator,
 //!   run audit-clean under every scheduler × RF model, produce a
@@ -14,12 +15,20 @@
 //!   decode back to a still-valid kernel), but must *never* panic. A
 //!   fixed set of targeted semantic corruptions additionally asserts the
 //!   validator rejects each with instruction-index provenance.
+//! * **realloc** — every generated kernel and every Table I suite kernel
+//!   is rewritten by the register reallocation pass (`prf-isa::realloc`);
+//!   the rewritten kernel must validate, never grow its register set, and
+//!   retire the same instruction count with a bit-identical output image
+//!   as the original under every scheduler × RF model. Table I kernels
+//!   run on a one-warp-per-CTA grid where the recipes are provably
+//!   race-free (see `prf-workloads/tests/realloc_equivalence.rs` for why
+//!   renaming registers legitimately perturbs timing).
 //!
 //! ```text
-//! prf-fuzz [--seeds N] [--seed S] [--mode differential|mutation|all]
+//! prf-fuzz [--seeds N] [--seed S] [--mode differential|mutation|realloc|all]
 //! ```
 //!
-//! Exits non-zero if any case fails; CI runs a fixed budget of both modes.
+//! Exits non-zero if any case fails; CI runs a fixed budget of all modes.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -42,7 +51,14 @@ use prf_workloads::generate::{
 enum Mode {
     Differential,
     Mutation,
+    Realloc,
     All,
+}
+
+impl Mode {
+    fn runs(self, m: Mode) -> bool {
+        self == Mode::All || self == m
+    }
 }
 
 struct Args {
@@ -78,6 +94,7 @@ fn parse_args() -> Args {
                 args.mode = match value("--mode").as_str() {
                     "differential" => Mode::Differential,
                     "mutation" => Mode::Mutation,
+                    "realloc" => Mode::Realloc,
                     "all" => Mode::All,
                     other => die(&format!("--mode: unknown mode `{other}`")),
                 }
@@ -90,7 +107,7 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("prf-fuzz: {msg}");
-    eprintln!("usage: prf-fuzz [--seeds N] [--seed S] [--mode differential|mutation|all]");
+    eprintln!("usage: prf-fuzz [--seeds N] [--seed S] [--mode differential|mutation|realloc|all]");
     std::process::exit(2);
 }
 
@@ -264,6 +281,205 @@ fn run_differential(args: &Args) -> usize {
     failures.len()
 }
 
+/// Rewrite `kernel` with the reallocation pass, panicking into an error
+/// string on failure. Shared by the generated-kernel and Table I arms.
+fn realloc_checked(kernel: &Kernel, what: &str) -> Result<prf_isa::Realloc, String> {
+    let r = prf_isa::reallocate(kernel).map_err(|e| format!("{what}: realloc failed: {e}"))?;
+    KernelValidator::new()
+        .validate(&r.kernel)
+        .map_err(|e| format!("{what}: rewritten kernel failed validation: {e}"))?;
+    if r.new_regs > r.old_regs {
+        return Err(format!(
+            "{what}: realloc grew the register set ({} -> {})",
+            r.old_regs, r.new_regs
+        ));
+    }
+    Ok(r)
+}
+
+/// Realloc differential on one generated case: original vs rewritten
+/// kernel must retire the same instruction count and output image under
+/// every scheduler × RF model. Generated kernels are race-free by
+/// construction, so the comparison is exact at the case's own grid.
+fn realloc_case(generator: &RandomKernelGenerator, index: u64) -> Vec<String> {
+    let case = generator.generate(index);
+    let r = match realloc_checked(&case.kernel, &format!("case {index}")) {
+        Ok(r) => r,
+        Err(e) => return vec![e],
+    };
+    let original = Arc::new(case.kernel.clone());
+    let rewritten = Arc::new(r.kernel);
+    let banks = GpuConfig::kepler_single_sm().num_rf_banks;
+    let max_warps = GpuConfig::kepler_single_sm().max_warps_per_sm;
+    let rfs = rf_kinds(banks, max_warps);
+    let mut errors = Vec::new();
+    for scheduler in schedulers() {
+        for rf in &rfs {
+            let label = format!("case {index} {}/{}", scheduler.name(), rf.name());
+            let base = match run_cell(&case, &original, scheduler, rf, 1) {
+                Ok(run) => run,
+                Err(e) => {
+                    errors.push(format!("{label} original: {e}"));
+                    continue;
+                }
+            };
+            match run_cell(&case, &rewritten, scheduler, rf, 1) {
+                Ok(re) => {
+                    if re.result.stats.instructions != base.result.stats.instructions {
+                        errors.push(format!(
+                            "{label}: instruction count drifted under realloc ({} vs {})",
+                            re.result.stats.instructions, base.result.stats.instructions
+                        ));
+                    }
+                    if re.out_image != base.out_image {
+                        errors.push(format!("{label}: output image drifted under realloc"));
+                    }
+                }
+                Err(e) => errors.push(format!("{label} rewritten: {e}")),
+            }
+        }
+    }
+    errors
+}
+
+/// The race-free launch geometry for Table I realloc differentials: one
+/// warp per CTA keeps the recipes' streaming walkers far below the output
+/// region and turns shared-tile neighbour reads into same-warp lockstep.
+fn table1_grid() -> prf_isa::GridConfig {
+    prf_isa::GridConfig::new(8, 32)
+}
+
+/// Table I kernels write their output at `0x100000 + gtid`, so the fuzz
+/// memory is too small; this config covers the recipe address map.
+fn table1_config(scheduler: SchedulerPolicy) -> GpuConfig {
+    GpuConfig {
+        num_sms: 2,
+        scheduler,
+        global_mem_words: 1 << 21,
+        max_cycles: 4_000_000,
+        audit: true,
+        ..GpuConfig::kepler_single_sm()
+    }
+}
+
+/// One Table I realloc cell: (instructions, full final memory image).
+fn table1_cell(
+    kernel: &Arc<Kernel>,
+    mem_init: &[(u32, Vec<u32>)],
+    scheduler: SchedulerPolicy,
+    rf: &RfKind,
+) -> Result<(u64, Vec<u32>), String> {
+    let config = table1_config(scheduler);
+    let banks = config.num_rf_banks;
+    let telemetry = shared_telemetry();
+    let factory = rf_model_factory(rf, banks, &telemetry);
+    let mut gpu = Gpu::try_new(config).map_err(|e| format!("try_new: {e}"))?;
+    for (base, words) in mem_init {
+        gpu.global_mem().load(*base, words);
+    }
+    let result = gpu
+        .run(Arc::clone(kernel), table1_grid(), &factory)
+        .map_err(|e| format!("run: {e}"))?;
+    match &result.audit {
+        Some(a) if a.is_clean() => {}
+        Some(a) => return Err(format!("audit violations: {a}")),
+        None => return Err("audit report missing despite audit=true".into()),
+    }
+    let image = (0..gpu.global_mem_ref().len() as u32)
+        .map(|a| gpu.global_mem_ref().read(a))
+        .collect();
+    Ok((result.stats.instructions, image))
+}
+
+/// Realloc differential over every Table I suite kernel, full scheduler ×
+/// RF matrix, full-memory-image oracle.
+fn realloc_table1() -> Vec<String> {
+    let banks = GpuConfig::kepler_single_sm().num_rf_banks;
+    let max_warps = GpuConfig::kepler_single_sm().max_warps_per_sm;
+    let rfs = rf_kinds(banks, max_warps);
+    let mut errors = Vec::new();
+    for w in prf_workloads::suite() {
+        for (li, launch) in w.launches.iter().enumerate() {
+            let what = format!("{} launch {li}", w.name);
+            let r = match realloc_checked(&launch.kernel, &what) {
+                Ok(r) => r,
+                Err(e) => {
+                    errors.push(e);
+                    continue;
+                }
+            };
+            let rewritten = Arc::new(r.kernel);
+            for scheduler in schedulers() {
+                for rf in &rfs {
+                    let label = format!("{what} {}/{}", scheduler.name(), rf.name());
+                    let base = match table1_cell(&launch.kernel, &w.mem_init, scheduler, rf) {
+                        Ok(run) => run,
+                        Err(e) => {
+                            errors.push(format!("{label} original: {e}"));
+                            continue;
+                        }
+                    };
+                    match table1_cell(&rewritten, &w.mem_init, scheduler, rf) {
+                        Ok(re) => {
+                            if re.0 != base.0 {
+                                errors.push(format!(
+                                    "{label}: instruction count drifted under realloc \
+                                     ({} vs {})",
+                                    re.0, base.0
+                                ));
+                            }
+                            if re.1 != base.1 {
+                                errors.push(format!("{label}: memory image drifted under realloc"));
+                            }
+                        }
+                        Err(e) => errors.push(format!("{label} rewritten: {e}")),
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+fn run_realloc(args: &Args) -> usize {
+    let generator = RandomKernelGenerator::new(args.seed);
+    let next = AtomicU64::new(0);
+    let done = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let workers = threads_from_env().min(args.seeds.max(1) as usize);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= args.seeds {
+                    break;
+                }
+                let errors = realloc_case(&generator, index);
+                if !errors.is_empty() {
+                    failures.lock().unwrap().extend(errors);
+                }
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if n % 50 == 0 {
+                    eprintln!("[realloc] {n}/{} generated cases", args.seeds);
+                }
+            });
+        }
+    });
+    let table1_errors = realloc_table1();
+    let mut failures = failures.into_inner().unwrap();
+    failures.extend(table1_errors);
+    for f in failures.iter().take(20) {
+        eprintln!("[realloc] FAIL {f}");
+    }
+    println!(
+        "[realloc] {} generated cases + Table I suite x 4 schedulers x 5 RF models: \
+         {} discrepancies",
+        args.seeds,
+        failures.len()
+    );
+    failures.len()
+}
+
 /// Targeted semantic corruptions: each builds (the structural builder
 /// accepts it) but must be rejected by the validator with provenance.
 fn targeted_corruptions() -> Vec<(&'static str, Kernel)> {
@@ -401,11 +617,14 @@ fn run_mutation(args: &Args) -> usize {
 fn main() {
     let args = parse_args();
     let mut failures = 0;
-    if args.mode != Mode::Mutation {
+    if args.mode.runs(Mode::Differential) {
         failures += run_differential(&args);
     }
-    if args.mode != Mode::Differential {
+    if args.mode.runs(Mode::Mutation) {
         failures += run_mutation(&args);
+    }
+    if args.mode.runs(Mode::Realloc) {
+        failures += run_realloc(&args);
     }
     if failures > 0 {
         eprintln!("prf-fuzz: {failures} failures");

@@ -50,6 +50,7 @@ pub mod drowsy;
 pub mod energy;
 pub mod experiment;
 pub mod faults;
+pub mod gating;
 pub mod indexed_table;
 pub mod partitioned;
 pub mod profile;
@@ -66,6 +67,7 @@ pub use experiment::{
     validate_experiment_inputs, ExperimentResult, Launch, PhaseTimings, RfKind,
 };
 pub use faults::{FaultConfig, FaultedRf, RepairCosts, RepairPolicy, SpareRemapTable};
+pub use gating::PowerGatingModel;
 pub use indexed_table::IndexedSwapTable;
 pub use partitioned::{PartitionedRf, PartitionedRfConfig};
 pub use profile::{compiler_hot_registers, PilotProfiler, ProfilingStrategy};

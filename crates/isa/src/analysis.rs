@@ -66,12 +66,24 @@ impl StaticRegisterProfile {
     /// Fraction of all static occurrences captured by the given register
     /// set (the quantity plotted in the paper's Fig. 4, but for static
     /// counts).
+    ///
+    /// `regs` is treated as a *set*: duplicate entries are counted once,
+    /// so the result is always in `[0, 1]`.
     pub fn coverage(&self, regs: &[Reg]) -> f64 {
         let total = self.total();
         if total == 0 {
             return 0.0;
         }
-        let covered: u64 = regs.iter().map(|r| self.count(*r)).sum();
+        // Dedupe via a register bitmask (MAX_ARCH_REGS < 64) so a caller
+        // passing the same register twice cannot inflate coverage past 1.
+        let mut seen = 0u64;
+        let mut covered: u64 = 0;
+        for r in regs {
+            if r.is_valid() && seen & (1u64 << r.index()) == 0 {
+                seen |= 1u64 << r.index();
+                covered += self.count(*r);
+            }
+        }
         covered as f64 / total as f64
     }
 
@@ -126,6 +138,26 @@ mod tests {
         assert!((p.coverage(&[Reg(0)]) - 0.75).abs() < 1e-12);
         assert!((p.coverage(&[Reg(0), Reg(1)]) - 1.0).abs() < 1e-12);
         assert_eq!(p.coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn coverage_dedupes_and_never_exceeds_one() {
+        let mut kb = KernelBuilder::new("dup");
+        kb.mov_imm(Reg(0), 1);
+        kb.mov_imm(Reg(0), 2);
+        kb.mov_imm(Reg(1), 3);
+        kb.exit();
+        let p = StaticRegisterProfile::analyze(&kb.build().unwrap());
+        // Duplicates count once: [R0, R0] covers exactly what [R0] does.
+        let dup = p.coverage(&[Reg(0), Reg(0), Reg(0)]);
+        assert!((dup - p.coverage(&[Reg(0)])).abs() < 1e-12);
+        // The invariant the bug violated: coverage is a fraction, <= 1.
+        let all_dup = p.coverage(&[Reg(0), Reg(1), Reg(0), Reg(1), Reg(0)]);
+        assert!(
+            all_dup <= 1.0,
+            "coverage must stay a fraction, got {all_dup}"
+        );
+        assert!((all_dup - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,19 @@
 //! * immediates: `#123`, `#0x7f`, or `#1.5f` for f32 bit patterns
 //! * memory operands: `[Raddr]` or `[Raddr + byteoffset]`
 //! * comments: `;` or `//` to end of line
+//!
+//! The parser also accepts the dialect that [`Kernel`]'s `Display`
+//! emits, so `parse_kernel(&k.to_string())` round-trips bit-identically:
+//!
+//! * a `(regs=N)` suffix on the `.kernel` directive (ignored; the
+//!   register count is recomputed),
+//! * a leading `#<pc>` marker before each instruction (ignored),
+//! * PTX-style mnemonics `ld.global` / `st.global` / `ld.shared` /
+//!   `st.shared` for `ldg` / `stg` / `lds` / `sts`,
+//! * bare hex or decimal immediates (`0x1f`) without the `#` sigil,
+//! * absolute branch targets `bra -> #7` in place of a label, and
+//! * `selp` written with its selector as a guard prefix
+//!   (`@P0 selp R1, R2, R3`), including the negated `@!P0` form.
 
 use std::fmt;
 
@@ -53,15 +66,6 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-impl From<KernelError> for ParseError {
-    fn from(e: KernelError) -> Self {
-        ParseError {
-            line: 0,
-            message: e.to_string(),
-        }
-    }
-}
-
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
@@ -77,7 +81,13 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
     let idx: u8 = rest
         .parse()
         .map_err(|_| err(line, format!("bad register index in `{tok}`")))?;
-    Ok(Reg(idx))
+    // Range-check here so the error carries this line, not the
+    // provenance-free `KernelError` the builder would raise later.
+    let r = Reg(idx);
+    if !r.is_valid() {
+        return Err(err(line, KernelError::RegisterOutOfRange(r).to_string()));
+    }
+    Ok(r)
 }
 
 fn parse_pred(tok: &str, line: usize) -> Result<PredReg, ParseError> {
@@ -88,13 +98,17 @@ fn parse_pred(tok: &str, line: usize) -> Result<PredReg, ParseError> {
     let idx: u8 = rest
         .parse()
         .map_err(|_| err(line, format!("bad predicate index in `{tok}`")))?;
-    Ok(PredReg(idx))
+    let p = PredReg(idx);
+    if !p.is_valid() {
+        return Err(err(line, KernelError::PredicateOutOfRange(p).to_string()));
+    }
+    Ok(p)
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<u32, ParseError> {
-    let body = tok
-        .strip_prefix('#')
-        .ok_or_else(|| err(line, format!("expected immediate, got `{tok}`")))?;
+    // The `#` sigil is optional so that `Display`'s bare-hex immediate
+    // rendering (`0x1f`) parses back.
+    let body = tok.strip_prefix('#').unwrap_or(tok);
     if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         return u32::from_str_radix(hex, 16)
             .map_err(|_| err(line, format!("bad hex immediate `{tok}`")));
@@ -131,7 +145,7 @@ fn parse_special(tok: &str, line: usize) -> Result<SpecialReg, ParseError> {
 }
 
 fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
-    if tok.starts_with('#') {
+    if tok.starts_with('#') || tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         Ok(Operand::Imm(parse_imm(tok, line)?))
     } else if tok.starts_with('%') {
         Ok(Operand::Special(parse_special(tok, line)?))
@@ -176,8 +190,11 @@ fn parse_cmp(suffix: &str, line: usize) -> Result<CmpOp, ParseError> {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] on syntax errors, and wraps
-/// [`KernelError`] (line 0) when the assembled kernel fails validation.
+/// Returns a [`ParseError`] on syntax errors. When the assembled kernel
+/// fails builder validation ([`KernelError`]), the error is mapped back
+/// to the source line of the offending instruction — the branch whose
+/// label was never placed, the instruction whose target is out of range —
+/// or to the last line for whole-listing failures (empty, no `exit`).
 ///
 /// # Example
 ///
@@ -198,19 +215,31 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
     let mut kb: Option<KernelBuilder> = None;
     let mut labels: std::collections::HashMap<String, crate::kernel::Label> =
         std::collections::HashMap::new();
+    // Source provenance for errors the builder raises after parsing:
+    // the source line of each pushed instruction (indexed by pc), and
+    // the line that first referenced each label (keyed by label id).
+    let mut pc_lines: Vec<usize> = Vec::new();
+    let mut label_ref_lines: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut last_line = 0usize;
 
     // Collect (lineno, tokens) per instruction line.
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
+        last_line = line;
         let text = raw.split(';').next().unwrap_or("");
-        let text = text.split("//").next().unwrap_or("").trim();
+        let mut text = text.split("//").next().unwrap_or("").trim();
         if text.is_empty() {
             continue;
         }
 
-        // Directive.
+        // Directive. A `(regs=N)` suffix (emitted by `Kernel::Display`)
+        // is accepted and ignored: the count is recomputed on build.
         if let Some(rest) = text.strip_prefix(".kernel") {
-            let name = rest.trim();
+            let mut name = rest.trim();
+            if let Some(idx) = name.find("(regs=") {
+                name = name[..idx].trim();
+            }
             if name.is_empty() {
                 return Err(err(line, ".kernel needs a name"));
             }
@@ -223,6 +252,21 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
         let kb = kb
             .as_mut()
             .ok_or_else(|| err(line, "code before .kernel directive"))?;
+
+        // `Kernel::Display` prefixes each instruction with a `#<pc>`
+        // marker; accept and discard it when it is followed by more text
+        // (a lone `#123` stays an error — and an immediate can never
+        // start an instruction, so this is unambiguous).
+        if let Some(tail) = text.strip_prefix('#') {
+            if let Some((num, rest)) = tail.split_once(char::is_whitespace) {
+                if !num.is_empty()
+                    && num.chars().all(|c| c.is_ascii_digit())
+                    && !rest.trim().is_empty()
+                {
+                    text = rest.trim();
+                }
+            }
+        }
 
         // Label definition.
         if let Some(name) = text.strip_suffix(':') {
@@ -254,6 +298,14 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
         let (mnemonic, operand_text) = match rest.split_once(char::is_whitespace) {
             Some((m, t)) => (m.to_ascii_lowercase(), t.trim()),
             None => (rest.to_ascii_lowercase(), ""),
+        };
+        // PTX-style aliases emitted by `Opcode::Display`.
+        let mnemonic = match mnemonic.as_str() {
+            "ld.global" => "ldg".to_string(),
+            "st.global" => "stg".to_string(),
+            "ld.shared" => "lds".to_string(),
+            "st.shared" => "sts".to_string(),
+            _ => mnemonic,
         };
         let ops: Vec<String> = if operand_text.is_empty() {
             Vec::new()
@@ -338,14 +390,28 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
                     .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
             }
             "selp" => {
-                need(4)?;
-                Instruction::new(Opcode::Selp)
-                    .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
-                    .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
-                    .with_guard(PredGuard {
-                        pred: parse_pred(&ops[3], line)?,
-                        expected: true,
-                    })
+                // Two spellings: `selp Rd, Ra, Rb, P0` (selector last,
+                // always `expected: true`) and the `Display` form
+                // `@P0 selp Rd, Ra, Rb` / `@!P0 selp Rd, Ra, Rb`, where
+                // the guard prefix *is* the selector.
+                if ops.len() == 3 {
+                    let g = guard.take().ok_or_else(|| {
+                        err(line, "`selp` with 3 operands needs a @P selector prefix")
+                    })?;
+                    Instruction::new(Opcode::Selp)
+                        .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                        .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
+                        .with_guard(g)
+                } else {
+                    need(4)?;
+                    Instruction::new(Opcode::Selp)
+                        .with_dst(Dst::Reg(parse_reg(&ops[0], line)?))
+                        .with_srcs(&[parse_operand(&ops[1], line)?, parse_operand(&ops[2], line)?])
+                        .with_guard(PredGuard {
+                            pred: parse_pred(&ops[3], line)?,
+                            expected: true,
+                        })
+                }
             }
             "ldg" | "lds" => {
                 need(2)?;
@@ -376,14 +442,26 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
             }
             "bra" => {
                 need(1)?;
-                let label = *labels
-                    .entry(ops[0].clone())
-                    .or_insert_with(|| kb.new_label());
-                if let Some(g) = guard.take() {
-                    kb.guard(g.pred, g.expected);
+                if let Some(tail) = ops[0].strip_prefix("->") {
+                    // `Display` form: absolute target `bra -> #7`.
+                    let pc_tok = tail.trim();
+                    let target: usize = pc_tok
+                        .strip_prefix('#')
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(line, format!("bad branch target `{}`", ops[0])))?;
+                    Instruction::new(Opcode::Bra).with_target(target)
+                } else {
+                    let label = *labels
+                        .entry(ops[0].clone())
+                        .or_insert_with(|| kb.new_label());
+                    label_ref_lines.entry(label.id()).or_insert(line);
+                    if let Some(g) = guard.take() {
+                        kb.guard(g.pred, g.expected);
+                    }
+                    pc_lines.push(line);
+                    kb.bra(label);
+                    continue;
                 }
-                kb.bra(label);
-                continue;
             }
             "bar" | "bar.sync" => {
                 need(0)?;
@@ -410,11 +488,25 @@ pub fn parse_kernel(source: &str) -> Result<Kernel, ParseError> {
             Some(g) => instr.with_guard(g),
             None => instr,
         };
+        pc_lines.push(line);
         kb.push(instr);
     }
 
     let kb = kb.ok_or_else(|| err(0, "no .kernel directive found"))?;
-    Ok(kb.build()?)
+    kb.build().map_err(|e| {
+        // Map builder/validation failures back to source lines: the
+        // instruction the error names, the branch that referenced the
+        // unbound label, or the end of the listing for whole-kernel
+        // conditions (empty, missing exit).
+        let line = match &e {
+            KernelError::TargetOutOfRange { pc, .. } => {
+                pc_lines.get(*pc).copied().unwrap_or(last_line)
+            }
+            KernelError::UnboundLabel(id) => label_ref_lines.get(id).copied().unwrap_or(last_line),
+            _ => last_line,
+        };
+        err(line, e.to_string())
+    })
 }
 
 #[cfg(test)]
@@ -573,6 +665,102 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("exit"));
+        assert_ne!(e.line, 0, "whole-listing errors point at the last line");
+    }
+
+    #[test]
+    fn unbound_label_reports_referencing_line() {
+        let e = parse_kernel(
+            r"
+            .kernel dangling
+            mov R0, #1
+            bra nowhere
+            exit
+        ",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("never placed"), "got: {}", e.message);
+        assert_eq!(e.line, 4, "error must point at the `bra nowhere` line");
+    }
+
+    #[test]
+    fn register_out_of_range_reports_line() {
+        let e = parse_kernel(
+            r"
+            .kernel hireg
+            mov R0, #1
+            mov R63, #2
+            exit
+        ",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 4, "error must point at the `mov R63` line");
+        assert!(e.message.contains("R63"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn predicate_out_of_range_reports_line() {
+        let e = parse_kernel(
+            r"
+            .kernel hipred
+            setp.eq P7, R0, #0
+            exit
+        ",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("P7"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn parses_display_dialect() {
+        // Exactly what `Kernel::Display` emits: regs suffix, pc markers,
+        // PTX memory mnemonics, bare hex immediates, absolute branch
+        // targets, and guard-prefix selp.
+        let k = parse_kernel(
+            r"
+            .kernel disp (regs=4)
+              #0    mov R0, %gtid
+              #1    setp.lt P0, R0, 0x10
+              #2    @!P0 bra -> #6
+              #3    ld.global R1, [R0 + 16]
+              #4    @P0 selp R2, R1, R0
+              #5    st.global [R0], R2
+              #6    exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "disp");
+        assert_eq!(k.len(), 7);
+        assert_eq!(k.fetch(2).target, Some(6));
+        assert_eq!(k.fetch(3).opcode, Opcode::Ldg);
+        assert_eq!(k.fetch(3).mem_offset, 16);
+        assert_eq!(k.fetch(4).opcode, Opcode::Selp);
+        let sel = k.fetch(4).guard.unwrap();
+        assert_eq!(sel.pred, PredReg(0));
+        assert!(sel.expected);
+        assert_eq!(k.fetch(5).opcode, Opcode::Stg);
+        assert_eq!(k.fetch(1).srcs[1], Some(Operand::Imm(0x10)));
+    }
+
+    #[test]
+    fn display_round_trips_bit_identically() {
+        let mut kb = KernelBuilder::new("rt2");
+        let top = kb.new_label();
+        kb.mov_special(Reg(0), SpecialReg::GlobalTid);
+        kb.ldg(Reg(1), Reg(0), 8);
+        kb.place_label(top);
+        kb.iadd_imm(Reg(1), Reg(1), 1);
+        kb.setp_imm(PredReg(0), CmpOp::Lt, Reg(1), 100);
+        kb.bra_if(PredReg(0), true, top);
+        kb.selp(Reg(2), Reg(1), Reg(0), PredReg(0));
+        kb.stg(Reg(0), Reg(2), 4);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let reparsed = parse_kernel(&k.to_string()).unwrap();
+        assert_eq!(reparsed.instructions(), k.instructions());
+        assert_eq!(reparsed.regs_per_thread(), k.regs_per_thread());
+        assert_eq!(reparsed.name(), k.name());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub struct ReconvergenceTable {
 }
 
 /// Virtual exit node index used internally (one past the last instruction).
-fn exit_node(len: usize) -> usize {
+pub(crate) fn exit_node(len: usize) -> usize {
     len
 }
 
@@ -58,7 +58,7 @@ fn exit_node(len: usize) -> usize {
 /// it is predicated (can fall through) — also to `pc + 1`; everything else
 /// falls through. An unconditional `Bra` at the end of the array has only
 /// its target.
-fn successors(kernel: &Kernel, pc: usize) -> Vec<usize> {
+pub(crate) fn successors(kernel: &Kernel, pc: usize) -> Vec<usize> {
     let len = kernel.len();
     let i = kernel.fetch(pc);
     match i.opcode {

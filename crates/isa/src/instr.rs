@@ -179,6 +179,29 @@ impl fmt::Display for Instruction {
             write!(f, "{g} ")?;
         }
         write!(f, "{}", self.opcode)?;
+        // Memory ops render their address in assembler syntax (`[Rn]` /
+        // `[Rn + off]`) so that `Display` output — including the byte
+        // offset, which the generic rendering below would lose — parses
+        // back through `asm::parse_kernel`. Malformed hand-built
+        // instructions fall through to the generic form.
+        if let (Opcode::Ldg | Opcode::Lds, Dst::Reg(d), Some(Operand::Reg(a))) =
+            (self.opcode, self.dst, self.srcs[0])
+        {
+            write!(f, " {d}, [{a}")?;
+            if self.mem_offset != 0 {
+                write!(f, " + {}", self.mem_offset)?;
+            }
+            return write!(f, "]");
+        }
+        if let (Opcode::Stg | Opcode::Sts, Some(Operand::Reg(a)), Some(v)) =
+            (self.opcode, self.srcs[0], self.srcs[1])
+        {
+            write!(f, " [{a}")?;
+            if self.mem_offset != 0 {
+                write!(f, " + {}", self.mem_offset)?;
+            }
+            return write!(f, "], {v}");
+        }
         match self.dst {
             Dst::None => {}
             Dst::Reg(r) => write!(f, " {r}")?,

@@ -12,6 +12,15 @@ use crate::reg::{PredReg, Reg, SpecialReg, MAX_ARCH_REGS, NUM_PRED_REGS};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
+impl Label {
+    /// The builder-internal id, matching [`KernelError::UnboundLabel`]'s
+    /// payload — lets the assembler map an unbound label back to the
+    /// source line that referenced it.
+    pub(crate) fn id(self) -> usize {
+        self.0
+    }
+}
+
 /// Errors produced when finalising a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelError {

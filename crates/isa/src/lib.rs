@@ -40,7 +40,9 @@ pub mod encode;
 pub mod grid;
 pub mod instr;
 pub mod kernel;
+pub mod liveness;
 pub mod op;
+pub mod realloc;
 pub mod reg;
 pub mod validate;
 
@@ -51,6 +53,8 @@ pub use encode::{decode_kernel, encode_kernel, CodecError};
 pub use grid::{CtaId, Dim3, GridConfig, ThreadCoord, WARP_SIZE};
 pub use instr::{Dst, Instruction, Operand, PredGuard};
 pub use kernel::{Kernel, KernelBuilder, KernelError, Label};
+pub use liveness::{LiveRange, Liveness, RegSet};
 pub use op::{CmpOp, ExecClass, Opcode};
+pub use realloc::{reallocate, Realloc};
 pub use reg::{PredReg, Reg, SpecialReg, MAX_ARCH_REGS, NUM_PRED_REGS};
 pub use validate::{validate_kernel, KernelValidator, ValidationError};

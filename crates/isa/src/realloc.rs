@@ -1,0 +1,398 @@
+//! GREENER-style register reallocation: interference coloring that
+//! compacts the architectural register set.
+//!
+//! The paper's compiler side stops at static occurrence counts
+//! ([`crate::analysis::StaticRegisterProfile`]); GREENER (PAPERS.md)
+//! goes further and *rewrites* the kernel so that fewer registers are
+//! allocated and the hot ones sit at low indices. This module implements
+//! that pass over our ISA:
+//!
+//! 1. compute per-instruction liveness ([`crate::liveness::Liveness`]),
+//! 2. build an interference graph with classic Chaitin def-point edges —
+//!    at every instruction that writes a general-purpose register
+//!    (guarded or not), the written register interferes with everything
+//!    live out of that instruction,
+//! 3. color greedily in a deterministic order (static occurrence count
+//!    descending, register index ascending as tie-break), each register
+//!    taking the lowest color unused by its already-colored neighbours,
+//! 4. rewrite every operand through the resulting map and rebuild the
+//!    kernel, shrinking `regs_per_thread`.
+//!
+//! The ordering rule is the determinism contract: given the same kernel
+//! the pass always produces the same mapping, and because hot registers
+//! are colored first with lowest-available colors, dynamic access traffic
+//! concentrates in low indices — exactly what the pilot/main partition
+//! split in `prf-sim` rewards (low-index hot registers land in the fast
+//! partition more often).
+//!
+//! ## Soundness notes
+//!
+//! * **Def-point edges cover conditional writes.** A guarded non-`selp`
+//!   write does not kill its destination (the old value merges through
+//!   squashed lanes), but it is still a def: the edge set therefore keeps
+//!   every value observable through a squashed lane in its own color.
+//! * **Read-before-write registers** read zero. They are live from entry,
+//!   so any def that could clobber them while they are still readable
+//!   gets an interference edge; two never-written registers may share a
+//!   color (both are always zero).
+//! * **`shfl` sources are pinned.** `shfl dst, src, lane` reads `src`
+//!   from another lane whose divergent control path need not reach the
+//!   `shfl`, so per-lane CFG liveness cannot prove merging `src` safe.
+//!   Every register appearing as a shuffle source interferes with *all*
+//!   other referenced registers: it keeps a dedicated color that only its
+//!   original writers touch, making the cross-lane read exact.
+//! * **No instructions are added or removed.** Dead writes are reported
+//!   by the liveness layer but deliberately not eliminated: downstream
+//!   acceptance (the `prf-fuzz` differential harness) pins instruction
+//!   counts bit-for-bit, and the energy win from dead ranges is credited
+//!   by the power-gating model instead (`prf-core::gating`).
+
+use crate::instr::{Dst, Operand};
+use crate::kernel::{Kernel, KernelBuilder, KernelError};
+use crate::liveness::{Liveness, RegSet};
+use crate::reg::{Reg, MAX_ARCH_REGS};
+
+/// Outcome of [`reallocate`]: the rewritten kernel plus the evidence a
+/// caller needs for diagnostics and energy accounting.
+#[derive(Debug, Clone)]
+pub struct Realloc {
+    /// The rewritten, revalidated kernel (same name, same instruction
+    /// count, compacted register set).
+    pub kernel: Kernel,
+    /// `map[i]` = new register for old register `Reg(i)`, for every old
+    /// register actually referenced by the kernel; `None` for indices
+    /// below the old `regs_per_thread` that no instruction mentions.
+    pub map: Vec<Option<Reg>>,
+    /// Old `regs_per_thread`.
+    pub old_regs: u8,
+    /// New `regs_per_thread` after compaction.
+    pub new_regs: u8,
+    /// Registers pinned to exclusive colors because a `shfl` reads them
+    /// cross-lane.
+    pub pinned: RegSet,
+    /// Number of unconditional register writes whose value is provably
+    /// never read (left in place; see module docs).
+    pub dead_writes: usize,
+    /// Mean number of live registers per program point in the rewritten
+    /// kernel — the numerator of the power-gating live fraction.
+    pub avg_live_regs: f64,
+}
+
+impl Realloc {
+    /// Fraction of `slots` register slots per thread that hold a live
+    /// value on an average program point, clamped to `[0, 1]`. Callers
+    /// pass the *original* allocation to credit gating for both
+    /// compacted-away and transiently-dead slots.
+    pub fn live_fraction_of(&self, slots: u8) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        (self.avg_live_regs / slots as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Dense interference graph over `MAX_ARCH_REGS` registers.
+struct Interference {
+    adj: [u64; MAX_ARCH_REGS],
+}
+
+impl Interference {
+    fn new() -> Self {
+        Interference {
+            adj: [0; MAX_ARCH_REGS],
+        }
+    }
+
+    fn add(&mut self, a: Reg, b: Reg) {
+        if a == b {
+            return;
+        }
+        self.adj[a.index()] |= 1u64 << b.index();
+        self.adj[b.index()] |= 1u64 << a.index();
+    }
+
+    fn neighbours(&self, r: Reg) -> u64 {
+        self.adj[r.index()]
+    }
+}
+
+/// Registers mentioned anywhere in the kernel (reads or writes).
+fn referenced_regs(kernel: &Kernel) -> RegSet {
+    let mut set = RegSet::EMPTY;
+    for i in kernel.instructions() {
+        for r in i.reg_reads() {
+            set.insert(r);
+        }
+        if let Some(d) = i.reg_write() {
+            set.insert(d);
+        }
+    }
+    set
+}
+
+/// Static occurrence count per register (reads + writes), the coloring
+/// priority. Matches the paper's static-profile notion of "hot".
+fn occurrence_counts(kernel: &Kernel) -> [u32; MAX_ARCH_REGS] {
+    let mut counts = [0u32; MAX_ARCH_REGS];
+    for i in kernel.instructions() {
+        for r in i.reg_reads() {
+            counts[r.index()] += 1;
+        }
+        if let Some(d) = i.reg_write() {
+            counts[d.index()] += 1;
+        }
+    }
+    counts
+}
+
+fn remap_operand(op: Operand, map: &[Option<Reg>]) -> Operand {
+    match op {
+        Operand::Reg(r) => Operand::Reg(map[r.index()].expect("referenced register has a color")),
+        other => other,
+    }
+}
+
+/// Runs the full reallocation pass on a validated kernel.
+///
+/// The result's kernel is rebuilt through [`KernelBuilder`] (so all
+/// builder invariants are re-checked) and is guaranteed to have the same
+/// instruction count, opcodes, guards, immediates, and branch structure
+/// as the input — only general-purpose register names change.
+pub fn reallocate(kernel: &Kernel) -> Result<Realloc, KernelError> {
+    let lv = Liveness::compute(kernel);
+    let referenced = referenced_regs(kernel);
+    let pinned = lv.cross_lane_regs();
+
+    // Interference: def-point edges against live-out, plus full pinning
+    // for cross-lane (shfl) sources.
+    let mut graph = Interference::new();
+    for pc in 0..kernel.len() {
+        let out = lv.live_out(pc);
+        for d in lv.defs(pc).iter() {
+            for r in out.iter() {
+                graph.add(d, r);
+            }
+        }
+    }
+    for p in pinned.iter() {
+        for r in referenced.iter() {
+            graph.add(p, r);
+        }
+    }
+
+    // Deterministic greedy coloring: hottest first, ties to the lower
+    // index; each register takes the lowest color its neighbours left
+    // free, which lands the hottest registers at the lowest indices.
+    let counts = occurrence_counts(kernel);
+    let mut order: Vec<Reg> = referenced.iter().collect();
+    order.sort_by(|a, b| {
+        counts[b.index()]
+            .cmp(&counts[a.index()])
+            .then(a.index().cmp(&b.index()))
+    });
+
+    let mut map: Vec<Option<Reg>> = vec![None; kernel.regs_per_thread() as usize];
+    let mut color_of = [None::<u8>; MAX_ARCH_REGS];
+    for r in order {
+        let mut used = 0u64;
+        let mut nbrs = graph.neighbours(r);
+        while nbrs != 0 {
+            let n = nbrs.trailing_zeros() as usize;
+            nbrs &= nbrs - 1;
+            if let Some(c) = color_of[n] {
+                used |= 1u64 << c;
+            }
+        }
+        let color = (!used).trailing_zeros() as u8;
+        debug_assert!(
+            (color as usize) < MAX_ARCH_REGS,
+            "coloring exceeded register space"
+        );
+        color_of[r.index()] = Some(color);
+        map[r.index()] = Some(Reg(color));
+    }
+
+    // Rewrite: 1:1 instruction copy with registers renamed. Branch
+    // targets are already resolved indices, which `KernelBuilder::build`
+    // range-checks again.
+    let mut kb = KernelBuilder::new(kernel.name());
+    for i in kernel.instructions() {
+        let mut ni = i.clone();
+        if let Dst::Reg(r) = ni.dst {
+            ni.dst = Dst::Reg(map[r.index()].expect("referenced register has a color"));
+        }
+        for s in ni.srcs.iter_mut() {
+            if let Some(op) = *s {
+                *s = Some(remap_operand(op, &map));
+            }
+        }
+        kb.push(ni);
+    }
+    let rewritten = kb.build()?;
+    debug_assert_eq!(rewritten.len(), kernel.len());
+
+    let lv_new = Liveness::compute(&rewritten);
+    Ok(Realloc {
+        old_regs: kernel.regs_per_thread(),
+        new_regs: rewritten.regs_per_thread(),
+        map,
+        pinned,
+        dead_writes: lv.dead_writes().len(),
+        avg_live_regs: lv_new.avg_live_regs(),
+        kernel: rewritten,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::op::CmpOp;
+    use crate::reg::PredReg;
+    use crate::validate::KernelValidator;
+
+    /// Disjoint live ranges collapse onto one register.
+    #[test]
+    fn disjoint_ranges_share_a_color() {
+        let mut kb = KernelBuilder::new("disjoint");
+        kb.mov_imm(Reg(3), 1);
+        kb.stg(Reg(3), Reg(3), 0); // R3 dies here
+        kb.mov_imm(Reg(7), 2); // R7's range starts after R3's ends
+        kb.stg(Reg(7), Reg(7), 4);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let r = reallocate(&k).unwrap();
+        assert_eq!(r.old_regs, 8);
+        assert_eq!(r.new_regs, 1, "both ranges fit in one register");
+        assert_eq!(r.kernel.len(), k.len());
+        KernelValidator::new().validate(&r.kernel).unwrap();
+    }
+
+    /// Overlapping ranges must keep distinct registers.
+    #[test]
+    fn interfering_ranges_stay_apart() {
+        let mut kb = KernelBuilder::new("overlap");
+        kb.mov_imm(Reg(0), 1);
+        kb.mov_imm(Reg(1), 2); // R0 live across this def -> interference
+        kb.iadd(Reg(2), Reg(0), Reg(1));
+        kb.stg(Reg(2), Reg(2), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let r = reallocate(&k).unwrap();
+        assert_ne!(r.map[0], r.map[1]);
+        assert_eq!(r.new_regs, 2, "R2 can reuse a dead input's register");
+    }
+
+    /// The pass is a pure function of the kernel.
+    #[test]
+    fn deterministic() {
+        let mut kb = KernelBuilder::new("det");
+        let head = kb.new_label();
+        kb.mov_imm(Reg(4), 0);
+        kb.mov_imm(Reg(9), 10);
+        kb.place_label(head);
+        kb.iadd_imm(Reg(4), Reg(4), 1);
+        kb.setp(PredReg(0), CmpOp::Lt, Reg(4), Reg(9));
+        kb.bra_if(PredReg(0), true, head);
+        kb.stg(Reg(4), Reg(4), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let a = reallocate(&k).unwrap();
+        let b = reallocate(&k).unwrap();
+        assert_eq!(a.map, b.map);
+        assert_eq!(a.kernel.instructions(), b.kernel.instructions());
+    }
+
+    /// Hot registers land at lower indices than cold ones when both need
+    /// a color at the same time.
+    #[test]
+    fn hot_registers_get_low_indices() {
+        let mut kb = KernelBuilder::new("hot");
+        kb.mov_imm(Reg(5), 1); // cold: 2 occurrences
+        kb.mov_imm(Reg(10), 2); // hot: used repeatedly below
+        kb.iadd(Reg(10), Reg(10), Reg(10));
+        kb.iadd(Reg(10), Reg(10), Reg(10));
+        kb.iadd(Reg(10), Reg(10), Reg(5));
+        kb.stg(Reg(10), Reg(10), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let r = reallocate(&k).unwrap();
+        let hot = r.map[10].unwrap();
+        let cold = r.map[5].unwrap();
+        assert!(
+            hot.index() < cold.index(),
+            "hot {hot:?} must sit below cold {cold:?}"
+        );
+        assert_eq!(hot, Reg(0));
+    }
+
+    /// Shuffle sources keep an exclusive color: nothing else may alias a
+    /// register that is read cross-lane.
+    #[test]
+    fn shfl_source_is_pinned_exclusively() {
+        let mut kb = KernelBuilder::new("pin");
+        kb.mov_imm(Reg(2), 1);
+        kb.stg(Reg(2), Reg(2), 0); // R2 dies: normally reusable...
+        kb.mov_imm(Reg(5), 7);
+        kb.mov_imm(Reg(6), 0);
+        kb.shfl(Reg(7), Reg(5), Reg(6)); // ...but R5 is a shfl source
+        kb.stg(Reg(7), Reg(7), 4);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let r = reallocate(&k).unwrap();
+        assert!(r.pinned.contains(Reg(5)));
+        let pin_color = r.map[5].unwrap();
+        for (old, new) in r.map.iter().enumerate() {
+            if old != 5 {
+                assert_ne!(
+                    *new,
+                    Some(pin_color),
+                    "R{old} aliases the pinned shfl source"
+                );
+            }
+        }
+        KernelValidator::new().validate(&r.kernel).unwrap();
+    }
+
+    /// Guarded writes keep their destination separate from values that
+    /// must survive through squashed lanes.
+    #[test]
+    fn conditional_write_does_not_merge_live_through_value() {
+        let mut kb = KernelBuilder::new("cond");
+        kb.mov_imm(Reg(0), 1);
+        kb.mov_imm(Reg(1), 2);
+        kb.setp_imm(PredReg(0), CmpOp::Eq, Reg(0), 1);
+        kb.guard(PredReg(0), false);
+        kb.mov(Reg(1), Reg(0)); // conditional: R1's old value may survive
+        kb.stg(Reg(1), Reg(1), 0);
+        kb.stg(Reg(0), Reg(0), 4);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let r = reallocate(&k).unwrap();
+        assert_ne!(r.map[0], r.map[1]);
+    }
+
+    /// Structure other than register names is untouched.
+    #[test]
+    fn rewrite_preserves_structure() {
+        let mut kb = KernelBuilder::new("struct");
+        let done = kb.new_label();
+        kb.mov_imm(Reg(3), 0);
+        kb.setp_imm(PredReg(1), CmpOp::Eq, Reg(3), 0);
+        kb.bra_if(PredReg(1), true, done);
+        kb.iadd_imm(Reg(3), Reg(3), 1);
+        kb.place_label(done);
+        kb.stg(Reg(3), Reg(3), 0);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let r = reallocate(&k).unwrap();
+        assert_eq!(r.kernel.name(), k.name());
+        assert_eq!(r.kernel.len(), k.len());
+        for (a, b) in k.instructions().iter().zip(r.kernel.instructions()) {
+            assert_eq!(a.opcode, b.opcode);
+            assert_eq!(a.guard, b.guard);
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.mem_offset, b.mem_offset);
+        }
+    }
+}
